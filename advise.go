@@ -1,0 +1,234 @@
+package sight
+
+// Public surface for the applications the paper's conclusion
+// (Section VI) envisions on top of risk labels — label-based access
+// control, friendship-request triage, privacy-settings suggestions —
+// and for mining pipeline parameters from the data instead of fixing
+// them by hand.
+
+import (
+	"fmt"
+
+	"sightrisk/internal/advisor"
+	"sightrisk/internal/autotune"
+	"sightrisk/internal/cluster"
+	"sightrisk/internal/label"
+	"sightrisk/internal/profile"
+	"sightrisk/internal/similarity"
+)
+
+// DefaultSensitivity returns per-item privacy sensitivities in [0,1]
+// derived from the paper's Table III θ weights. Keys are the Item*
+// constants.
+func DefaultSensitivity() map[string]float64 {
+	s := advisor.DefaultSensitivity()
+	out := make(map[string]float64, len(s))
+	for item, v := range s {
+		out[string(item)] = v
+	}
+	return out
+}
+
+// AccessPolicy is a label-based access-control policy: for each of the
+// owner's profile items, the riskiest stranger label still allowed to
+// see it (paper §VI: "label-based access control").
+type AccessPolicy struct {
+	inner advisor.Policy
+}
+
+// BuildAccessPolicy derives a policy from per-item sensitivities (see
+// DefaultSensitivity for the format). More sensitive items admit less
+// risky audiences.
+func BuildAccessPolicy(sensitivity map[string]float64) AccessPolicy {
+	s := make(advisor.Sensitivity, len(sensitivity))
+	for item, v := range sensitivity {
+		s[profile.Item(item)] = v
+	}
+	return AccessPolicy{inner: advisor.BuildPolicy(s)}
+}
+
+// Allows reports whether a stranger carrying the given risk label may
+// see the item under the policy.
+func (p AccessPolicy) Allows(item string, l Label) bool {
+	return p.inner.Allows(profile.Item(item), l)
+}
+
+// String renders the policy one rule per line.
+func (p AccessPolicy) String() string { return p.inner.String() }
+
+// AccessController enforces a label-based access policy against a
+// computed risk report: it answers whether a given user may see a
+// given item of the owner's profile.
+type AccessController struct {
+	inner *advisor.Enforcer
+}
+
+// Enforce binds the policy to a network and a risk report, producing
+// the controller that answers access checks for the report's owner.
+func (p AccessPolicy) Enforce(n *Network, rep *Report) (*AccessController, error) {
+	if n == nil || rep == nil {
+		return nil, fmt.Errorf("sight: network and report must not be nil")
+	}
+	labels := make(map[UserID]label.Label, len(rep.Strangers))
+	for _, sr := range rep.Strangers {
+		labels[sr.User] = sr.Label
+	}
+	e, err := advisor.NewEnforcer(n.g, rep.Owner, labels, p.inner)
+	if err != nil {
+		return nil, err
+	}
+	return &AccessController{inner: e}, nil
+}
+
+// CanSee reports whether viewer may see the owner's item, with the
+// reason (owner / direct friend / label admitted / blocked / no
+// label).
+func (c *AccessController) CanSee(viewer UserID, item string) (bool, string) {
+	d := c.inner.CanSee(viewer, profile.Item(item))
+	return d.Allow, d.Reason
+}
+
+// Audience returns, per item name, how many labeled strangers the
+// policy admits.
+func (c *AccessController) Audience() map[string]int {
+	out := make(map[string]int, 7)
+	for item, n := range c.inner.Audience() {
+		out[string(item)] = n
+	}
+	return out
+}
+
+// FriendRequestAdvice is the triage outcome for an incoming friendship
+// request.
+type FriendRequestAdvice struct {
+	// Verdict is "accept", "review" or "decline".
+	Verdict string
+	// Reason explains the verdict in one sentence.
+	Reason string
+}
+
+// TriageFriendRequest recommends how to handle a friendship request
+// from a stranger, using the stranger's entry in the risk report.
+// Strangers absent from the report (not second-hop contacts when the
+// report was built) come back as "review".
+func TriageFriendRequest(rep *Report, stranger UserID) (FriendRequestAdvice, error) {
+	if rep == nil {
+		return FriendRequestAdvice{}, fmt.Errorf("sight: nil report")
+	}
+	ctx := advisor.RequestContext{Stranger: stranger}
+	for _, sr := range rep.Strangers {
+		if sr.User == stranger {
+			ctx.Label = sr.Label
+			ctx.NetworkSimilarity = sr.NetworkSimilarity
+			ctx.OwnerLabeled = sr.OwnerLabeled
+			break
+		}
+	}
+	rec := advisor.TriageRequest(ctx)
+	return FriendRequestAdvice{Verdict: string(rec.Verdict), Reason: rec.Reason}, nil
+}
+
+// SettingsSuggestion is one privacy-settings recommendation, ranked by
+// how badly the item's friends-of-friends audience collides with the
+// owner's risk labels.
+type SettingsSuggestion struct {
+	Item           string
+	RiskyReach     int
+	VeryRiskyReach int
+	Suggestion     string
+}
+
+// SuggestPrivacySettings ranks the owner's profile items by exposure
+// to risky strangers and recommends audience changes (paper §VI:
+// "privacy settings suggestion").
+func SuggestPrivacySettings(rep *Report, sensitivity map[string]float64) ([]SettingsSuggestion, error) {
+	if rep == nil {
+		return nil, fmt.Errorf("sight: nil report")
+	}
+	labels := make(map[UserID]Label, len(rep.Strangers))
+	for _, sr := range rep.Strangers {
+		labels[sr.User] = sr.Label
+	}
+	s := make(advisor.Sensitivity, len(sensitivity))
+	for item, v := range sensitivity {
+		s[profile.Item(item)] = v
+	}
+	exposures := advisor.SuggestSettings(labels, s)
+	out := make([]SettingsSuggestion, 0, len(exposures))
+	for _, e := range exposures {
+		out = append(out, SettingsSuggestion{
+			Item:           string(e.Item),
+			RiskyReach:     e.RiskyReach,
+			VeryRiskyReach: e.VeryRiskyReach,
+			Suggestion:     e.Suggestion,
+		})
+	}
+	return out, nil
+}
+
+// TunedParameters holds data-mined pipeline parameters (paper §VI:
+// "mine from the data most of the values for the parameters on which
+// our learning process relies").
+type TunedParameters struct {
+	// Alpha is the suggested network-similarity group count.
+	Alpha int
+	// Beta is the suggested Squeezer threshold.
+	Beta float64
+	// SqueezerWeights are IGR-mined attribute weights (present only
+	// when prior labels were supplied).
+	SqueezerWeights map[string]float64
+	// Theta are system-suggested benefit weights (scarcity-priced).
+	Theta map[string]float64
+}
+
+// TuneParameters mines α, β and system-suggested θ weights from the
+// owner's stranger population, and — when priorLabels from earlier
+// sessions are supplied — Squeezer attribute weights from their
+// information-gain ratios.
+func TuneParameters(n *Network, owner UserID, priorLabels map[UserID]Label) (TunedParameters, error) {
+	if n == nil {
+		return TunedParameters{}, fmt.Errorf("sight: nil network")
+	}
+	strangers := n.Strangers(owner)
+	if len(strangers) == 0 {
+		return TunedParameters{}, fmt.Errorf("sight: owner %d has no strangers to tune on", owner)
+	}
+	scores := make([]float64, len(strangers))
+	for i, s := range strangers {
+		scores[i] = similarity.NS(n.g, owner, s)
+	}
+	out := TunedParameters{
+		Alpha: autotune.SuggestAlpha(scores, 20),
+		Theta: map[string]float64{},
+	}
+	beta, err := autotune.SuggestBeta(n.profiles, strangers, cluster.DefaultSqueezerConfig(), 5)
+	if err != nil {
+		return TunedParameters{}, err
+	}
+	out.Beta = beta
+	for item, v := range autotune.SuggestTheta(n.profiles, strangers) {
+		out.Theta[string(item)] = v
+	}
+	if len(priorLabels) > 0 {
+		labels := make(map[UserID]Label, len(priorLabels))
+		for u, l := range priorLabels {
+			labels[u] = l
+		}
+		out.SqueezerWeights = map[string]float64{}
+		for a, w := range autotune.SuggestWeights(n.profiles, labels, nil) {
+			out.SqueezerWeights[string(a)] = w
+		}
+	}
+	return out, nil
+}
+
+// Apply copies the tuned parameters onto an Options value.
+func (t TunedParameters) Apply(opts Options) Options {
+	if t.Alpha > 0 {
+		opts.Alpha = t.Alpha
+	}
+	if t.Beta > 0 {
+		opts.Beta = t.Beta
+	}
+	return opts
+}

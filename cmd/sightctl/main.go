@@ -1,0 +1,417 @@
+// Command sightctl manages risk-estimation studies on disk.
+//
+// Subcommands:
+//
+//	sightctl generate -out study.json [-owners N] [-strangers N] [-seed N]
+//	    Generate a synthetic study (graph, profiles, owners with
+//	    ground-truth labels) and save it as JSON.
+//
+//	sightctl info -in study.json
+//	    Print dataset statistics.
+//
+//	sightctl run -in study.json [-owner ID] [-strategy npp|nsp] [-v] [-interactive]
+//	    Run the risk-estimation pipeline for one owner (or all owners)
+//	    using the stored labels as the annotator — or, with
+//	    -interactive, answering the paper's labeling question on the
+//	    terminal — and print the resulting risk report.
+//
+//	sightctl crawl -in study.json -owner ID [-ticks N]
+//	    Simulate the Sight crawler discovering the owner's strangers
+//	    and print progress snapshots.
+//
+//	sightctl tune -in study.json [-owner ID]
+//	    Mine pipeline parameters (α, β, Squeezer weights, θ) from the
+//	    dataset.
+//
+//	sightctl export -in study.json [-owner ID] [-out neighborhood.dot]
+//	    Write the owner's neighborhood as Graphviz DOT, strangers
+//	    colored by their stored risk labels.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"sightrisk/internal/benefit"
+	"sightrisk/internal/crawler"
+	"sightrisk/internal/dataset"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/profile"
+	"sightrisk/internal/prompt"
+	"sightrisk/internal/stats"
+	"sightrisk/internal/synthetic"
+
+	"sightrisk"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "crawl":
+		err = cmdCrawl(os.Args[2:])
+	case "tune":
+		err = cmdTune(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "sightctl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sightctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: sightctl <command> [flags]
+
+commands:
+  generate   generate a synthetic study and save it as JSON
+  info       print dataset statistics
+  run        run the risk pipeline over a dataset
+  crawl      simulate the Sight crawler on a dataset
+  tune       mine pipeline parameters (alpha, beta, theta, weights) from a dataset
+  export     write an owner's neighborhood as Graphviz DOT, colored by risk label
+`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	out := fs.String("out", "study.json", "output file")
+	owners := fs.Int("owners", 8, "number of owners")
+	strangers := fs.Int("strangers", 400, "strangers per owner (before jitter)")
+	friends := fs.Int("friends", 60, "friends per owner (before jitter)")
+	seed := fs.Int64("seed", 1, "generation seed")
+	fs.Parse(args)
+
+	cfg := synthetic.DefaultStudyConfig()
+	cfg.Owners = *owners
+	cfg.Ego.Strangers = *strangers
+	cfg.Ego.Friends = *friends
+	cfg.Seed = *seed
+	study, err := synthetic.GenerateStudy(cfg)
+	if err != nil {
+		return err
+	}
+	ds := dataset.FromStudy(study, true)
+	if err := ds.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d users, %d friendships, %d owners, %d stranger profiles\n",
+		*out, ds.Graph.NumNodes(), ds.Graph.NumEdges(), len(ds.Owners), study.TotalStrangers())
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "study.json", "input dataset")
+	fs.Parse(args)
+
+	ds, err := dataset.Load(*in)
+	if err != nil {
+		return err
+	}
+	deg := ds.Graph.Degrees()
+	comps := ds.Graph.ConnectedComponents()
+	fmt.Printf("dataset %q\n", ds.Name)
+	fmt.Printf("  users        %d\n", ds.Graph.NumNodes())
+	fmt.Printf("  friendships  %d\n", ds.Graph.NumEdges())
+	fmt.Printf("  degree       min %d / mean %.1f / max %d\n", deg.Min, deg.Mean, deg.Max)
+	fmt.Printf("  clustering   %.3f (mean local coefficient)\n", ds.Graph.MeanClusteringCoefficient())
+	fmt.Printf("  components   %d (largest %d)\n", len(comps), comps[0])
+	fmt.Printf("  profiles     %d\n", len(ds.Profiles))
+	fmt.Printf("  owners       %d\n", len(ds.Owners))
+	for _, o := range ds.Owners {
+		n := len(ds.Graph.Strangers(o.ID))
+		fmt.Printf("    owner %-8d strangers %-6d stored labels %-6d confidence %.1f\n",
+			o.ID, n, len(o.Labels), o.Confidence)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	in := fs.String("in", "study.json", "input dataset")
+	ownerID := fs.Int64("owner", 0, "owner id (0 = all owners)")
+	strategy := fs.String("strategy", "npp", "pool strategy: npp or nsp")
+	verbose := fs.Bool("v", false, "print per-stranger labels")
+	interactive := fs.Bool("interactive", false, "ask for risk labels on the terminal (the Sight experience) instead of using stored labels")
+	out := fs.String("out", "", "also write the risk reports as JSON to this file")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	fs.Parse(args)
+
+	ds, err := dataset.Load(*in)
+	if err != nil {
+		return err
+	}
+	opts := sight.DefaultOptions()
+	opts.Seed = *seed
+	switch *strategy {
+	case "npp":
+		opts.Strategy = sight.PoolNPP
+	case "nsp":
+		opts.Strategy = sight.PoolNSP
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	net := sight.WrapNetwork(ds.Graph, ds.ProfileStore())
+
+	owners := ds.OwnerIDs()
+	if *ownerID != 0 {
+		owners = []graph.UserID{graph.UserID(*ownerID)}
+	}
+	store := ds.ProfileStore()
+	var reports []*sight.Report
+	for _, id := range owners {
+		rec, ok := ds.Owner(id)
+		if !ok {
+			return fmt.Errorf("owner %d not in dataset", id)
+		}
+		opts.Confidence = rec.Confidence
+		var ann sight.Annotator = dataset.StoredAnnotator{Labels: rec.Labels, Fallback: label.Risky}
+		if *interactive {
+			theta := make(benefit.Theta, len(rec.Theta))
+			for item, w := range rec.Theta {
+				theta[profile.Item(item)] = w
+			}
+			if len(theta) == 0 {
+				theta = nil
+			}
+			ann = prompt.New(os.Stdin, os.Stdout, ds.Graph, store, id, theta)
+		}
+		rep, err := sight.EstimateRisk(net, id, ann, opts)
+		if err != nil {
+			return err
+		}
+		printReport(rep, rec, *verbose)
+		reports = append(reports, rep)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d report(s) to %s\n", len(reports), *out)
+	}
+	return nil
+}
+
+func printReport(rep *sight.Report, rec dataset.OwnerRecord, verbose bool) {
+	counts := rep.CountByLabel()
+	fmt.Printf("owner %d: %d strangers in %d pools; %d labels requested (%.1f%% of strangers)\n",
+		rep.Owner, len(rep.Strangers), rep.Pools, rep.LabelsRequested,
+		100*float64(rep.LabelsRequested)/float64(max(1, len(rep.Strangers))))
+	fmt.Printf("  labels: not risky %d / risky %d / very risky %d\n",
+		counts[sight.NotRisky], counts[sight.Risky], counts[sight.VeryRisky])
+	if !math.IsNaN(rep.MeanRounds) {
+		fmt.Printf("  mean rounds %.2f, validation exact-match %s\n", rep.MeanRounds, stats.Pct(rep.ExactMatchRate))
+	}
+	if len(rec.Labels) > 0 {
+		agree, total := 0, 0
+		for _, sr := range rep.Strangers {
+			if want, ok := rec.Labels[sr.User]; ok {
+				total++
+				if want == sr.Label {
+					agree++
+				}
+			}
+		}
+		if total > 0 {
+			fmt.Printf("  agreement with stored ground truth: %s (%d/%d)\n",
+				stats.Pct(float64(agree)/float64(total)), agree, total)
+		}
+	}
+	if verbose {
+		for _, sr := range rep.Strangers {
+			marker := " "
+			if sr.OwnerLabeled {
+				marker = "*"
+			}
+			fmt.Printf("    %s stranger %-8d NS=%.3f pool=%-14s %s\n",
+				marker, sr.User, sr.NetworkSimilarity, sr.Pool, sr.Label)
+		}
+	}
+}
+
+func cmdCrawl(args []string) error {
+	fs := flag.NewFlagSet("crawl", flag.ExitOnError)
+	in := fs.String("in", "study.json", "input dataset")
+	ownerID := fs.Int64("owner", 0, "owner id (default: first owner)")
+	ticks := fs.Int("ticks", 200, "ticks to simulate")
+	every := fs.Int("report", 25, "print a snapshot every N ticks")
+	fs.Parse(args)
+
+	ds, err := dataset.Load(*in)
+	if err != nil {
+		return err
+	}
+	id := graph.UserID(*ownerID)
+	if id == 0 {
+		ids := ds.OwnerIDs()
+		if len(ids) == 0 {
+			return fmt.Errorf("dataset has no owners")
+		}
+		id = ids[0]
+	}
+	c, err := crawler.New(ds.Graph, ds.ProfileStore(), id, crawler.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crawling owner %d (%d true strangers)\n", id, len(ds.Graph.Strangers(id)))
+	for t := 1; t <= *ticks; t++ {
+		c.Tick()
+		if t%*every == 0 || t == *ticks {
+			st := c.Stats()
+			fmt.Printf("  tick %-5d discovered %-6d pending %-5d api calls %-6d coverage %s\n",
+				st.Ticks, st.Discovered, st.Pending, st.APICalls, stats.Pct(st.Coverage))
+		}
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	in := fs.String("in", "study.json", "input dataset")
+	ownerID := fs.Int64("owner", 0, "owner id (default: first owner)")
+	out := fs.String("out", "neighborhood.dot", "output DOT file")
+	maxNodes := fs.Int("max", 400, "node cap for the export (0 = no cap)")
+	fs.Parse(args)
+
+	ds, err := dataset.Load(*in)
+	if err != nil {
+		return err
+	}
+	id := graph.UserID(*ownerID)
+	if id == 0 {
+		ids := ds.OwnerIDs()
+		if len(ids) == 0 {
+			return fmt.Errorf("dataset has no owners")
+		}
+		id = ids[0]
+	}
+	rec, ok := ds.Owner(id)
+	if !ok {
+		return fmt.Errorf("owner %d not in dataset", id)
+	}
+	// Color nodes by stored risk label; the owner is gold, friends grey.
+	highlight := map[graph.UserID]string{id: "gold"}
+	for _, f := range ds.Graph.Friends(id) {
+		highlight[f] = "lightgrey"
+	}
+	colors := map[label.Label]string{
+		label.NotRisky:  "palegreen",
+		label.Risky:     "orange",
+		label.VeryRisky: "tomato",
+	}
+	for s, l := range rec.Labels {
+		if c, ok := colors[l]; ok {
+			highlight[s] = c
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	opts := graph.DOTOptions{
+		Name:      fmt.Sprintf("owner-%d", id),
+		Highlight: highlight,
+		Label:     map[graph.UserID]string{id: "owner"},
+		MaxNodes:  *maxNodes,
+	}
+	if err := ds.Graph.WriteDOT(f, opts); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (owner gold, friends grey, strangers colored by stored risk label)\n", *out)
+	return nil
+}
+
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	in := fs.String("in", "study.json", "input dataset")
+	ownerID := fs.Int64("owner", 0, "owner id (default: first owner)")
+	fs.Parse(args)
+
+	ds, err := dataset.Load(*in)
+	if err != nil {
+		return err
+	}
+	id := graph.UserID(*ownerID)
+	if id == 0 {
+		ids := ds.OwnerIDs()
+		if len(ids) == 0 {
+			return fmt.Errorf("dataset has no owners")
+		}
+		id = ids[0]
+	}
+	rec, ok := ds.Owner(id)
+	if !ok {
+		return fmt.Errorf("owner %d not in dataset", id)
+	}
+	net := sight.WrapNetwork(ds.Graph, ds.ProfileStore())
+	prior := make(map[sight.UserID]sight.Label, len(rec.Labels))
+	for u, l := range rec.Labels {
+		prior[u] = l
+	}
+	tuned, err := sight.TuneParameters(net, id, prior)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mined parameters for owner %d (paper defaults: alpha=10, beta=0.4):\n", id)
+	fmt.Printf("  alpha  %d\n", tuned.Alpha)
+	fmt.Printf("  beta   %.1f\n", tuned.Beta)
+	if len(tuned.SqueezerWeights) > 0 {
+		fmt.Println("  squeezer weights (IGR-mined from stored labels):")
+		for _, a := range []string{sight.AttrGender, sight.AttrLocale, sight.AttrLastName} {
+			fmt.Printf("    %-10s %.4f\n", a, tuned.SqueezerWeights[a])
+		}
+	}
+	fmt.Println("  system-suggested theta (scarcity-priced):")
+	items := make([]string, 0, len(tuned.Theta))
+	for item := range tuned.Theta {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool { return tuned.Theta[items[i]] > tuned.Theta[items[j]] })
+	for _, item := range items {
+		fmt.Printf("    %-10s %.4f\n", item, tuned.Theta[item])
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

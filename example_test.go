@@ -1,0 +1,73 @@
+package sight_test
+
+import (
+	"fmt"
+
+	"sightrisk"
+)
+
+// ExampleEstimateRisk runs the full pipeline on a miniature network:
+// one owner, three friends, and twelve strangers the owner judges by
+// locale.
+func ExampleEstimateRisk() {
+	net := sight.NewNetwork()
+	owner := sight.UserID(1)
+	friends := []sight.UserID{2, 3, 4}
+	for _, f := range friends {
+		if err := net.AddFriendship(owner, f); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		s := sight.UserID(100 + i)
+		if err := net.AddFriendship(s, friends[i%3]); err != nil {
+			panic(err)
+		}
+		locale := "en_US"
+		if i%2 == 1 {
+			locale = "it_IT"
+		}
+		net.SetAttribute(s, sight.AttrLocale, locale)
+		net.SetAttribute(s, sight.AttrGender, "female")
+		net.SetAttribute(s, sight.AttrLastName, "Fam-1")
+	}
+
+	// The owner considers strangers from abroad risky.
+	judge := sight.AnnotatorFunc(func(s sight.UserID) sight.Label {
+		if net.Attribute(s, sight.AttrLocale) != "en_US" {
+			return sight.Risky
+		}
+		return sight.NotRisky
+	})
+
+	report, err := sight.EstimateRisk(net, owner, judge, sight.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	counts := report.CountByLabel()
+	fmt.Printf("strangers: %d\n", len(report.Strangers))
+	fmt.Printf("not risky: %d, risky: %d\n", counts[sight.NotRisky], counts[sight.Risky])
+	// Output:
+	// strangers: 12
+	// not risky: 6, risky: 6
+}
+
+// ExampleBuildAccessPolicy shows label-based access control: a policy
+// derived from item sensitivities decides which strangers may see
+// which items.
+func ExampleBuildAccessPolicy() {
+	policy := sight.BuildAccessPolicy(map[string]float64{
+		sight.ItemWall:  0.9, // friends only
+		sight.ItemPhoto: 0.6, // not-risky strangers only
+		sight.ItemWork:  0.2, // everyone with a label
+	})
+	fmt.Println(policy.Allows(sight.ItemWall, sight.NotRisky))
+	fmt.Println(policy.Allows(sight.ItemPhoto, sight.NotRisky))
+	fmt.Println(policy.Allows(sight.ItemPhoto, sight.VeryRisky))
+	fmt.Println(policy.Allows(sight.ItemWork, sight.VeryRisky))
+	// Output:
+	// false
+	// true
+	// false
+	// true
+}

@@ -1,0 +1,95 @@
+// Accesscontrol: the label-based access control and privacy-settings
+// applications the paper's conclusion proposes. After estimating risk
+// labels for an owner's strangers, the example:
+//
+//  1. builds a label-based access-control policy from the owner's
+//     item sensitivities (which stranger label may see which item),
+//  2. evaluates the policy against every stranger (who gets to see
+//     the owner's photos? their wall?),
+//  3. triages simulated friendship requests from the five closest
+//     strangers, and
+//  4. prints ranked privacy-settings suggestions.
+//
+// Run with:
+//
+//	go run ./examples/accesscontrol
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"sightrisk"
+	"sightrisk/internal/synthetic"
+)
+
+func main() {
+	cfg := synthetic.SmallStudyConfig()
+	cfg.Owners = 1
+	cfg.Ego.Strangers = 400
+	cfg.Seed = 17
+	study, err := synthetic.GenerateStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner := study.Owners[0]
+	net := sight.WrapNetwork(study.Graph, study.Profiles)
+
+	opts := sight.DefaultOptions()
+	opts.Confidence = owner.Confidence
+	report, err := sight.EstimateRisk(net, owner.ID, owner, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := report.CountByLabel()
+	fmt.Printf("owner %d: %d strangers → %d not risky / %d risky / %d very risky\n\n",
+		owner.ID, len(report.Strangers), counts[sight.NotRisky], counts[sight.Risky], counts[sight.VeryRisky])
+
+	// 1. Label-based access control.
+	sens := sight.DefaultSensitivity()
+	policy := sight.BuildAccessPolicy(sens)
+	fmt.Println("label-based access policy (from Table III sensitivities):")
+	fmt.Println(policy)
+
+	// 2. Who may see what under the policy, via the enforcement API.
+	ctl, err := policy.Enforce(net, report)
+	if err != nil {
+		log.Fatal(err)
+	}
+	audience := ctl.Audience()
+	fmt.Println("strangers admitted per item under the policy:")
+	for _, item := range []string{sight.ItemPhoto, sight.ItemWall, sight.ItemHometown} {
+		fmt.Printf("  %-10s %4d of %d\n", item, audience[item], len(report.Strangers))
+	}
+	someStranger := report.Strangers[0].User
+	if ok, reason := ctl.CanSee(someStranger, sight.ItemPhoto); true {
+		fmt.Printf("  e.g. stranger %d on photos: allow=%v (%s)\n", someStranger, ok, reason)
+	}
+
+	// 3. Friendship-request triage for the five closest strangers.
+	closest := append([]sight.StrangerRisk(nil), report.Strangers...)
+	sort.Slice(closest, func(i, j int) bool {
+		return closest[i].NetworkSimilarity > closest[j].NetworkSimilarity
+	})
+	fmt.Println("\nfriendship-request triage (five closest strangers):")
+	for _, sr := range closest[:5] {
+		adv, err := sight.TriageFriendRequest(report, sr.User)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  stranger %-8d NS=%.2f label=%-10s → %-7s (%s)\n",
+			sr.User, sr.NetworkSimilarity, sr.Label, adv.Verdict, adv.Reason)
+	}
+
+	// 4. Privacy-settings suggestions.
+	suggestions, err := sight.SuggestPrivacySettings(report, sens)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nprivacy-settings suggestions (most urgent first):")
+	for _, s := range suggestions[:4] {
+		fmt.Printf("  %-10s reaches %d risky (%d very risky) strangers → %s\n",
+			s.Item, s.RiskyReach, s.VeryRiskyReach, s.Suggestion)
+	}
+}

@@ -1,0 +1,93 @@
+// Attitudes: the paper's central design claim is that risk is
+// *subjective* — the same social graph yields different risk labels
+// for different owners, so risk must be learned per owner rather than
+// computed by a global rule. This example runs three owner attitudes
+// (cautious, balanced, permissive) over the same network and compares
+// the resulting risk reports and owner effort.
+//
+// Run with:
+//
+//	go run ./examples/attitudes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sightrisk"
+	"sightrisk/internal/synthetic"
+)
+
+func main() {
+	cfg := synthetic.SmallStudyConfig()
+	cfg.Owners = 1
+	cfg.Ego.Strangers = 500
+	cfg.Seed = 3
+	study, err := synthetic.GenerateStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ownerID := study.Owners[0].ID
+	net := sight.WrapNetwork(study.Graph, study.Profiles)
+
+	// Three risk attitudes expressed directly against the public API.
+	// Each judges the same strangers by network closeness, origin and
+	// current profile exposure — but with very different bars.
+	attitudes := []struct {
+		name string
+		ann  sight.AnnotatorFunc
+	}{
+		{"cautious", func(s sight.UserID) sight.Label {
+			// Everyone unfamiliar is a threat; closeness only
+			// downgrades to "risky".
+			if net.NetworkSimilarity(ownerID, s) >= 0.2 {
+				return sight.Risky
+			}
+			return sight.VeryRisky
+		}},
+		{"balanced", func(s sight.UserID) sight.Label {
+			ns := net.NetworkSimilarity(ownerID, s)
+			foreign := net.Attribute(s, sight.AttrLocale) != net.Attribute(ownerID, sight.AttrLocale)
+			switch {
+			case ns >= 0.2 && !foreign:
+				return sight.NotRisky
+			case ns >= 0.1 || !foreign:
+				return sight.Risky
+			default:
+				return sight.VeryRisky
+			}
+		}},
+		{"permissive", func(s sight.UserID) sight.Label {
+			// Strangers showing open profiles feel approachable; only
+			// completely opaque unconnected profiles worry this owner.
+			open := 0
+			for _, item := range []string{sight.ItemPhoto, sight.ItemFriend, sight.ItemWall} {
+				// A visible item signals openness.
+				if theta, err := net.Benefit(map[string]float64{item: 1}, s); err == nil && theta > 0 {
+					open++
+				}
+			}
+			if open == 0 && net.NetworkSimilarity(ownerID, s) < 0.05 {
+				return sight.Risky
+			}
+			return sight.NotRisky
+		}},
+	}
+
+	fmt.Printf("same network (%d strangers), three owners\n\n", len(net.Strangers(ownerID)))
+	fmt.Println("attitude    labels asked  rounds  not risky  risky  very risky")
+	for _, att := range attitudes {
+		opts := sight.DefaultOptions()
+		report, err := sight.EstimateRisk(net, ownerID, att.ann, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := report.CountByLabel()
+		fmt.Printf("%-10s  %-12d  %-6.2f  %-9d  %-5d  %d\n",
+			att.name, report.LabelsRequested, report.MeanRounds,
+			c[sight.NotRisky], c[sight.Risky], c[sight.VeryRisky])
+	}
+
+	fmt.Println("\nidentical graph, radically different risk pictures — risk labels cannot be")
+	fmt.Println("precomputed globally; they must be learned from each owner's own judgments")
+}

@@ -1,0 +1,120 @@
+// Quickstart: build a small social network by hand, define how the
+// owner judges risk, and run the full risk-estimation pipeline through
+// the public sight API.
+//
+// The scenario: Alice (the owner) has three friends — Bob, Carol and
+// Dan — whose own contacts are strangers to her. Alice is wary of
+// strangers from other countries unless they are well connected to her
+// friend circle. The engine asks "Alice" (an AnnotatorFunc encoding
+// that attitude) for a handful of labels and predicts the rest.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sightrisk"
+)
+
+func main() {
+	net := sight.NewNetwork()
+
+	const (
+		alice = sight.UserID(1)
+		bob   = sight.UserID(2)
+		carol = sight.UserID(3)
+		dan   = sight.UserID(4)
+	)
+	friends := []sight.UserID{bob, carol, dan}
+	for _, f := range friends {
+		must(net.AddFriendship(alice, f))
+	}
+	// Alice's friends know each other: a dense little community.
+	must(net.AddFriendship(bob, carol))
+	must(net.AddFriendship(carol, dan))
+
+	// Strangers 100..139: each is a contact of one or more of Alice's
+	// friends. Even ids are local (same locale as Alice), odd ids are
+	// from abroad; every third stranger knows two of Alice's friends.
+	var strangers []sight.UserID
+	for i := 0; i < 40; i++ {
+		s := sight.UserID(100 + i)
+		strangers = append(strangers, s)
+		must(net.AddFriendship(s, friends[i%len(friends)]))
+		if i%3 == 0 {
+			must(net.AddFriendship(s, friends[(i+1)%len(friends)]))
+		}
+		locale := "en_US"
+		gender := "female"
+		if i%2 == 1 {
+			locale = "it_IT"
+		}
+		if i%4 < 2 {
+			gender = "male"
+		}
+		net.SetAttribute(s, sight.AttrGender, gender)
+		net.SetAttribute(s, sight.AttrLocale, locale)
+		net.SetAttribute(s, sight.AttrLastName, fmt.Sprintf("Family-%d", i%6))
+		net.SetVisibility(s, sight.ItemPhoto, i%5 != 0)
+		net.SetVisibility(s, sight.ItemWall, i%7 == 0)
+	}
+	net.SetAttribute(alice, sight.AttrGender, "female")
+	net.SetAttribute(alice, sight.AttrLocale, "en_US")
+	net.SetAttribute(alice, sight.AttrLastName, "Family-0")
+
+	// Alice's risk attitude: strangers from abroad are risky, and
+	// risky becomes very risky when they are barely connected to her
+	// circle. Locals are fine unless totally unconnected.
+	alicesJudgment := sight.AnnotatorFunc(func(s sight.UserID) sight.Label {
+		foreign := net.Attribute(s, sight.AttrLocale) != "en_US"
+		ns := net.NetworkSimilarity(alice, s)
+		switch {
+		case foreign && ns < 0.2:
+			return sight.VeryRisky
+		case foreign || ns < 0.1:
+			return sight.Risky
+		default:
+			return sight.NotRisky
+		}
+	})
+
+	report, err := sight.EstimateRisk(net, alice, alicesJudgment, sight.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	counts := report.CountByLabel()
+	fmt.Printf("Alice has %d strangers; the engine asked her for %d labels (%d pools).\n",
+		len(report.Strangers), report.LabelsRequested, report.Pools)
+	fmt.Printf("Risk estimate: %d not risky, %d risky, %d very risky\n\n",
+		counts[sight.NotRisky], counts[sight.Risky], counts[sight.VeryRisky])
+
+	fmt.Println("stranger  NS     source     label")
+	for _, sr := range report.Strangers {
+		source := "predicted"
+		if sr.OwnerLabeled {
+			source = "alice"
+		}
+		fmt.Printf("%-8d  %.3f  %-9s  %s\n", sr.User, sr.NetworkSimilarity, source, sr.Label)
+	}
+
+	// How good were the predictions? Compare against Alice's own
+	// judgment for every stranger.
+	agree := 0
+	for _, sr := range report.Strangers {
+		if sr.Label == alicesJudgment.LabelStranger(sr.User) {
+			agree++
+		}
+	}
+	fmt.Printf("\npredictions agree with Alice on %d/%d strangers\n", agree, len(report.Strangers))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

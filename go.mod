@@ -1,0 +1,3 @@
+module sightrisk
+
+go 1.22

@@ -1,0 +1,238 @@
+// Package advisor implements the applications the paper's conclusion
+// (Section VI) envisions for risk labels: label-based access control,
+// friendship-request triage, and privacy-settings suggestions.
+//
+// Everything here consumes the output of the risk pipeline (per-
+// stranger labels plus similarity/benefit context) and produces
+// actionable artifacts: an access policy mapping each profile item to
+// the riskiest label still allowed to see it, a per-request
+// recommendation, and a ranked list of settings changes.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"sightrisk/internal/benefit"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/profile"
+)
+
+// Sensitivity expresses how private the owner considers each of their
+// own profile items, in [0,1] (1 = most sensitive). The benefit θ
+// vector is a reasonable default: items the owner values seeing on
+// others are items they consider significant.
+type Sensitivity map[profile.Item]float64
+
+// DefaultSensitivity derives sensitivities from the paper's Table III
+// θ weights, min-max rescaled to [0,1] (the raw weights sit in a
+// narrow band — 0.1321 to 0.155 — so plain proportional scaling would
+// collapse every item into the same policy tier).
+func DefaultSensitivity() Sensitivity {
+	theta := benefit.PaperTheta()
+	lo, hi := 1.0, 0.0
+	for _, v := range theta {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	s := make(Sensitivity, len(theta))
+	for item, v := range theta {
+		if hi > lo {
+			s[item] = (v - lo) / (hi - lo)
+		} else {
+			s[item] = 0.5
+		}
+	}
+	return s
+}
+
+// Policy is a label-based access-control policy: for each profile item
+// of the owner, the riskiest stranger label still allowed to see it.
+// MaxLabel = NotRisky means "only strangers I consider not risky";
+// MaxLabel = 0 means "no stranger at all" (friends only).
+type Policy struct {
+	Rules map[profile.Item]label.Label
+}
+
+// Allows reports whether a stranger with label l may see item i under
+// the policy. Items without a rule default to friends-only.
+func (p Policy) Allows(i profile.Item, l label.Label) bool {
+	maxL, ok := p.Rules[i]
+	if !ok {
+		return false
+	}
+	return l.Valid() && l <= maxL
+}
+
+// String renders the policy as one line per item.
+func (p Policy) String() string {
+	items := make([]profile.Item, 0, len(p.Rules))
+	for i := range p.Rules {
+		items = append(items, i)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+	out := ""
+	for _, i := range items {
+		switch p.Rules[i] {
+		case 0:
+			out += fmt.Sprintf("%-10s -> friends only\n", i)
+		case label.NotRisky:
+			out += fmt.Sprintf("%-10s -> not-risky strangers\n", i)
+		case label.Risky:
+			out += fmt.Sprintf("%-10s -> up to risky strangers\n", i)
+		case label.VeryRisky:
+			out += fmt.Sprintf("%-10s -> everyone\n", i)
+		}
+	}
+	return out
+}
+
+// BuildPolicy derives a label-based access-control policy from the
+// owner's item sensitivities: the more sensitive an item, the lower
+// the riskiest label allowed to see it.
+//
+//	sensitivity > 0.8  → friends only
+//	sensitivity > 0.55 → not-risky strangers only
+//	sensitivity > 0.3  → up to risky strangers
+//	otherwise          → everyone
+func BuildPolicy(s Sensitivity) Policy {
+	p := Policy{Rules: make(map[profile.Item]label.Label, len(s))}
+	for item, v := range s {
+		switch {
+		case v > 0.8:
+			p.Rules[item] = 0
+		case v > 0.55:
+			p.Rules[item] = label.NotRisky
+		case v > 0.3:
+			p.Rules[item] = label.Risky
+		default:
+			p.Rules[item] = label.VeryRisky
+		}
+	}
+	return p
+}
+
+// Verdict is a friendship-request recommendation.
+type Verdict string
+
+// Recommendation outcomes.
+const (
+	Accept  Verdict = "accept"
+	Review  Verdict = "review"
+	Decline Verdict = "decline"
+)
+
+// RequestContext is everything known about an incoming friendship
+// request from a stranger.
+type RequestContext struct {
+	Stranger graph.UserID
+	// Label is the risk label the pipeline assigned.
+	Label label.Label
+	// NetworkSimilarity is NS(owner, stranger).
+	NetworkSimilarity float64
+	// OwnerLabeled marks a direct owner judgment (predictions carry
+	// less certainty).
+	OwnerLabeled bool
+}
+
+// Recommendation is the advisor's answer to a friendship request.
+type Recommendation struct {
+	Verdict Verdict
+	Reason  string
+}
+
+// TriageRequest recommends how to handle a friendship request:
+//
+//   - very risky → decline (review instead when only predicted and the
+//     stranger is genuinely close to the owner's circle — a likely
+//     false positive worth a human look);
+//   - risky → review;
+//   - not risky → accept when meaningfully connected, review when the
+//     request comes from a complete outsider (NS ≈ 0 contradicts a
+//     benign label: the pipeline only scores second-hop contacts, so
+//     an unconnected requester bypassed it).
+func TriageRequest(ctx RequestContext) Recommendation {
+	switch ctx.Label {
+	case label.VeryRisky:
+		if !ctx.OwnerLabeled && ctx.NetworkSimilarity >= 0.3 {
+			return Recommendation{Review, "predicted very risky, but strongly connected to your circle — verify"}
+		}
+		return Recommendation{Decline, "labeled very risky"}
+	case label.Risky:
+		return Recommendation{Review, "labeled risky — check the profile before accepting"}
+	case label.NotRisky:
+		if ctx.NetworkSimilarity < 0.05 {
+			return Recommendation{Review, "labeled not risky but barely connected — confirm you know them"}
+		}
+		return Recommendation{Accept, "labeled not risky and connected to your circle"}
+	default:
+		return Recommendation{Review, "no risk label available"}
+	}
+}
+
+// Exposure quantifies how much of the owner's risky audience one
+// profile item reaches under a given audience setting.
+type Exposure struct {
+	Item profile.Item
+	// RiskyReach is the number of risky or very-risky strangers that
+	// would see the item if it were visible to friends of friends.
+	RiskyReach int
+	// VeryRiskyReach counts only the very-risky ones.
+	VeryRiskyReach int
+	// Sensitivity echoes the owner's sensitivity for the item.
+	Sensitivity float64
+	// Suggestion is a human-readable settings recommendation.
+	Suggestion string
+}
+
+// SuggestSettings ranks the owner's profile items by how badly their
+// friends-of-friends audience collides with the risk labels: an item
+// both sensitive and reachable by many risky strangers should be
+// restricted first. labels holds the pipeline's output for every
+// stranger.
+func SuggestSettings(labels map[graph.UserID]label.Label, sens Sensitivity) []Exposure {
+	risky, very := 0, 0
+	for _, l := range labels {
+		switch l {
+		case label.Risky:
+			risky++
+		case label.VeryRisky:
+			very++
+		}
+	}
+	out := make([]Exposure, 0, len(sens))
+	for item, s := range sens {
+		e := Exposure{
+			Item:           item,
+			RiskyReach:     risky + very,
+			VeryRiskyReach: very,
+			Sensitivity:    s,
+		}
+		score := s * float64(e.RiskyReach)
+		switch {
+		case score == 0:
+			e.Suggestion = "no change needed"
+		case s > 0.55 && very > 0:
+			e.Suggestion = "restrict to friends only"
+		case s > 0.3:
+			e.Suggestion = "hide from friends of friends you have not cleared"
+		default:
+			e.Suggestion = "current audience acceptable"
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si := out[i].Sensitivity * float64(out[i].RiskyReach)
+		sj := out[j].Sensitivity * float64(out[j].RiskyReach)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}

@@ -1,0 +1,173 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/profile"
+)
+
+func TestDefaultSensitivity(t *testing.T) {
+	s := DefaultSensitivity()
+	if len(s) != 7 {
+		t.Fatalf("items = %d", len(s))
+	}
+	lo, hi := 1.0, 0.0
+	for item, v := range s {
+		if v < 0 || v > 1 {
+			t.Fatalf("sensitivity[%s] = %g", item, v)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi != 1 || lo != 0 {
+		t.Fatalf("min-max rescale broken: lo=%g hi=%g", lo, hi)
+	}
+	// Table III ordering: hometown is the top-weighted item.
+	if s[profile.ItemHometown] != 1 {
+		t.Fatalf("hometown sensitivity = %g, want 1", s[profile.ItemHometown])
+	}
+}
+
+func TestBuildPolicyThresholds(t *testing.T) {
+	s := Sensitivity{
+		profile.ItemWall:     0.9, // friends only
+		profile.ItemPhoto:    0.6, // not-risky only
+		profile.ItemWork:     0.4, // up to risky
+		profile.ItemLocation: 0.1, // everyone
+	}
+	p := BuildPolicy(s)
+	if p.Rules[profile.ItemWall] != 0 {
+		t.Fatalf("wall rule = %v", p.Rules[profile.ItemWall])
+	}
+	if p.Rules[profile.ItemPhoto] != label.NotRisky {
+		t.Fatalf("photo rule = %v", p.Rules[profile.ItemPhoto])
+	}
+	if p.Rules[profile.ItemWork] != label.Risky {
+		t.Fatalf("work rule = %v", p.Rules[profile.ItemWork])
+	}
+	if p.Rules[profile.ItemLocation] != label.VeryRisky {
+		t.Fatalf("location rule = %v", p.Rules[profile.ItemLocation])
+	}
+}
+
+func TestPolicyAllows(t *testing.T) {
+	p := BuildPolicy(Sensitivity{
+		profile.ItemWall:  0.9,
+		profile.ItemPhoto: 0.6,
+		profile.ItemWork:  0.4,
+	})
+	// Wall: nobody.
+	for _, l := range label.All() {
+		if p.Allows(profile.ItemWall, l) {
+			t.Fatalf("wall visible to %v", l)
+		}
+	}
+	// Photo: not-risky only.
+	if !p.Allows(profile.ItemPhoto, label.NotRisky) {
+		t.Fatal("photo hidden from not-risky")
+	}
+	if p.Allows(profile.ItemPhoto, label.Risky) {
+		t.Fatal("photo visible to risky")
+	}
+	// Work: risky allowed, very risky not.
+	if !p.Allows(profile.ItemWork, label.Risky) {
+		t.Fatal("work hidden from risky")
+	}
+	if p.Allows(profile.ItemWork, label.VeryRisky) {
+		t.Fatal("work visible to very risky")
+	}
+	// Unknown item: friends only.
+	if p.Allows(profile.ItemHometown, label.NotRisky) {
+		t.Fatal("unruled item visible")
+	}
+	// Invalid label never allowed.
+	if p.Allows(profile.ItemWork, label.Label(9)) {
+		t.Fatal("invalid label allowed")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	p := BuildPolicy(Sensitivity{
+		profile.ItemWall:     0.9,
+		profile.ItemPhoto:    0.6,
+		profile.ItemWork:     0.4,
+		profile.ItemLocation: 0.1,
+	})
+	out := p.String()
+	for _, want := range []string{"friends only", "not-risky strangers", "up to risky strangers", "everyone"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("policy string missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTriageRequest(t *testing.T) {
+	cases := []struct {
+		name string
+		ctx  RequestContext
+		want Verdict
+	}{
+		{"very risky owner-labeled", RequestContext{Label: label.VeryRisky, OwnerLabeled: true, NetworkSimilarity: 0.5}, Decline},
+		{"very risky predicted, distant", RequestContext{Label: label.VeryRisky, NetworkSimilarity: 0.1}, Decline},
+		{"very risky predicted, close", RequestContext{Label: label.VeryRisky, NetworkSimilarity: 0.4}, Review},
+		{"risky", RequestContext{Label: label.Risky, NetworkSimilarity: 0.3}, Review},
+		{"not risky connected", RequestContext{Label: label.NotRisky, NetworkSimilarity: 0.2}, Accept},
+		{"not risky unconnected", RequestContext{Label: label.NotRisky, NetworkSimilarity: 0.0}, Review},
+		{"unlabeled", RequestContext{}, Review},
+	}
+	for _, tt := range cases {
+		got := TriageRequest(tt.ctx)
+		if got.Verdict != tt.want {
+			t.Errorf("%s: verdict = %s, want %s", tt.name, got.Verdict, tt.want)
+		}
+		if got.Reason == "" {
+			t.Errorf("%s: empty reason", tt.name)
+		}
+	}
+}
+
+func TestSuggestSettings(t *testing.T) {
+	labels := map[graph.UserID]label.Label{
+		1: label.NotRisky, 2: label.Risky, 3: label.VeryRisky, 4: label.VeryRisky,
+	}
+	sens := Sensitivity{
+		profile.ItemWall:  0.9,
+		profile.ItemPhoto: 0.4,
+		profile.ItemWork:  0.1,
+	}
+	out := SuggestSettings(labels, sens)
+	if len(out) != 3 {
+		t.Fatalf("exposures = %d", len(out))
+	}
+	// Ranked by sensitivity × risky reach: wall first.
+	if out[0].Item != profile.ItemWall {
+		t.Fatalf("top exposure = %s, want wall", out[0].Item)
+	}
+	if out[0].RiskyReach != 3 || out[0].VeryRiskyReach != 2 {
+		t.Fatalf("reach = %d/%d, want 3/2", out[0].RiskyReach, out[0].VeryRiskyReach)
+	}
+	if !strings.Contains(out[0].Suggestion, "friends only") {
+		t.Fatalf("wall suggestion = %q", out[0].Suggestion)
+	}
+	if out[2].Item != profile.ItemWork {
+		t.Fatalf("bottom exposure = %s, want work", out[2].Item)
+	}
+}
+
+func TestSuggestSettingsNoRisk(t *testing.T) {
+	labels := map[graph.UserID]label.Label{1: label.NotRisky}
+	out := SuggestSettings(labels, Sensitivity{profile.ItemWall: 0.9})
+	if out[0].RiskyReach != 0 {
+		t.Fatalf("reach = %d", out[0].RiskyReach)
+	}
+	if out[0].Suggestion != "no change needed" {
+		t.Fatalf("suggestion = %q", out[0].Suggestion)
+	}
+}

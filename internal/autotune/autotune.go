@@ -1,0 +1,164 @@
+// Package autotune mines parameter values from the data instead of
+// fixing them by hand — the direction the paper's conclusion
+// (Section VI) names: "develop techniques to mine from the data most
+// of the values for the parameters on which our learning process
+// relies".
+//
+// Three parameters are tuned:
+//
+//   - α, the network-similarity group count, from the empirical NS
+//     distribution;
+//   - β, Squeezer's new-cluster threshold, from the cluster-size
+//     profile it induces on a sample;
+//   - the Squeezer attribute weights, from the information-gain ratio
+//     of already-collected owner labels (closing the loop with the
+//     paper's Table I analysis).
+package autotune
+
+import (
+	"math"
+	"sort"
+
+	"sightrisk/internal/cluster"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/infogain"
+	"sightrisk/internal/label"
+	"sightrisk/internal/profile"
+)
+
+// SuggestAlpha picks the finest α (from candidates 5, 10, 20, 25) such
+// that every non-empty network-similarity group still holds at least
+// minGroup strangers — fine enough to resolve the NS distribution,
+// coarse enough that no group is too small to learn in. scores are the
+// NS values of the owner's strangers. Defaults to 10 (the paper's
+// setting) when no candidate qualifies or there is no data.
+func SuggestAlpha(scores []float64, minGroup int) int {
+	const fallback = 10
+	if len(scores) == 0 {
+		return fallback
+	}
+	if minGroup < 1 {
+		minGroup = 1
+	}
+	best := 0
+	for _, alpha := range []int{5, 10, 20, 25} {
+		counts := make([]int, alpha)
+		for _, s := range scores {
+			idx := int(math.Floor(s * float64(alpha)))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= alpha {
+				idx = alpha - 1
+			}
+			counts[idx]++
+		}
+		ok := true
+		for _, c := range counts {
+			if c > 0 && c < minGroup {
+				ok = false
+				break
+			}
+		}
+		if ok && alpha > best {
+			best = alpha
+		}
+	}
+	if best == 0 {
+		return fallback
+	}
+	return best
+}
+
+// SuggestBeta searches β ∈ {0.1 … 0.9} for the smallest threshold
+// whose Squeezer run on the sample produces clusters with a median
+// size of at least minMedian — the paper's concern that "increasing β
+// could result in too many profile based clusters each of which with
+// few strangers". Returns the paper's 0.4 when no threshold qualifies.
+func SuggestBeta(store *profile.Store, sample []graph.UserID, cfg cluster.SqueezerConfig, minMedian int) (float64, error) {
+	const fallback = 0.4
+	if len(sample) == 0 {
+		return fallback, nil
+	}
+	if minMedian < 1 {
+		minMedian = 1
+	}
+	best := -1.0
+	for beta := 0.9; beta >= 0.1-1e-9; beta -= 0.1 {
+		c := cfg
+		c.Beta = beta
+		clusters, err := cluster.Squeezer(store, sample, c)
+		if err != nil {
+			return 0, err
+		}
+		sizes := make([]int, len(clusters))
+		for i, cl := range clusters {
+			sizes[i] = len(cl)
+		}
+		sort.Ints(sizes)
+		median := sizes[len(sizes)/2]
+		if median >= minMedian {
+			// Largest β (finest clustering) still meeting the bound.
+			best = beta
+			break
+		}
+	}
+	if best < 0 {
+		return fallback, nil
+	}
+	return math.Round(best*10) / 10, nil
+}
+
+// SuggestWeights mines Squeezer attribute weights from collected owner
+// labels: each attribute's weight is its normalized information-gain
+// ratio over the labeled strangers (Definition 6 — exactly the Table I
+// computation, fed back into clustering as the paper's Squeezer
+// discussion suggests). Attributes explaining no label variation get
+// equal residual weight so the clusterer never divides by zero.
+func SuggestWeights(store *profile.Store, labels map[graph.UserID]label.Label, attrs []profile.Attribute) map[profile.Attribute]float64 {
+	if len(attrs) == 0 {
+		attrs = profile.ClusteringAttributes()
+	}
+	ratios := make(map[string]float64, len(attrs))
+	for _, a := range attrs {
+		var samples []infogain.Sample
+		for u, l := range labels {
+			p := store.Get(u)
+			if p == nil {
+				continue
+			}
+			samples = append(samples, infogain.Sample{Value: p.Attr(a), Class: int(l)})
+		}
+		ratios[string(a)] = infogain.GainRatio(samples)
+	}
+	imp := infogain.Importance(ratios)
+	out := make(map[profile.Attribute]float64, len(attrs))
+	for _, a := range attrs {
+		out[a] = imp[string(a)]
+	}
+	return out
+}
+
+// SuggestTheta proposes system-suggested benefit weights from the
+// population: an item is worth more when it is rarely visible
+// (scarcity pricing — the heterophily reading of benefits). The paper
+// observes (Table III discussion) that "for some benefit items it is
+// better to use system suggested weights" than owner-given ones.
+func SuggestTheta(store *profile.Store, sample []graph.UserID) map[profile.Item]float64 {
+	items := profile.Items()
+	raw := make(map[profile.Item]float64, len(items))
+	total := 0.0
+	for _, item := range items {
+		rate := store.VisibilityRate(sample, item)
+		v := 1 - rate // scarce items are valuable
+		if v < 0.05 {
+			v = 0.05
+		}
+		raw[item] = v
+		total += v
+	}
+	for item := range raw {
+		raw[item] /= total
+	}
+	return raw
+}

@@ -1,0 +1,196 @@
+package autotune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sightrisk/internal/cluster"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/profile"
+)
+
+func TestSuggestAlphaEmpty(t *testing.T) {
+	if got := SuggestAlpha(nil, 10); got != 10 {
+		t.Fatalf("SuggestAlpha(empty) = %d, want paper default 10", got)
+	}
+}
+
+func TestSuggestAlphaFineForDenseData(t *testing.T) {
+	// Plenty of strangers spread over [0, 0.5): the finest candidate
+	// keeping every occupied bucket populated should win.
+	rng := rand.New(rand.NewSource(1))
+	scores := make([]float64, 5000)
+	for i := range scores {
+		scores[i] = rng.Float64() * 0.5
+	}
+	got := SuggestAlpha(scores, 20)
+	if got < 20 {
+		t.Fatalf("SuggestAlpha(dense) = %d, want >= 20", got)
+	}
+}
+
+func TestSuggestAlphaCoarseForSparseData(t *testing.T) {
+	// Eight strangers spread over [0, 0.2): at α = 10 each occupied
+	// decile holds only 4 (< minGroup 6), so only α = 5 qualifies —
+	// its single occupied bucket holds all 8.
+	var scores []float64
+	for i := 0; i < 4; i++ {
+		scores = append(scores, 0.05+float64(i)*0.01) // [0, 0.1)
+		scores = append(scores, 0.15+float64(i)*0.01) // [0.1, 0.2)
+	}
+	got := SuggestAlpha(scores, 6)
+	if got != 5 {
+		t.Fatalf("SuggestAlpha(sparse) = %d, want coarse (5)", got)
+	}
+}
+
+func TestSuggestAlphaOutliersClamped(t *testing.T) {
+	// Scores outside [0,1] must not panic.
+	if got := SuggestAlpha([]float64{-0.5, 1.5, 0.2}, 1); got < 5 {
+		t.Fatalf("SuggestAlpha = %d", got)
+	}
+}
+
+func mkStore(n int, locales int) (*profile.Store, []graph.UserID) {
+	store := profile.NewStore()
+	ids := make([]graph.UserID, n)
+	for i := 0; i < n; i++ {
+		p := profile.NewProfile(graph.UserID(i + 1))
+		if i%2 == 0 {
+			p.SetAttr(profile.AttrGender, "male")
+		} else {
+			p.SetAttr(profile.AttrGender, "female")
+		}
+		p.SetAttr(profile.AttrLocale, string(rune('a'+i%locales)))
+		p.SetAttr(profile.AttrLastName, string(rune('A'+i%17)))
+		p.SetVisible(profile.ItemPhoto, i%10 != 0) // common
+		p.SetVisible(profile.ItemWork, i%10 == 0)  // scarce
+		store.Put(p)
+		ids[i] = p.User
+	}
+	return store, ids
+}
+
+func TestSuggestBeta(t *testing.T) {
+	store, ids := mkStore(200, 3)
+	cfg := cluster.DefaultSqueezerConfig()
+	beta, err := SuggestBeta(store, ids, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta < 0.1 || beta > 0.9 {
+		t.Fatalf("beta = %g out of range", beta)
+	}
+	// The suggested β must actually satisfy the bound it was chosen
+	// for.
+	cfg.Beta = beta
+	clusters, err := cluster.Squeezer(store, ids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := 0
+	for _, c := range clusters {
+		sizes += len(c)
+	}
+	if sizes != len(ids) {
+		t.Fatalf("clusters cover %d of %d", sizes, len(ids))
+	}
+}
+
+func TestSuggestBetaEmptySample(t *testing.T) {
+	store, _ := mkStore(10, 2)
+	beta, err := SuggestBeta(store, nil, cluster.DefaultSqueezerConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta != 0.4 {
+		t.Fatalf("beta = %g, want paper fallback 0.4", beta)
+	}
+}
+
+func TestSuggestBetaImpossibleBound(t *testing.T) {
+	// Median-size bound larger than the sample: fall back to 0.4.
+	store, ids := mkStore(10, 5)
+	beta, err := SuggestBeta(store, ids, cluster.DefaultSqueezerConfig(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta != 0.4 {
+		t.Fatalf("beta = %g, want fallback 0.4", beta)
+	}
+}
+
+func TestSuggestWeightsFindsInformativeAttribute(t *testing.T) {
+	store, ids := mkStore(300, 3)
+	// Labels determined purely by gender.
+	labels := map[graph.UserID]label.Label{}
+	for _, u := range ids {
+		if store.Get(u).Attr(profile.AttrGender) == "male" {
+			labels[u] = label.VeryRisky
+		} else {
+			labels[u] = label.NotRisky
+		}
+	}
+	w := SuggestWeights(store, labels, nil)
+	if len(w) != 3 {
+		t.Fatalf("weights = %v", w)
+	}
+	if w[profile.AttrGender] < 0.8 {
+		t.Fatalf("gender weight = %g, want dominant", w[profile.AttrGender])
+	}
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %g", sum)
+	}
+}
+
+func TestSuggestWeightsUninformativeLabels(t *testing.T) {
+	store, ids := mkStore(50, 2)
+	labels := map[graph.UserID]label.Label{}
+	for _, u := range ids {
+		labels[u] = label.Risky // constant: nothing to explain
+	}
+	w := SuggestWeights(store, labels, nil)
+	for a, v := range w {
+		if math.Abs(v-1.0/3) > 1e-9 {
+			t.Fatalf("weight[%s] = %g, want uniform fallback", a, v)
+		}
+	}
+}
+
+func TestSuggestWeightsSkipsMissingProfiles(t *testing.T) {
+	store, ids := mkStore(20, 2)
+	labels := map[graph.UserID]label.Label{9999: label.Risky} // no profile
+	for _, u := range ids[:5] {
+		labels[u] = label.Risky
+	}
+	w := SuggestWeights(store, labels, nil)
+	if len(w) != 3 {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestSuggestThetaScarcityPricing(t *testing.T) {
+	store, ids := mkStore(200, 2)
+	theta := SuggestTheta(store, ids)
+	if len(theta) != 7 {
+		t.Fatalf("theta items = %d", len(theta))
+	}
+	sum := 0.0
+	for _, v := range theta {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("theta sums to %g", sum)
+	}
+	// Work is scarce (10% visible) and photo common (90%): scarcity
+	// pricing must weight work above photo.
+	if theta[profile.ItemWork] <= theta[profile.ItemPhoto] {
+		t.Fatalf("work %g not above photo %g", theta[profile.ItemWork], theta[profile.ItemPhoto])
+	}
+}

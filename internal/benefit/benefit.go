@@ -1,0 +1,135 @@
+// Package benefit implements the paper's benefit measure (Section II):
+//
+//	B(o,s) = (1/|M|) · Σ_{i∈M} θᵢ · Vₛ(i,o)
+//
+// where M is the set of benefit items on the stranger's profile, θᵢ is
+// the importance the owner assigns to being able to see item i, and
+// Vₛ(i,o) is 1 when item i is visible to the owner and 0 otherwise.
+package benefit
+
+import (
+	"fmt"
+	"sort"
+
+	"sightrisk/internal/profile"
+)
+
+// Theta is an owner's importance-coefficient vector over benefit
+// items. Coefficients live in [0,1]; the paper's measured means sum to
+// ≈1 across the seven items (Table III) but no normalization is
+// required by the measure itself.
+type Theta map[profile.Item]float64
+
+// PaperTheta returns the average owner-given θ weights of the paper's
+// Table III. Useful as "system suggested weights" (the paper notes
+// that for some items system-suggested weights beat owner-given ones).
+func PaperTheta() Theta {
+	return Theta{
+		profile.ItemHometown: 0.155,
+		profile.ItemFriend:   0.149,
+		profile.ItemPhoto:    0.147,
+		profile.ItemLocation: 0.143,
+		profile.ItemEdu:      0.1393,
+		profile.ItemWall:     0.1328,
+		profile.ItemWork:     0.1321,
+	}
+}
+
+// UniformTheta returns equal weights 1/|items| over all benefit items.
+func UniformTheta() Theta {
+	items := profile.Items()
+	t := make(Theta, len(items))
+	for _, i := range items {
+		t[i] = 1 / float64(len(items))
+	}
+	return t
+}
+
+// Validate checks that every coefficient is in [0,1] and that at least
+// one item has a positive weight.
+func (t Theta) Validate() error {
+	positive := false
+	for item, v := range t {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("benefit: theta[%s] = %g outside [0,1]", item, v)
+		}
+		if v > 0 {
+			positive = true
+		}
+	}
+	if !positive {
+		return fmt.Errorf("benefit: theta has no positive coefficient")
+	}
+	return nil
+}
+
+// Normalized returns a copy scaled so coefficients sum to 1 (unchanged
+// when the sum is 0).
+func (t Theta) Normalized() Theta {
+	sum := 0.0
+	for _, v := range t {
+		sum += v
+	}
+	out := make(Theta, len(t))
+	for k, v := range t {
+		if sum > 0 {
+			out[k] = v / sum
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Items returns the items carrying a coefficient, sorted by descending
+// weight (ties by name) — the presentation order of Table III.
+func (t Theta) Items() []profile.Item {
+	out := make([]profile.Item, 0, len(t))
+	for i := range t {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if t[out[a]] != t[out[b]] {
+			return t[out[a]] > t[out[b]]
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// Score returns B(o,s) for the stranger's profile under the owner's θ
+// vector: the θ-weighted visibility averaged over the stranger's
+// benefit items. A nil profile or empty θ yields 0.
+func Score(theta Theta, stranger *profile.Profile) float64 {
+	if stranger == nil || len(theta) == 0 {
+		return 0
+	}
+	// M is the set of benefit items present on the stranger's profile;
+	// in this model every profile carries all seven items.
+	items := profile.Items()
+	sum := 0.0
+	for _, i := range items {
+		if stranger.IsVisible(i) {
+			sum += theta[i]
+		}
+	}
+	return sum / float64(len(items))
+}
+
+// Percent returns the benefit as the 0-100 "y/100" figure shown to
+// owners in the paper's labeling question, normalizing by the maximum
+// attainable benefit (all items visible) so a fully open profile
+// scores 100.
+func Percent(theta Theta, stranger *profile.Profile) float64 {
+	if stranger == nil || len(theta) == 0 {
+		return 0
+	}
+	max := 0.0
+	for _, i := range profile.Items() {
+		max += theta[i]
+	}
+	if max == 0 {
+		return 0
+	}
+	return 100 * Score(theta, stranger) * float64(len(profile.Items())) / max
+}

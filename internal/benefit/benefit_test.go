@@ -1,0 +1,159 @@
+package benefit
+
+import (
+	"math"
+	"testing"
+
+	"sightrisk/internal/profile"
+)
+
+func openProfile(items ...profile.Item) *profile.Profile {
+	p := profile.NewProfile(1)
+	for _, i := range items {
+		p.SetVisible(i, true)
+	}
+	return p
+}
+
+func TestScoreFormula(t *testing.T) {
+	// B(o,s) = (1/|M|) Σ θi · Vs(i,o) with |M| = 7 items.
+	theta := Theta{profile.ItemPhoto: 0.5, profile.ItemWall: 0.3}
+	p := openProfile(profile.ItemPhoto) // only photo visible
+	if got, want := Score(theta, p), 0.5/7; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Score = %g, want %g", got, want)
+	}
+	p.SetVisible(profile.ItemWall, true)
+	if got, want := Score(theta, p), 0.8/7; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Score = %g, want %g", got, want)
+	}
+}
+
+func TestScoreInvisibleItemsContributeNothing(t *testing.T) {
+	theta := UniformTheta()
+	if got := Score(theta, openProfile()); got != 0 {
+		t.Fatalf("Score of fully hidden profile = %g, want 0", got)
+	}
+}
+
+func TestScoreNilInputs(t *testing.T) {
+	if Score(nil, openProfile(profile.ItemPhoto)) != 0 {
+		t.Fatal("nil theta should score 0")
+	}
+	if Score(UniformTheta(), nil) != 0 {
+		t.Fatal("nil profile should score 0")
+	}
+}
+
+func TestScoreMonotoneInVisibility(t *testing.T) {
+	theta := PaperTheta()
+	p := openProfile()
+	prev := Score(theta, p)
+	for _, item := range profile.Items() {
+		p.SetVisible(item, true)
+		cur := Score(theta, p)
+		if cur <= prev {
+			t.Fatalf("revealing %s did not increase benefit (%g -> %g)", item, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestPercent(t *testing.T) {
+	theta := UniformTheta()
+	all := openProfile(profile.Items()...)
+	if got := Percent(theta, all); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("Percent of fully open profile = %g, want 100", got)
+	}
+	none := openProfile()
+	if got := Percent(theta, none); got != 0 {
+		t.Fatalf("Percent of hidden profile = %g, want 0", got)
+	}
+	if got := Percent(nil, all); got != 0 {
+		t.Fatalf("Percent with nil theta = %g, want 0", got)
+	}
+	if got := Percent(Theta{profile.ItemPhoto: 0}, all); got != 0 {
+		t.Fatalf("Percent with zero theta = %g, want 0", got)
+	}
+}
+
+func TestThetaValidate(t *testing.T) {
+	if err := (Theta{profile.ItemPhoto: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid theta rejected: %v", err)
+	}
+	if err := (Theta{profile.ItemPhoto: -0.1}).Validate(); err == nil {
+		t.Fatal("negative coefficient accepted")
+	}
+	if err := (Theta{profile.ItemPhoto: 1.2}).Validate(); err == nil {
+		t.Fatal("coefficient > 1 accepted")
+	}
+	if err := (Theta{profile.ItemPhoto: 0}).Validate(); err == nil {
+		t.Fatal("all-zero theta accepted")
+	}
+	if err := (Theta{}).Validate(); err == nil {
+		t.Fatal("empty theta accepted")
+	}
+}
+
+func TestThetaNormalized(t *testing.T) {
+	th := Theta{profile.ItemPhoto: 2, profile.ItemWall: 2}
+	n := th.Normalized()
+	if n[profile.ItemPhoto] != 0.5 || n[profile.ItemWall] != 0.5 {
+		t.Fatalf("normalized = %v", n)
+	}
+	// Original untouched.
+	if th[profile.ItemPhoto] != 2 {
+		t.Fatal("Normalized mutated receiver")
+	}
+	// Zero-sum theta returned unchanged.
+	z := Theta{profile.ItemPhoto: 0}.Normalized()
+	if z[profile.ItemPhoto] != 0 {
+		t.Fatalf("zero-sum normalized = %v", z)
+	}
+}
+
+func TestThetaItemsOrder(t *testing.T) {
+	th := Theta{
+		profile.ItemWall:  0.1,
+		profile.ItemPhoto: 0.9,
+		profile.ItemWork:  0.5,
+	}
+	items := th.Items()
+	want := []profile.Item{profile.ItemPhoto, profile.ItemWork, profile.ItemWall}
+	for i := range want {
+		if items[i] != want[i] {
+			t.Fatalf("Items = %v, want %v", items, want)
+		}
+	}
+}
+
+func TestPaperTheta(t *testing.T) {
+	th := PaperTheta()
+	if len(th) != 7 {
+		t.Fatalf("paper theta has %d items, want 7", len(th))
+	}
+	if err := th.Validate(); err != nil {
+		t.Fatalf("paper theta invalid: %v", err)
+	}
+	// Table III order: hometown first, work last.
+	items := th.Items()
+	if items[0] != profile.ItemHometown {
+		t.Fatalf("top item = %s, want hometown", items[0])
+	}
+	if items[6] != profile.ItemWork {
+		t.Fatalf("bottom item = %s, want work", items[6])
+	}
+}
+
+func TestUniformTheta(t *testing.T) {
+	th := UniformTheta()
+	if len(th) != 7 {
+		t.Fatalf("uniform theta has %d items", len(th))
+	}
+	sum := 0.0
+	for _, v := range th {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("uniform theta sums to %g", sum)
+	}
+}

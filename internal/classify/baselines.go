@@ -1,0 +1,135 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"sightrisk/internal/label"
+)
+
+// Majority predicts the most frequent labeled class for every
+// unlabeled item, ignoring the graph entirely. It is the weakest
+// sensible baseline: any informative classifier must beat it.
+type Majority struct{}
+
+// Name implements Classifier.
+func (Majority) Name() string { return "majority" }
+
+// Predict implements Classifier.
+func (Majority) Predict(weights [][]float64, labeled map[int]label.Label) ([]Prediction, error) {
+	n := len(weights)
+	if len(labeled) == 0 {
+		return nil, fmt.Errorf("classify: majority needs at least one labeled item")
+	}
+	var counts [3]int
+	for _, l := range labeled {
+		counts[int(l)-1]++
+	}
+	maj := label.NotRisky
+	best := -1
+	for c := 0; c < 3; c++ {
+		// >= breaks ties toward the riskier label, like Harmonic.
+		if counts[c] >= best {
+			best = counts[c]
+			maj = label.Label(c + 1)
+		}
+	}
+	total := float64(len(labeled))
+	var scores [3]float64
+	for c := 0; c < 3; c++ {
+		scores[c] = float64(counts[c]) / total
+	}
+	expected := scores[0]*1 + scores[1]*2 + scores[2]*3
+
+	out := make([]Prediction, n)
+	for i := range out {
+		if l, ok := labeled[i]; ok {
+			out[i] = Prediction{Label: l, Scores: oneHot(l), Expected: float64(l)}
+			continue
+		}
+		out[i] = Prediction{Label: maj, Scores: scores, Expected: expected}
+	}
+	return out, nil
+}
+
+// KNN predicts by weighted vote of the K most similar labeled items
+// (by the pool's weight matrix). With fewer than K labeled items all
+// of them vote.
+type KNN struct {
+	K int
+}
+
+// NewKNN returns a weighted kNN baseline with the given K (values < 1
+// are treated as 3).
+func NewKNN(k int) *KNN {
+	if k < 1 {
+		k = 3
+	}
+	return &KNN{K: k}
+}
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return fmt.Sprintf("knn%d", k.K) }
+
+// Predict implements Classifier.
+func (k *KNN) Predict(weights [][]float64, labeled map[int]label.Label) ([]Prediction, error) {
+	n := len(weights)
+	if len(labeled) == 0 {
+		return nil, fmt.Errorf("classify: knn needs at least one labeled item")
+	}
+	type neighbor struct {
+		idx int
+		w   float64
+	}
+	labeledIdx := make([]int, 0, len(labeled))
+	for idx := range labeled {
+		labeledIdx = append(labeledIdx, idx)
+	}
+	sort.Ints(labeledIdx)
+
+	out := make([]Prediction, n)
+	for i := 0; i < n; i++ {
+		if l, ok := labeled[i]; ok {
+			out[i] = Prediction{Label: l, Scores: oneHot(l), Expected: float64(l)}
+			continue
+		}
+		neigh := make([]neighbor, 0, len(labeledIdx))
+		for _, j := range labeledIdx {
+			neigh = append(neigh, neighbor{idx: j, w: weights[i][j]})
+		}
+		sort.Slice(neigh, func(a, b int) bool {
+			if neigh[a].w != neigh[b].w {
+				return neigh[a].w > neigh[b].w
+			}
+			return neigh[a].idx < neigh[b].idx
+		})
+		if len(neigh) > k.K {
+			neigh = neigh[:k.K]
+		}
+		var scores [3]float64
+		total := 0.0
+		for _, nb := range neigh {
+			w := nb.w
+			if w <= 0 {
+				w = 1e-9 // keep zero-similarity neighbors from dividing by zero
+			}
+			scores[int(labeled[nb.idx])-1] += w
+			total += w
+		}
+		for c := 0; c < 3; c++ {
+			scores[c] /= total
+		}
+		out[i] = Prediction{
+			Label:    argmaxLabel(scores),
+			Scores:   scores,
+			Expected: scores[0]*1 + scores[1]*2 + scores[2]*3,
+		}
+	}
+	return out, nil
+}
+
+func oneHot(l label.Label) [3]float64 {
+	var s [3]float64
+	s[int(l)-1] = 1
+	return s
+}

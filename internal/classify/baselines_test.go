@@ -1,0 +1,149 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"sightrisk/internal/label"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestMajorityPredictsMode(t *testing.T) {
+	w := blockMatrix(3, 3, 0.5, 0.5)
+	labeled := map[int]label.Label{
+		0: label.NotRisky, 1: label.NotRisky, 2: label.VeryRisky,
+	}
+	preds, err := Majority{}.Predict(w, labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 6; i++ {
+		if preds[i].Label != label.NotRisky {
+			t.Fatalf("node %d = %v, want majority not-risky", i, preds[i].Label)
+		}
+	}
+	// Labeled nodes echo their labels.
+	if preds[2].Label != label.VeryRisky {
+		t.Fatalf("labeled node = %v", preds[2].Label)
+	}
+}
+
+func TestMajorityTieBreaksRisky(t *testing.T) {
+	w := blockMatrix(2, 2, 0.5, 0.5)
+	labeled := map[int]label.Label{0: label.NotRisky, 1: label.VeryRisky}
+	preds, err := Majority{}.Predict(w, labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[2].Label != label.VeryRisky {
+		t.Fatalf("tie resolved to %v, want very risky", preds[2].Label)
+	}
+}
+
+func TestMajorityNoLabels(t *testing.T) {
+	if _, err := (Majority{}).Predict(blockMatrix(2, 2, 0.5, 0.5), nil); err == nil {
+		t.Fatal("majority accepted empty label set")
+	}
+}
+
+func TestMajorityName(t *testing.T) {
+	if (Majority{}).Name() != "majority" {
+		t.Fatal("majority name wrong")
+	}
+}
+
+func TestKNNPredictsByNearest(t *testing.T) {
+	// Node 3 is close to the not-risky pair, node 4 to the very-risky
+	// pair.
+	w := [][]float64{
+		{0, 0.9, 0.1, 0.9, 0.1},
+		{0.9, 0, 0.1, 0.9, 0.1},
+		{0.1, 0.1, 0, 0.1, 0.9},
+		{0.9, 0.9, 0.1, 0, 0.1},
+		{0.1, 0.1, 0.9, 0.1, 0},
+	}
+	labeled := map[int]label.Label{0: label.NotRisky, 1: label.NotRisky, 2: label.VeryRisky}
+	preds, err := NewKNN(2).Predict(w, labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[3].Label != label.NotRisky {
+		t.Fatalf("node 3 = %v, want not risky", preds[3].Label)
+	}
+	if preds[4].Label != label.VeryRisky {
+		t.Fatalf("node 4 = %v, want very risky", preds[4].Label)
+	}
+}
+
+func TestKNNFewerLabeledThanK(t *testing.T) {
+	w := blockMatrix(2, 2, 0.5, 0.5)
+	labeled := map[int]label.Label{0: label.Risky}
+	preds, err := NewKNN(10).Predict(w, labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if preds[i].Label != label.Risky {
+			t.Fatalf("node %d = %v, want risky", i, preds[i].Label)
+		}
+	}
+}
+
+func TestKNNZeroSimilarityNeighbors(t *testing.T) {
+	// All-zero weights: kNN must not divide by zero and still predict.
+	w := [][]float64{{0, 0}, {0, 0}}
+	labeled := map[int]label.Label{0: label.Risky}
+	preds, err := NewKNN(3).Predict(w, labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[1].Label != label.Risky {
+		t.Fatalf("node 1 = %v, want risky", preds[1].Label)
+	}
+}
+
+func TestKNNNoLabels(t *testing.T) {
+	if _, err := NewKNN(3).Predict(blockMatrix(2, 2, 0.5, 0.5), nil); err == nil {
+		t.Fatal("knn accepted empty label set")
+	}
+}
+
+func TestKNNKClamp(t *testing.T) {
+	if NewKNN(0).K != 3 || NewKNN(-5).K != 3 {
+		t.Fatal("non-positive K not clamped to 3")
+	}
+	if NewKNN(7).K != 7 {
+		t.Fatal("valid K altered")
+	}
+	if NewKNN(7).Name() != "knn7" {
+		t.Fatalf("name = %q", NewKNN(7).Name())
+	}
+}
+
+func TestClassifiersAgreeOnSeparableData(t *testing.T) {
+	// Clean two-clique structure with labels in both cliques: all
+	// three classifiers should produce the same labeling.
+	w := blockMatrix(6, 6, 0.9, 0.02)
+	labeled := map[int]label.Label{
+		0: label.NotRisky, 1: label.NotRisky,
+		6: label.VeryRisky, 7: label.VeryRisky,
+	}
+	classifiers := []Classifier{NewHarmonic(), NewKNN(2)}
+	for _, c := range classifiers {
+		preds, err := c.Predict(w, labeled)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for i := 2; i < 6; i++ {
+			if preds[i].Label != label.NotRisky {
+				t.Fatalf("%s node %d = %v, want not risky", c.Name(), i, preds[i].Label)
+			}
+		}
+		for i := 8; i < 12; i++ {
+			if preds[i].Label != label.VeryRisky {
+				t.Fatalf("%s node %d = %v, want very risky", c.Name(), i, preds[i].Label)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+// SqueezerConfig parameterizes the Squeezer run: the categorical
+// attributes to cluster on, their weights (Definition 2's wᵢ), and the
+// similarity threshold β below which a stranger opens a new cluster.
+type SqueezerConfig struct {
+	Attributes []profile.Attribute
+	// Weights maps each attribute to its wᵢ. A nil map means equal
+	// weights; a non-nil map is authoritative and attributes missing
+	// from it get weight 0. Weights are normalized to sum to 1 so that
+	// Sim(s,c) ∈ [0,1].
+	Weights map[profile.Attribute]float64
+	// Beta is the new-cluster threshold (the paper uses β = 0.4).
+	Beta float64
+}
+
+// DefaultSqueezerConfig returns the paper's setting: the three
+// clustering attributes with equal weights and β = 0.4. With equal
+// weights, joining an existing cluster effectively requires matching
+// the cluster's dominant gender and locale (2/3 ≥ β) — last-name
+// support adds a weak kinship pull — which yields the homogeneous
+// pools the classifier needs. The paper's remark that per-item weights
+// can encode attribute relevance is exposed via the Weights field
+// (see the riskbench Squeezer-weight ablation).
+func DefaultSqueezerConfig() SqueezerConfig {
+	return SqueezerConfig{
+		Attributes: profile.ClusteringAttributes(),
+		Beta:       0.4,
+	}
+}
+
+func (c SqueezerConfig) normalizedWeights() []float64 {
+	w := make([]float64, len(c.Attributes))
+	total := 0.0
+	for i, a := range c.Attributes {
+		v := 1.0
+		if c.Weights != nil {
+			v = c.Weights[a] // authoritative: missing attributes get 0
+		}
+		if v < 0 {
+			v = 0
+		}
+		w[i] = v
+		total += v
+	}
+	if total == 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// squeezerCluster is one in-progress cluster: its members plus, per
+// attribute, the support (member count) of every value — exactly what
+// Definition 2's Sup() needs, maintained incrementally so the
+// algorithm stays one-pass.
+type squeezerCluster struct {
+	members []graph.UserID
+	support []map[string]int // indexed like config.Attributes
+}
+
+func newSqueezerCluster(nAttrs int) *squeezerCluster {
+	c := &squeezerCluster{support: make([]map[string]int, nAttrs)}
+	for i := range c.support {
+		c.support[i] = make(map[string]int)
+	}
+	return c
+}
+
+func (c *squeezerCluster) add(u graph.UserID, values []string) {
+	c.members = append(c.members, u)
+	for i, v := range values {
+		c.support[i][v]++
+	}
+}
+
+// sim is Definition 2: Sim(s,c) = Σᵢ wᵢ · Sup(s.paᵢ) / Σ_{x∈VAL_i(c)} Sup(x).
+// The denominator equals |c| (every member contributes one value per
+// attribute), so the per-attribute term is the fraction of cluster
+// members sharing s's value.
+func (c *squeezerCluster) sim(values []string, weights []float64) float64 {
+	n := float64(len(c.members))
+	if n == 0 {
+		return 0
+	}
+	total := 0.0
+	for i, v := range values {
+		total += weights[i] * float64(c.support[i][v]) / n
+	}
+	return total
+}
+
+// Squeezer runs the adapted Squeezer algorithm (He, Xu, Deng 2002;
+// Section III-B of the risk paper) over the strangers of one network
+// similarity group: the first stranger opens a cluster; each following
+// stranger joins the most similar cluster per Definition 2, or opens a
+// new cluster when the best similarity falls below β. The pass is
+// strictly one-shot and processes strangers in the given order.
+//
+// Strangers without a stored profile are placed in their own singleton
+// clusters (they carry no categorical signal to group on).
+func Squeezer(store *profile.Store, strangers []graph.UserID, cfg SqueezerConfig) ([][]graph.UserID, error) {
+	if len(cfg.Attributes) == 0 {
+		return nil, fmt.Errorf("cluster: squeezer needs at least one attribute")
+	}
+	if cfg.Beta < 0 || cfg.Beta > 1 {
+		return nil, fmt.Errorf("cluster: beta must be in [0,1], got %g", cfg.Beta)
+	}
+	weights := cfg.normalizedWeights()
+
+	var clusters []*squeezerCluster
+	var orphans [][]graph.UserID
+	values := make([]string, len(cfg.Attributes))
+
+	for _, s := range strangers {
+		p := store.Get(s)
+		if p == nil {
+			orphans = append(orphans, []graph.UserID{s})
+			continue
+		}
+		for i, a := range cfg.Attributes {
+			values[i] = p.Attr(a)
+		}
+		best, bestSim := -1, -1.0
+		for i, c := range clusters {
+			if sim := c.sim(values, weights); sim > bestSim {
+				best, bestSim = i, sim
+			}
+		}
+		if best < 0 || bestSim < cfg.Beta {
+			c := newSqueezerCluster(len(cfg.Attributes))
+			c.add(s, values)
+			clusters = append(clusters, c)
+			continue
+		}
+		clusters[best].add(s, values)
+	}
+
+	out := make([][]graph.UserID, 0, len(clusters)+len(orphans))
+	for _, c := range clusters {
+		out = append(out, c.members)
+	}
+	out = append(out, orphans...)
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+func mkProfile(u graph.UserID, gender, locale, last string) *profile.Profile {
+	p := profile.NewProfile(u)
+	p.SetAttr(profile.AttrGender, gender)
+	p.SetAttr(profile.AttrLocale, locale)
+	p.SetAttr(profile.AttrLastName, last)
+	return p
+}
+
+func storeOf(profiles ...*profile.Profile) (*profile.Store, []graph.UserID) {
+	s := profile.NewStore()
+	var ids []graph.UserID
+	for _, p := range profiles {
+		s.Put(p)
+		ids = append(ids, p.User)
+	}
+	return s, ids
+}
+
+func TestSqueezerValidation(t *testing.T) {
+	store, ids := storeOf(mkProfile(1, "m", "us", "a"))
+	if _, err := Squeezer(store, ids, SqueezerConfig{Beta: 0.4}); err == nil {
+		t.Fatal("no attributes accepted")
+	}
+	cfg := DefaultSqueezerConfig()
+	cfg.Beta = 1.5
+	if _, err := Squeezer(store, ids, cfg); err == nil {
+		t.Fatal("beta > 1 accepted")
+	}
+	cfg.Beta = -0.1
+	if _, err := Squeezer(store, ids, cfg); err == nil {
+		t.Fatal("beta < 0 accepted")
+	}
+}
+
+func TestSqueezerIdenticalJoinOneCluster(t *testing.T) {
+	var profiles []*profile.Profile
+	for i := 0; i < 5; i++ {
+		profiles = append(profiles, mkProfile(graph.UserID(i), "male", "en_US", "Smith-1"))
+	}
+	store, ids := storeOf(profiles...)
+	clusters, err := Squeezer(store, ids, DefaultSqueezerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || len(clusters[0]) != 5 {
+		t.Fatalf("clusters = %v, want one cluster of 5", clusters)
+	}
+}
+
+func TestSqueezerBetaOneSingletons(t *testing.T) {
+	// With β = 1, only perfect matches join. Distinct last names keep
+	// everyone apart.
+	store, ids := storeOf(
+		mkProfile(1, "male", "en_US", "A-1"),
+		mkProfile(2, "male", "en_US", "B-2"),
+		mkProfile(3, "male", "en_US", "C-3"),
+	)
+	cfg := DefaultSqueezerConfig()
+	cfg.Beta = 1
+	clusters, err := Squeezer(store, ids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3 singletons", len(clusters))
+	}
+}
+
+func TestSqueezerBetaZeroOneCluster(t *testing.T) {
+	store, ids := storeOf(
+		mkProfile(1, "male", "en_US", "A-1"),
+		mkProfile(2, "female", "it_IT", "B-2"),
+		mkProfile(3, "male", "tr_TR", "C-3"),
+	)
+	cfg := DefaultSqueezerConfig()
+	cfg.Beta = 0
+	clusters, err := Squeezer(store, ids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || len(clusters[0]) != 3 {
+		t.Fatalf("clusters = %v, want one cluster of 3", clusters)
+	}
+}
+
+func TestSqueezerDefinition2Math(t *testing.T) {
+	// Equal weights 1/3 each, β = 0.4. Walk the one-pass algorithm:
+	//   1 (male,en_US,A-1)   seeds cluster c1
+	//   2 (male,en_US,B-2)   sim(c1) = (1/1 + 1/1 + 0)/3 = 0.667 → joins c1
+	//   3 (male,en_US,C-3)   sim(c1) = (2/2 + 2/2 + 0)/3 = 0.667 → joins c1
+	//   4 (female,en_US,D-4) sim(c1) = (0/3 + 3/3 + 0)/3 = 0.333 < β → seeds c2
+	//   5 (male,en_US,E-5)   sim(c1) = 0.667, sim(c2) = 0.333 → joins c1
+	//   6 (female,it_IT,F-6) sim(c1) = 0, sim(c2) = (1+0+0)/3 = 0.333 < β → seeds c3
+	store, ids := storeOf(
+		mkProfile(1, "male", "en_US", "A-1"),
+		mkProfile(2, "male", "en_US", "B-2"),
+		mkProfile(3, "male", "en_US", "C-3"),
+		mkProfile(4, "female", "en_US", "D-4"),
+		mkProfile(5, "male", "en_US", "E-5"),
+		mkProfile(6, "female", "it_IT", "F-6"),
+	)
+	clusters, err := Squeezer(store, ids, DefaultSqueezerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3 (%v)", len(clusters), clusters)
+	}
+	if got := clusters[0]; len(got) != 4 || got[0] != 1 || got[3] != 5 {
+		t.Fatalf("first cluster = %v, want [1 2 3 5]", got)
+	}
+	if len(clusters[1]) != 1 || clusters[1][0] != 4 {
+		t.Fatalf("second cluster = %v, want [4]", clusters[1])
+	}
+	if len(clusters[2]) != 1 || clusters[2][0] != 6 {
+		t.Fatalf("third cluster = %v, want [6]", clusters[2])
+	}
+}
+
+func TestSqueezerOnePass(t *testing.T) {
+	// Order dependence is inherent to Squeezer's one-pass design: a
+	// borderline stranger processed first seeds its own cluster.
+	// Verify the pass processes in the given order by checking the
+	// first stranger always lands in the first cluster.
+	store, _ := storeOf(
+		mkProfile(1, "male", "en_US", "A-1"),
+		mkProfile(2, "female", "it_IT", "B-2"),
+	)
+	clusters, err := Squeezer(store, []graph.UserID{2, 1}, DefaultSqueezerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusters[0][0] != 2 {
+		t.Fatalf("first cluster seeded by %d, want 2", clusters[0][0])
+	}
+}
+
+func TestSqueezerWeights(t *testing.T) {
+	// With all weight on gender, locale differences cannot prevent
+	// joining.
+	store, ids := storeOf(
+		mkProfile(1, "male", "en_US", "A-1"),
+		mkProfile(2, "male", "it_IT", "B-2"),
+		mkProfile(3, "male", "tr_TR", "C-3"),
+	)
+	cfg := SqueezerConfig{
+		Attributes: profile.ClusteringAttributes(),
+		Weights:    map[profile.Attribute]float64{profile.AttrGender: 1},
+		Beta:       0.9,
+	}
+	clusters, err := Squeezer(store, ids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1 with gender-only weights", len(clusters))
+	}
+}
+
+func TestSqueezerNegativeWeightClamped(t *testing.T) {
+	store, ids := storeOf(
+		mkProfile(1, "male", "en_US", "A-1"),
+		mkProfile(2, "male", "en_US", "A-1"),
+	)
+	cfg := SqueezerConfig{
+		Attributes: profile.ClusteringAttributes(),
+		Weights: map[profile.Attribute]float64{
+			profile.AttrGender:   -5, // clamped to 0
+			profile.AttrLocale:   1,
+			profile.AttrLastName: 1,
+		},
+		Beta: 0.9,
+	}
+	clusters, err := Squeezer(store, ids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(clusters))
+	}
+}
+
+func TestSqueezerAllZeroWeightsFallBackToUniform(t *testing.T) {
+	store, ids := storeOf(
+		mkProfile(1, "male", "en_US", "A-1"),
+		mkProfile(2, "male", "en_US", "A-1"),
+	)
+	cfg := SqueezerConfig{
+		Attributes: profile.ClusteringAttributes(),
+		Weights:    map[profile.Attribute]float64{profile.AttrGender: 0, profile.AttrLocale: 0, profile.AttrLastName: 0},
+		Beta:       0.5,
+	}
+	clusters, err := Squeezer(store, ids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1 (uniform fallback)", len(clusters))
+	}
+}
+
+func TestSqueezerMissingProfilesBecomeSingletons(t *testing.T) {
+	store, _ := storeOf(mkProfile(1, "male", "en_US", "A-1"))
+	clusters, err := Squeezer(store, []graph.UserID{1, 99, 98}, DefaultSqueezerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3 (1 real + 2 orphans)", len(clusters))
+	}
+	total := 0
+	for _, c := range clusters {
+		total += len(c)
+	}
+	if total != 3 {
+		t.Fatalf("total members %d, want 3", total)
+	}
+}
+
+func TestSqueezerEmptyInput(t *testing.T) {
+	store, _ := storeOf()
+	clusters, err := Squeezer(store, nil, DefaultSqueezerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 0 {
+		t.Fatalf("clusters = %v, want none", clusters)
+	}
+}

@@ -1,0 +1,227 @@
+// Package core orchestrates the full risk-estimation pipeline of the
+// paper for one owner: stranger enumeration → network similarity
+// groups → profile clustering → per-pool active-learning sessions →
+// aggregated risk report. It is the internal engine behind the public
+// sight package and the experiments harness.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sightrisk/internal/active"
+	"sightrisk/internal/cluster"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/profile"
+	"sightrisk/internal/similarity"
+	"sightrisk/internal/stats"
+)
+
+// Config parameterizes an engine run.
+type Config struct {
+	// Pool controls NSG/Squeezer pool construction (paper: α = 10,
+	// β = 0.4, NPP strategy).
+	Pool cluster.PoolConfig
+	// Learn controls the per-pool active-learning sessions. The
+	// Confidence field may be overridden per owner via RunOwner's
+	// confidence argument (pass NaN to keep Learn.Confidence).
+	Learn active.Config
+	// PSAttributes are the attributes the classifier's edge weights
+	// are computed over; empty means the paper's clustering
+	// attributes.
+	PSAttributes []profile.Attribute
+	// Progress, when non-nil, is invoked after each pool's session
+	// completes with the number of pools finished, the total pool
+	// count, and the owner labels collected so far. Useful for
+	// interactive frontends (sessions can take a while on big
+	// neighborhoods).
+	Progress func(poolsDone, poolsTotal, labelsSoFar int)
+	// WeightExponent sharpens classifier edge weights: w = PS^exp.
+	// Zhu et al. use a rapidly decaying RBF kernel over Euclidean
+	// distance; raising the categorical PS to a power plays the same
+	// role, letting same-attribute neighbors dominate label
+	// propagation. 0 means the default of 4; 1 uses raw PS.
+	WeightExponent float64
+	// Seed drives the sampling RNGs (one derived stream per pool).
+	Seed int64
+}
+
+// DefaultConfig returns the paper's experimental configuration.
+func DefaultConfig() Config {
+	return Config{
+		Pool:  cluster.DefaultPoolConfig(),
+		Learn: active.DefaultConfig(),
+		Seed:  1,
+	}
+}
+
+// PoolRun is the outcome of one pool's learning session.
+type PoolRun struct {
+	Pool   cluster.Pool
+	Result *active.Result
+}
+
+// OwnerRun is the outcome of the full pipeline for one owner.
+type OwnerRun struct {
+	Owner     graph.UserID
+	Strangers []graph.UserID
+	NSG       *cluster.NSG
+	Pools     []PoolRun
+}
+
+// Labels gathers the final risk label of every stranger across pools.
+func (r *OwnerRun) Labels() map[graph.UserID]label.Label {
+	out := make(map[graph.UserID]label.Label, len(r.Strangers))
+	for _, p := range r.Pools {
+		for u, l := range p.Result.Labels {
+			out[u] = l
+		}
+	}
+	return out
+}
+
+// QueriedCount sums the owner labels collected across pools — the
+// owner effort the paper wants minimized (paper mean: 86 labels for
+// 3,661 strangers).
+func (r *OwnerRun) QueriedCount() int {
+	total := 0
+	for _, p := range r.Pools {
+		total += p.Result.QueriedCount()
+	}
+	return total
+}
+
+// ExactMatchRate returns the fraction of validation comparisons where
+// the previous round's prediction exactly matched the owner label
+// (paper: 83.36%), plus the number of comparisons. NaN with no
+// comparisons.
+func (r *OwnerRun) ExactMatchRate() (rate float64, total int) {
+	matches := 0
+	for _, p := range r.Pools {
+		m, t := p.Result.ExactMatchStats()
+		matches += m
+		total += t
+	}
+	if total == 0 {
+		return math.NaN(), 0
+	}
+	return float64(matches) / float64(total), total
+}
+
+// MeanRoundsToStop averages session length over the owner's
+// non-trivial pools (paper: 3.29 rounds). NaN when every pool was
+// trivial.
+func (r *OwnerRun) MeanRoundsToStop() float64 {
+	var rounds []float64
+	for _, p := range r.Pools {
+		if p.Result.Reason == active.StopTrivial {
+			continue
+		}
+		rounds = append(rounds, float64(p.Result.RoundsToStop()))
+	}
+	return stats.Mean(rounds)
+}
+
+// FinalRMSE averages the last observed validation RMSE over pools that
+// measured one.
+func (r *OwnerRun) FinalRMSE() float64 {
+	var vals []float64
+	for _, p := range r.Pools {
+		for i := len(p.Result.Rounds) - 1; i >= 0; i-- {
+			if !math.IsNaN(p.Result.Rounds[i].RMSE) {
+				vals = append(vals, p.Result.Rounds[i].RMSE)
+				break
+			}
+		}
+	}
+	return stats.MeanIgnoringNaN(vals)
+}
+
+// VeryRiskyShareByNSG returns, per network similarity group (1-based
+// index = slice index + 1), the share of strangers labeled very risky
+// — Figure 7's series. Groups without strangers yield NaN.
+func (r *OwnerRun) VeryRiskyShareByNSG() []float64 {
+	labels := r.Labels()
+	out := make([]float64, r.NSG.Alpha)
+	for gi, members := range r.NSG.Groups {
+		if len(members) == 0 {
+			out[gi] = math.NaN()
+			continue
+		}
+		very := 0
+		for _, m := range members {
+			if labels[m] == label.VeryRisky {
+				very++
+			}
+		}
+		out[gi] = float64(very) / float64(len(members))
+	}
+	return out
+}
+
+// Engine runs the pipeline.
+type Engine struct {
+	cfg Config
+}
+
+// New returns an engine with the given config.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// RunOwner executes the pipeline for one owner. confidence, when not
+// NaN, overrides Learn.Confidence (the paper lets each owner choose
+// their own). The annotator supplies owner labels on demand.
+func (e *Engine) RunOwner(g *graph.Graph, store *profile.Store, owner graph.UserID, ann active.Annotator, confidence float64) (*OwnerRun, error) {
+	if g == nil || store == nil {
+		return nil, fmt.Errorf("core: graph and profile store must not be nil")
+	}
+	if !g.HasNode(owner) {
+		return nil, fmt.Errorf("core: owner %d not in graph", owner)
+	}
+	strangers := g.Strangers(owner)
+	pools, nsg, err := cluster.BuildPools(g, store, owner, strangers, e.cfg.Pool)
+	if err != nil {
+		return nil, fmt.Errorf("core: owner %d: %w", owner, err)
+	}
+
+	run := &OwnerRun{Owner: owner, Strangers: strangers, NSG: nsg}
+	learn := e.cfg.Learn
+	if !math.IsNaN(confidence) {
+		learn.Confidence = confidence
+	}
+
+	exp := e.cfg.WeightExponent
+	if exp == 0 {
+		exp = 4
+	}
+	for pi, pool := range pools {
+		psCtx := similarity.NewPSContext(store, pool.Members, e.cfg.PSAttributes)
+		weights := psCtx.Matrix(store.Profiles(pool.Members))
+		if len(weights) != len(pool.Members) {
+			return nil, fmt.Errorf("core: pool %s: %d profiles for %d members (missing profiles)", pool.ID(), len(weights), len(pool.Members))
+		}
+		if exp != 1 {
+			for i := range weights {
+				for j := range weights[i] {
+					weights[i][j] = math.Pow(weights[i][j], exp)
+				}
+			}
+		}
+		cfg := learn
+		cfg.Rand = rand.New(rand.NewSource(e.cfg.Seed + int64(owner)*7919 + int64(pi)*104729))
+		sess, err := active.NewSession(pool.Members, weights, ann, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: pool %s: %w", pool.ID(), err)
+		}
+		res, err := sess.Run()
+		if err != nil {
+			return nil, fmt.Errorf("core: pool %s: %w", pool.ID(), err)
+		}
+		run.Pools = append(run.Pools, PoolRun{Pool: pool, Result: res})
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(pi+1, len(pools), run.QueriedCount())
+		}
+	}
+	return run, nil
+}

@@ -1,0 +1,209 @@
+package crawler
+
+import (
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+	"sightrisk/internal/synthetic"
+)
+
+func world(t *testing.T) (*graph.Graph, *profile.Store, graph.UserID) {
+	t.Helper()
+	cfg := synthetic.SmallStudyConfig()
+	cfg.Owners = 1
+	cfg.Ego.Strangers = 150
+	cfg.Ego.Friends = 30
+	cfg.Seed = 5
+	study, err := synthetic.GenerateStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return study.Graph, study.Profiles, study.Owners[0].ID
+}
+
+func TestNewValidation(t *testing.T) {
+	g, store, owner := world(t)
+	if _, err := New(nil, store, owner, DefaultConfig()); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := New(g, nil, owner, DefaultConfig()); err == nil {
+		t.Fatal("nil profiles accepted")
+	}
+	if _, err := New(g, store, 999999, DefaultConfig()); err == nil {
+		t.Fatal("unknown owner accepted")
+	}
+	bad := DefaultConfig()
+	bad.InteractionsPerTick = 0
+	if _, err := New(g, store, owner, bad); err == nil {
+		t.Fatal("zero interactions accepted")
+	}
+	bad = DefaultConfig()
+	bad.APIBudgetPerTick = 0
+	if _, err := New(g, store, owner, bad); err == nil {
+		t.Fatal("zero API budget accepted")
+	}
+}
+
+func TestInitialKnowledge(t *testing.T) {
+	g, store, owner := world(t)
+	c, err := New(g, store, owner, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	known, knownProfiles := c.Known()
+	// Owner and every friend known, with friendships.
+	for _, f := range g.Friends(owner) {
+		if !known.HasEdge(owner, f) {
+			t.Fatalf("friendship %d-%d not known at start", owner, f)
+		}
+		if knownProfiles.Get(f) == nil {
+			t.Fatalf("friend %d profile not known", f)
+		}
+	}
+	// Friend-friend edges visible at install time.
+	friends := g.Friends(owner)
+	for i, a := range friends {
+		for _, b := range friends[i+1:] {
+			if g.HasEdge(a, b) != known.HasEdge(a, b) {
+				t.Fatalf("friend edge %d-%d knowledge mismatch", a, b)
+			}
+		}
+	}
+	// No strangers yet.
+	if len(c.Discovered()) != 0 {
+		t.Fatal("strangers known before any tick")
+	}
+}
+
+func TestRateLimitRespected(t *testing.T) {
+	g, store, owner := world(t)
+	cfg := Config{InteractionsPerTick: 50, APIBudgetPerTick: 2, Seed: 1}
+	c, err := New(g, store, owner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		rep := c.Tick()
+		if rep.Resolved > cfg.APIBudgetPerTick {
+			t.Fatalf("tick %d resolved %d > budget %d", rep.Tick, rep.Resolved, cfg.APIBudgetPerTick)
+		}
+	}
+	if got := len(c.Discovered()); got > 40 {
+		t.Fatalf("discovered %d after 20 ticks with budget 2, want <= 40", got)
+	}
+}
+
+func TestDiscoveryMonotoneAndConsistent(t *testing.T) {
+	g, store, owner := world(t)
+	c, err := New(g, store, owner, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for i := 0; i < 50; i++ {
+		c.Tick()
+		st := c.Stats()
+		if st.Discovered < prev {
+			t.Fatal("discovered count decreased")
+		}
+		prev = st.Discovered
+	}
+	// Every discovered stranger: known node, known profile, edges
+	// match truth's mutual friends, and is a true stranger.
+	known, knownProfiles := c.Known()
+	trueStrangers := map[graph.UserID]bool{}
+	for _, s := range g.Strangers(owner) {
+		trueStrangers[s] = true
+	}
+	for _, s := range c.Discovered() {
+		if !trueStrangers[s] {
+			t.Fatalf("discovered %d is not a true stranger", s)
+		}
+		if knownProfiles.Get(s) == nil {
+			t.Fatalf("discovered %d has no profile", s)
+		}
+		wantMutual := g.MutualFriends(owner, s)
+		gotMutual := known.MutualFriends(owner, s)
+		if len(wantMutual) != len(gotMutual) {
+			t.Fatalf("stranger %d: known %d mutual friends, truth %d", s, len(gotMutual), len(wantMutual))
+		}
+	}
+}
+
+func TestNoDuplicateDiscovery(t *testing.T) {
+	g, store, owner := world(t)
+	c, err := New(g, store, owner, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Tick()
+	}
+	seen := map[graph.UserID]bool{}
+	for _, s := range c.Discovered() {
+		if seen[s] {
+			t.Fatalf("stranger %d discovered twice", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	g, store, owner := world(t)
+	c, err := New(g, store, owner, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := c.RunUntil(30, 1000)
+	if used == 0 || used == 1000 {
+		t.Fatalf("RunUntil used %d ticks", used)
+	}
+	if got := len(c.Discovered()); got < 30 {
+		t.Fatalf("discovered %d, want >= 30", got)
+	}
+	// Already satisfied target: no ticks.
+	if used := c.RunUntil(10, 100); used != 0 {
+		t.Fatalf("RunUntil on met target used %d ticks", used)
+	}
+	// Cap respected.
+	if used := c.RunUntil(1<<30, 3); used != 3 {
+		t.Fatalf("RunUntil cap used %d ticks, want 3", used)
+	}
+}
+
+func TestEventualFullCoverage(t *testing.T) {
+	g, store, owner := world(t)
+	cfg := Config{InteractionsPerTick: 100, APIBudgetPerTick: 50, Seed: 2}
+	c, err := New(g, store, owner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(len(g.Strangers(owner)), 3000)
+	st := c.Stats()
+	if st.Coverage < 0.99 {
+		t.Fatalf("coverage %.2f after long crawl, want ≈ 1", st.Coverage)
+	}
+	// Discovered count equals API calls (one query per stranger).
+	if st.APICalls != st.Discovered {
+		t.Fatalf("api calls %d != discovered %d", st.APICalls, st.Discovered)
+	}
+}
+
+func TestCrawlDeterministic(t *testing.T) {
+	g, store, owner := world(t)
+	a, _ := New(g, store, owner, DefaultConfig())
+	b, _ := New(g, store, owner, DefaultConfig())
+	for i := 0; i < 30; i++ {
+		ra, rb := a.Tick(), b.Tick()
+		if ra != rb {
+			t.Fatalf("tick %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+	da, db := a.Discovered(), b.Discovered()
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatal("discovery order diverged")
+		}
+	}
+}

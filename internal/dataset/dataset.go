@@ -1,0 +1,190 @@
+// Package dataset bundles everything one risk-estimation study needs —
+// the social graph, the profile store, the owner roster with their
+// confidences and θ weights, and any collected risk labels — and
+// persists it as a single JSON document. The sightctl command uses it
+// to generate, inspect and re-run studies, and the crawler uses it for
+// incremental snapshots.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"sightrisk/internal/benefit"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/profile"
+	"sightrisk/internal/synthetic"
+)
+
+// OwnerRecord is one study participant.
+type OwnerRecord struct {
+	ID         graph.UserID       `json:"id"`
+	Confidence float64            `json:"confidence"`
+	Theta      map[string]float64 `json:"theta,omitempty"`
+	// Labels are collected owner risk judgments, keyed by stranger id.
+	Labels map[graph.UserID]label.Label `json:"labels,omitempty"`
+}
+
+// Dataset is a persistable study.
+type Dataset struct {
+	// Name is a free-form label for the study.
+	Name     string             `json:"name"`
+	Graph    *graph.Graph       `json:"graph"`
+	Profiles []*profile.Profile `json:"profiles"`
+	Owners   []OwnerRecord      `json:"owners"`
+}
+
+// New returns an empty dataset with an initialized graph.
+func New(name string) *Dataset {
+	return &Dataset{Name: name, Graph: graph.New()}
+}
+
+// FromStudy converts a generated synthetic study (including each
+// owner's ground-truth labels for every stranger, materialized through
+// the simulated annotator) into a dataset. labelAll controls whether
+// ground-truth labels are materialized; without them the dataset
+// carries only structure and the annotator must be recreated.
+func FromStudy(study *synthetic.Study, labelAll bool) *Dataset {
+	ds := &Dataset{Name: "synthetic-study", Graph: study.Graph}
+	for _, u := range study.Profiles.Users() {
+		ds.Profiles = append(ds.Profiles, study.Profiles.Get(u))
+	}
+	for _, o := range study.Owners {
+		rec := OwnerRecord{
+			ID:         o.ID,
+			Confidence: o.Confidence,
+			Theta:      thetaToMap(o.Theta),
+		}
+		if labelAll {
+			rec.Labels = make(map[graph.UserID]label.Label, len(o.Strangers()))
+			for _, s := range o.Strangers() {
+				rec.Labels[s] = o.LabelStranger(s)
+			}
+		}
+		ds.Owners = append(ds.Owners, rec)
+	}
+	return ds
+}
+
+func thetaToMap(t benefit.Theta) map[string]float64 {
+	out := make(map[string]float64, len(t))
+	for k, v := range t {
+		out[string(k)] = v
+	}
+	return out
+}
+
+// ProfileStore reconstructs a profile.Store from the dataset.
+func (d *Dataset) ProfileStore() *profile.Store {
+	store := profile.NewStore()
+	for _, p := range d.Profiles {
+		store.Put(p)
+	}
+	return store
+}
+
+// Owner returns the record for the given owner id.
+func (d *Dataset) Owner(id graph.UserID) (OwnerRecord, bool) {
+	for _, o := range d.Owners {
+		if o.ID == id {
+			return o, true
+		}
+	}
+	return OwnerRecord{}, false
+}
+
+// OwnerIDs lists the owners in ascending order.
+func (d *Dataset) OwnerIDs() []graph.UserID {
+	out := make([]graph.UserID, 0, len(d.Owners))
+	for _, o := range d.Owners {
+		out = append(out, o.ID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks internal consistency: owners exist in the graph,
+// labels are valid and refer to graph nodes, profiles refer to graph
+// nodes.
+func (d *Dataset) Validate() error {
+	if d.Graph == nil {
+		return fmt.Errorf("dataset: nil graph")
+	}
+	for _, p := range d.Profiles {
+		if !d.Graph.HasNode(p.User) {
+			return fmt.Errorf("dataset: profile for unknown user %d", p.User)
+		}
+	}
+	for _, o := range d.Owners {
+		if !d.Graph.HasNode(o.ID) {
+			return fmt.Errorf("dataset: owner %d not in graph", o.ID)
+		}
+		for s, l := range o.Labels {
+			if !l.Valid() {
+				return fmt.Errorf("dataset: owner %d has invalid label %d for %d", o.ID, int(l), s)
+			}
+			if !d.Graph.HasNode(s) {
+				return fmt.Errorf("dataset: owner %d labels unknown user %d", o.ID, s)
+			}
+		}
+	}
+	return nil
+}
+
+// Save writes the dataset as JSON to the named file.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(d); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a dataset from the named JSON file and validates it.
+func Load(path string) (*Dataset, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	var d Dataset
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("dataset: load %s: %w", path, err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: load %s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// StoredAnnotator answers risk queries from a dataset's stored labels.
+// Strangers without a stored label yield Fallback (or panic when
+// Fallback is unset, signalling a dataset/engine mismatch).
+type StoredAnnotator struct {
+	Labels   map[graph.UserID]label.Label
+	Fallback label.Label
+}
+
+// LabelStranger implements active.Annotator.
+func (a StoredAnnotator) LabelStranger(s graph.UserID) label.Label {
+	if l, ok := a.Labels[s]; ok {
+		return l
+	}
+	if a.Fallback.Valid() {
+		return a.Fallback
+	}
+	panic(fmt.Sprintf("dataset: no stored label for stranger %d and no fallback", s))
+}

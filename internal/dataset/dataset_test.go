@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/profile"
+	"sightrisk/internal/synthetic"
+)
+
+func study(t *testing.T) *synthetic.Study {
+	t.Helper()
+	cfg := synthetic.SmallStudyConfig()
+	cfg.Owners = 2
+	cfg.Ego.Strangers = 80
+	cfg.Ego.Friends = 20
+	cfg.Seed = 9
+	s, err := synthetic.GenerateStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFromStudyWithLabels(t *testing.T) {
+	s := study(t)
+	ds := FromStudy(s, true)
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if len(ds.Owners) != 2 {
+		t.Fatalf("owners = %d", len(ds.Owners))
+	}
+	for _, o := range ds.Owners {
+		strangers := ds.Graph.Strangers(o.ID)
+		if len(o.Labels) != len(strangers) {
+			t.Fatalf("owner %d: %d labels for %d strangers", o.ID, len(o.Labels), len(strangers))
+		}
+		if len(o.Theta) != 7 {
+			t.Fatalf("owner %d theta has %d items", o.ID, len(o.Theta))
+		}
+		if o.Confidence < 60 || o.Confidence > 95 {
+			t.Fatalf("owner %d confidence %g", o.ID, o.Confidence)
+		}
+	}
+	if len(ds.Profiles) != s.Profiles.Len() {
+		t.Fatalf("profiles = %d, want %d", len(ds.Profiles), s.Profiles.Len())
+	}
+}
+
+func TestFromStudyWithoutLabels(t *testing.T) {
+	ds := FromStudy(study(t), false)
+	for _, o := range ds.Owners {
+		if len(o.Labels) != 0 {
+			t.Fatalf("owner %d has %d labels, want none", o.ID, len(o.Labels))
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := FromStudy(study(t), true)
+	path := filepath.Join(t.TempDir(), "study.json")
+	if err := ds.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if back.Graph.NumNodes() != ds.Graph.NumNodes() || back.Graph.NumEdges() != ds.Graph.NumEdges() {
+		t.Fatal("graph changed in round trip")
+	}
+	if len(back.Profiles) != len(ds.Profiles) {
+		t.Fatal("profiles changed in round trip")
+	}
+	for i, o := range ds.Owners {
+		bo := back.Owners[i]
+		if bo.ID != o.ID || bo.Confidence != o.Confidence {
+			t.Fatal("owner record changed in round trip")
+		}
+		for s, l := range o.Labels {
+			if bo.Labels[s] != l {
+				t.Fatalf("label for %d changed", s)
+			}
+		}
+	}
+	// Profile store reconstruction keeps attributes and visibility.
+	store := back.ProfileStore()
+	for _, p := range ds.Profiles {
+		bp := store.Get(p.User)
+		if bp == nil {
+			t.Fatalf("profile %d lost", p.User)
+		}
+		for _, a := range profile.AllAttributes() {
+			if bp.Attr(a) != p.Attr(a) {
+				t.Fatalf("profile %d attr %s changed", p.User, a)
+			}
+		}
+		for _, i := range profile.Items() {
+			if bp.IsVisible(i) != p.IsVisible(i) {
+				t.Fatalf("profile %d item %s visibility changed", p.User, i)
+			}
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, "{broken"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+}
+
+func TestValidateCatchesInconsistencies(t *testing.T) {
+	ds := New("t")
+	if err := ds.Graph.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Profile for unknown user.
+	ds.Profiles = append(ds.Profiles, profile.NewProfile(99))
+	if err := ds.Validate(); err == nil {
+		t.Fatal("unknown profile user accepted")
+	}
+	ds.Profiles = nil
+	// Owner not in graph.
+	ds.Owners = []OwnerRecord{{ID: 50}}
+	if err := ds.Validate(); err == nil {
+		t.Fatal("unknown owner accepted")
+	}
+	// Invalid label.
+	ds.Owners = []OwnerRecord{{ID: 1, Labels: map[graph.UserID]label.Label{2: label.Label(9)}}}
+	if err := ds.Validate(); err == nil {
+		t.Fatal("invalid label accepted")
+	}
+	// Label for unknown user.
+	ds.Owners = []OwnerRecord{{ID: 1, Labels: map[graph.UserID]label.Label{77: label.Risky}}}
+	if err := ds.Validate(); err == nil {
+		t.Fatal("label for unknown user accepted")
+	}
+	// Nil graph.
+	ds2 := &Dataset{}
+	if err := ds2.Validate(); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestOwnerLookup(t *testing.T) {
+	ds := FromStudy(study(t), false)
+	ids := ds.OwnerIDs()
+	if len(ids) != 2 || ids[0] >= ids[1] {
+		t.Fatalf("OwnerIDs = %v", ids)
+	}
+	if _, ok := ds.Owner(ids[0]); !ok {
+		t.Fatal("Owner lookup failed")
+	}
+	if _, ok := ds.Owner(123456); ok {
+		t.Fatal("Owner lookup found ghost")
+	}
+}
+
+func TestStoredAnnotator(t *testing.T) {
+	ann := StoredAnnotator{
+		Labels:   map[graph.UserID]label.Label{1: label.VeryRisky},
+		Fallback: label.Risky,
+	}
+	if got := ann.LabelStranger(1); got != label.VeryRisky {
+		t.Fatalf("stored label = %v", got)
+	}
+	if got := ann.LabelStranger(2); got != label.Risky {
+		t.Fatalf("fallback label = %v", got)
+	}
+	noFallback := StoredAnnotator{Labels: map[graph.UserID]label.Label{}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing label without fallback did not panic")
+		}
+	}()
+	noFallback.LabelStranger(3)
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

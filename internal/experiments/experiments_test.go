@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"sightrisk/internal/core"
+	"sightrisk/internal/synthetic"
+)
+
+// tinyEnv is shared across tests in this package: experiments are
+// read-only over the cached runs, so one environment serves them all.
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		cfg := synthetic.SmallStudyConfig()
+		cfg.Owners = 6
+		cfg.Ego.Strangers = 300
+		cfg.Seed = 21
+		envVal, envErr = NewEnv(cfg, core.DefaultConfig())
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestFig4Shape(t *testing.T) {
+	env := testEnv(t)
+	rows, err := Fig4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != env.Cfg.Pool.Alpha {
+		t.Fatalf("rows = %d, want alpha", len(rows))
+	}
+	total, shares := 0, 0.0
+	for _, r := range rows {
+		total += r.Count
+		shares += r.Share
+	}
+	if total != env.Study.TotalStrangers() {
+		t.Fatalf("fig4 total %d, study has %d", total, env.Study.TotalStrangers())
+	}
+	if math.Abs(shares-1) > 1e-9 {
+		t.Fatalf("shares sum to %g", shares)
+	}
+	// Paper shape: group 1 dominates; nothing above NS = 0.6.
+	if rows[0].Count <= rows[1].Count {
+		t.Fatalf("group 1 (%d) not dominant over group 2 (%d)", rows[0].Count, rows[1].Count)
+	}
+	for _, r := range rows[6:] {
+		if r.Count != 0 {
+			t.Fatalf("group %d (NS >= 0.6) holds %d strangers, want 0", r.Group, r.Count)
+		}
+	}
+}
+
+func TestHeadlineSanity(t *testing.T) {
+	env := testEnv(t)
+	h, err := ComputeHeadline(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Owners != 6 {
+		t.Fatalf("owners = %d", h.Owners)
+	}
+	if h.MeanStrangers <= 0 || h.MeanLabels <= 0 {
+		t.Fatalf("population stats: %+v", h)
+	}
+	// The reproduction criteria: accuracy far above random (33%) and
+	// majority (~50%), stabilization within a handful of rounds, RMSE
+	// under the paper's 0.5 bar.
+	if h.ExactMatchRate < 0.6 {
+		t.Fatalf("exact match %.3f, want > 0.6", h.ExactMatchRate)
+	}
+	if h.MeanRounds < 1 || h.MeanRounds > 8 {
+		t.Fatalf("mean rounds %.2f out of plausible range", h.MeanRounds)
+	}
+	if h.MeanRMSE >= 0.5 {
+		t.Fatalf("mean final RMSE %.3f, want < 0.5", h.MeanRMSE)
+	}
+	if h.MeanConfidence < 60 || h.MeanConfidence > 95 {
+		t.Fatalf("mean confidence %.2f", h.MeanConfidence)
+	}
+	// Owner effort is a small fraction of the stranger count.
+	if h.MeanLabels >= h.MeanStrangers/2 {
+		t.Fatalf("labels %.1f vs strangers %.1f: effort not reduced", h.MeanLabels, h.MeanStrangers)
+	}
+}
+
+func TestFig5NPPBeatsNSP(t *testing.T) {
+	env := testEnv(t)
+	rows, err := Fig5(env, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !math.IsNaN(rows[0].NPP) || !math.IsNaN(rows[0].NSP) {
+		t.Fatal("round 1 must have no RMSE")
+	}
+	// Aggregate over the early rounds (where most sessions live):
+	// NPP's error stays below NSP's.
+	nppSum, nspSum, n := 0.0, 0.0, 0
+	for _, r := range rows[1:4] {
+		if math.IsNaN(r.NPP) || math.IsNaN(r.NSP) {
+			continue
+		}
+		nppSum += r.NPP
+		nspSum += r.NSP
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no comparable rounds")
+	}
+	if nppSum >= nspSum {
+		t.Fatalf("NPP mean RMSE %.3f not below NSP %.3f", nppSum/float64(n), nspSum/float64(n))
+	}
+}
+
+func TestFig6NPPStabilizesFaster(t *testing.T) {
+	env := testEnv(t)
+	rows, err := Fig6(env, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].NPPSessions != 0 {
+		t.Fatal("round 1 must have no stabilization measurements")
+	}
+	// Round 2 (all sessions alive): NPP has fewer unstabilized labels.
+	if math.IsNaN(rows[1].NPP) || math.IsNaN(rows[1].NSP) {
+		t.Fatal("round 2 missing data")
+	}
+	if rows[1].NPP >= rows[1].NSP {
+		t.Fatalf("round 2: NPP %.2f not below NSP %.2f", rows[1].NPP, rows[1].NSP)
+	}
+}
+
+func TestFig7Decreasing(t *testing.T) {
+	env := testEnv(t)
+	rows, err := Fig7(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the populated low groups against the populated high
+	// groups: the very-risky share must fall substantially.
+	var first, last float64 = math.NaN(), math.NaN()
+	for _, r := range rows {
+		if r.Strangers >= 20 {
+			if math.IsNaN(first) {
+				first = r.VeryRisky
+			}
+			last = r.VeryRisky
+		}
+	}
+	if math.IsNaN(first) {
+		t.Fatal("no populated groups")
+	}
+	if !(last < first) {
+		t.Fatalf("very-risky share did not decrease: first %.3f last %.3f", first, last)
+	}
+}
+
+func TestTable1GenderDominates(t *testing.T) {
+	env := testEnv(t)
+	rows := Table1(env)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Name != "gender" {
+		t.Fatalf("top attribute = %s, want gender", rows[0].Name)
+	}
+	if rows[2].Name != "last name" {
+		t.Fatalf("bottom attribute = %s, want last name", rows[2].Name)
+	}
+	// Normalized importances sum to ~1.
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.AvgImportance
+		if len(r.RankCounts) != 3 {
+			t.Fatalf("rank counts = %v", r.RankCounts)
+		}
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("importances sum to %g", sum)
+	}
+	// Rank counts per position sum to the owner count.
+	for pos := 0; pos < 3; pos++ {
+		n := 0
+		for _, r := range rows {
+			n += r.RankCounts[pos]
+		}
+		if n != len(env.Study.Owners) {
+			t.Fatalf("position %d rank counts sum to %d", pos+1, n)
+		}
+	}
+}
+
+func TestTable2PhotoLeads(t *testing.T) {
+	env := testEnv(t)
+	rows := Table2(env)
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Photo must rank in the top two: at tiny scale (4 owners) exact
+	// first place can wobble, but the paper's headline item must not
+	// sink into the pack.
+	if rows[0].Name != "photo" && rows[1].Name != "photo" {
+		t.Fatalf("photo not in top two: %v, %v", rows[0].Name, rows[1].Name)
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.AvgImportance
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("importances sum to %g", sum)
+	}
+}
+
+func TestTable3ThetaNearPaper(t *testing.T) {
+	env := testEnv(t)
+	rows := Table3(env)
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	paper := PaperTheta()
+	for _, r := range rows {
+		want := 0.0
+		for item, v := range paper {
+			if string(item) == r.Item {
+				want = v
+			}
+		}
+		if math.Abs(r.AvgTheta-want) > 0.03 {
+			t.Errorf("theta[%s] = %.4f, paper %.4f", r.Item, r.AvgTheta, want)
+		}
+	}
+	// Sorted descending.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AvgTheta > rows[i-1].AvgTheta {
+			t.Fatal("table 3 not sorted")
+		}
+	}
+}
+
+func TestTable4GenderGap(t *testing.T) {
+	env := testEnv(t)
+	rows := Table4(env)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want male+female", len(rows))
+	}
+	if rows[0].Slice != synthetic.GenderMale || rows[1].Slice != synthetic.GenderFemale {
+		t.Fatalf("slice order: %s, %s", rows[0].Slice, rows[1].Slice)
+	}
+	male, female := rows[0], rows[1]
+	lower := 0
+	for item, m := range male.Rates {
+		if female.Rates[item] < m {
+			lower++
+		}
+	}
+	if lower < 5 {
+		t.Fatalf("female visibility lower on only %d of 7 items", lower)
+	}
+}
+
+func TestTable5LocaleShape(t *testing.T) {
+	env := testEnv(t)
+	rows := Table5(env)
+	if len(rows) == 0 {
+		t.Fatal("no locale rows")
+	}
+	for _, r := range rows {
+		if r.N < 1 {
+			t.Fatalf("locale %s has no strangers", r.Slice)
+		}
+		// Structural claims of Table V on reasonably sampled slices:
+		// photos highest, work among the lowest.
+		if r.N < 100 {
+			continue
+		}
+		photo := r.Rates["photo"]
+		for item, rate := range r.Rates {
+			if item == "photo" {
+				continue
+			}
+			if rate > photo {
+				t.Errorf("locale %s: %s visibility %.2f above photo %.2f", r.Slice, item, rate, photo)
+			}
+		}
+		if r.Rates["work"] > 0.3 {
+			t.Errorf("locale %s: work visibility %.2f, want low", r.Slice, r.Rates["work"])
+		}
+	}
+}
+
+func TestEnvCaching(t *testing.T) {
+	env := testEnv(t)
+	a, err := env.NPPRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.NPPRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("NPP runs recomputed instead of cached")
+	}
+}
+
+func TestSmallAndFullEnvConstructors(t *testing.T) {
+	env, err := SmallEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Study.Owners) != 8 {
+		t.Fatalf("small env owners = %d", len(env.Study.Owners))
+	}
+	if env.Owner(0) == nil {
+		t.Fatal("Owner accessor broken")
+	}
+	// FullEnv is only constructed (not run) here: generation alone
+	// must scale to the paper's population.
+	full, err := FullEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Study.Owners) != 47 {
+		t.Fatalf("full env owners = %d, want 47", len(full.Study.Owners))
+	}
+	if full.Study.TotalStrangers() < 100000 {
+		t.Fatalf("full env strangers = %d, want paper scale (~172k)", full.Study.TotalStrangers())
+	}
+}

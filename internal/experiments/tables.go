@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"sort"
+
+	"sightrisk/internal/benefit"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/infogain"
+	"sightrisk/internal/profile"
+	"sightrisk/internal/synthetic"
+)
+
+// ImportanceRow is one row of Table I / Table II: an attribute (or
+// benefit item), how many owners ranked it at each importance
+// position, and its mean normalized importance.
+type ImportanceRow struct {
+	Name string
+	// RankCounts[k] is the number of owners for which this attribute
+	// was the (k+1)-th most important (the paper's I1, I2, ... columns).
+	RankCounts []int
+	// AvgImportance is the mean Definition 6 importance over owners.
+	AvgImportance float64
+}
+
+// ownerLabelSamples builds (value, class) samples for one attribute
+// over every stranger of the owner, using the owner's ground-truth
+// judgment (the simulated annotator can label everyone, mirroring the
+// paper's mining over collected labels).
+func ownerLabelSamples(o *synthetic.Owner, store *profile.Store, attr profile.Attribute) []infogain.Sample {
+	strangers := o.Strangers()
+	samples := make([]infogain.Sample, 0, len(strangers))
+	for _, s := range strangers {
+		p := store.Get(s)
+		if p == nil {
+			continue
+		}
+		samples = append(samples, infogain.Sample{
+			Value: p.Attr(attr),
+			Class: int(o.LabelStranger(s)),
+		})
+	}
+	return samples
+}
+
+// ownerBenefitSamples is the Table II analogue: the attribute value is
+// the visibility bit of one benefit item ("0"/"1").
+func ownerBenefitSamples(o *synthetic.Owner, store *profile.Store, item profile.Item) []infogain.Sample {
+	strangers := o.Strangers()
+	samples := make([]infogain.Sample, 0, len(strangers))
+	for _, s := range strangers {
+		p := store.Get(s)
+		if p == nil {
+			continue
+		}
+		v := "0"
+		if p.IsVisible(item) {
+			v = "1"
+		}
+		samples = append(samples, infogain.Sample{Value: v, Class: int(o.LabelStranger(s))})
+	}
+	return samples
+}
+
+// importanceTable runs the Definition 6 mining for a set of named
+// sample builders and aggregates rank counts and mean importance over
+// owners. Rows come back sorted by descending average importance.
+func importanceTable(e *Env, names []string, build func(o *synthetic.Owner, name string) []infogain.Sample) []ImportanceRow {
+	n := len(names)
+	rankCounts := make(map[string][]int, n)
+	sumImp := make(map[string]float64, n)
+	for _, name := range names {
+		rankCounts[name] = make([]int, n)
+	}
+	for _, o := range e.Study.Owners {
+		ratios := make(map[string]float64, n)
+		for _, name := range names {
+			ratios[name] = infogain.GainRatio(build(o, name))
+		}
+		imp := infogain.Importance(ratios)
+		ranked := infogain.Rank(imp)
+		for pos, r := range ranked {
+			rankCounts[r.Attribute][pos]++
+			sumImp[r.Attribute] += r.Importance
+		}
+	}
+	rows := make([]ImportanceRow, 0, n)
+	for _, name := range names {
+		rows = append(rows, ImportanceRow{
+			Name:          name,
+			RankCounts:    rankCounts[name],
+			AvgImportance: sumImp[name] / float64(len(e.Study.Owners)),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].AvgImportance != rows[j].AvgImportance {
+			return rows[i].AvgImportance > rows[j].AvgImportance
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// Table1 reproduces Table I: the importance of the clustering profile
+// attributes (gender, locale, last name) in owner risk judgments.
+// Paper shape: gender dominates (I1 for 34/47 owners, avg 0.6231),
+// locale second, last name marginal.
+func Table1(e *Env) []ImportanceRow {
+	attrs := profile.ClusteringAttributes()
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		names[i] = string(a)
+	}
+	return importanceTable(e, names, func(o *synthetic.Owner, name string) []infogain.Sample {
+		return ownerLabelSamples(o, e.Study.Profiles, profile.Attribute(name))
+	})
+}
+
+// Table2 reproduces Table II: the mined importance of benefit-item
+// visibility in owner risk judgments. Paper shape: photo clearly
+// first (avg 0.27), wall and location at the bottom.
+func Table2(e *Env) []ImportanceRow {
+	items := profile.Items()
+	names := make([]string, len(items))
+	for i, it := range items {
+		names[i] = string(it)
+	}
+	return importanceTable(e, names, func(o *synthetic.Owner, name string) []infogain.Sample {
+		return ownerBenefitSamples(o, e.Study.Profiles, profile.Item(name))
+	})
+}
+
+// ThetaRow is one row of Table III: a benefit item and the mean
+// owner-given θ weight.
+type ThetaRow struct {
+	Item     string
+	AvgTheta float64
+}
+
+// Table3 reproduces Table III: average owner-given θ weights per
+// benefit item, sorted descending. Paper: hometown 0.155 down to work
+// 0.1321 — a narrow band, which is exactly the paper's point that
+// system-suggested weights can serve for some items.
+func Table3(e *Env) []ThetaRow {
+	sums := make(map[profile.Item]float64)
+	for _, o := range e.Study.Owners {
+		for item, w := range o.Theta {
+			sums[item] += w
+		}
+	}
+	rows := make([]ThetaRow, 0, len(sums))
+	for item, sum := range sums {
+		rows = append(rows, ThetaRow{Item: string(item), AvgTheta: sum / float64(len(e.Study.Owners))})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].AvgTheta != rows[j].AvgTheta {
+			return rows[i].AvgTheta > rows[j].AvgTheta
+		}
+		return rows[i].Item < rows[j].Item
+	})
+	return rows
+}
+
+// VisibilityRow is one row of Table IV / Table V: a population slice
+// (gender or locale) and its per-item visibility rates.
+type VisibilityRow struct {
+	Slice string
+	Rates map[profile.Item]float64
+	N     int
+}
+
+// allStrangers collects every stranger over all owners.
+func allStrangers(e *Env) []graph.UserID {
+	var out []graph.UserID
+	for _, o := range e.Study.Owners {
+		out = append(out, o.Strangers()...)
+	}
+	return out
+}
+
+// visibilityBySlice computes item visibility rates for strangers
+// partitioned by one profile attribute, with slices emitted in the
+// given order (unknown slice values are appended alphabetically).
+func visibilityBySlice(e *Env, attr profile.Attribute, order []string) []VisibilityRow {
+	store := e.Study.Profiles
+	bySlice := make(map[string][]graph.UserID)
+	for _, s := range allStrangers(e) {
+		p := store.Get(s)
+		if p == nil {
+			continue
+		}
+		v := p.Attr(attr)
+		if v == "" {
+			continue
+		}
+		bySlice[v] = append(bySlice[v], s)
+	}
+	var slices []string
+	inOrder := make(map[string]bool, len(order))
+	for _, s := range order {
+		if _, ok := bySlice[s]; ok {
+			slices = append(slices, s)
+			inOrder[s] = true
+		}
+	}
+	var extra []string
+	for s := range bySlice {
+		if !inOrder[s] {
+			extra = append(extra, s)
+		}
+	}
+	sort.Strings(extra)
+	slices = append(slices, extra...)
+
+	rows := make([]VisibilityRow, 0, len(slices))
+	for _, sl := range slices {
+		users := bySlice[sl]
+		row := VisibilityRow{Slice: sl, Rates: make(map[profile.Item]float64, 7), N: len(users)}
+		for _, item := range profile.Items() {
+			row.Rates[item] = store.VisibilityRate(users, item)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table4 reproduces Table IV: benefit-item visibility by stranger
+// gender. Paper shape: female strangers consistently less visible,
+// except photos (≈ equal at 88% / 87%).
+func Table4(e *Env) []VisibilityRow {
+	return visibilityBySlice(e, profile.AttrGender, []string{synthetic.GenderMale, synthetic.GenderFemale})
+}
+
+// Table5 reproduces Table V: benefit-item visibility by stranger
+// locale over the paper's seven locales. Paper shape: work lowest
+// everywhere, photos highest (77-95%), friends 41-72%.
+func Table5(e *Env) []VisibilityRow {
+	return visibilityBySlice(e, profile.AttrLocale, synthetic.Locales())
+}
+
+// PaperTheta re-exports the paper's Table III means so reports can
+// print paper-vs-measured columns.
+func PaperTheta() map[profile.Item]float64 {
+	t := benefit.PaperTheta()
+	out := make(map[profile.Item]float64, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}

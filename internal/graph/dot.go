@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DOTOptions customizes DOT (Graphviz) export.
+type DOTOptions struct {
+	// Name is the graph name (default "sightrisk").
+	Name string
+	// Highlight maps nodes to fill colors (e.g. risk-label colors);
+	// highlighted nodes render filled.
+	Highlight map[UserID]string
+	// Label maps nodes to display labels; absent nodes show their id.
+	Label map[UserID]string
+	// MaxNodes truncates the export for very large graphs (0 = no
+	// limit); truncation keeps the lowest ids and drops edges with
+	// dropped endpoints.
+	MaxNodes int
+}
+
+// WriteDOT exports the graph in Graphviz DOT format, deterministically
+// (nodes and edges sorted by id), so neighborhoods and risk reports
+// can be rendered with standard tooling.
+func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
+	bw := bufio.NewWriter(w)
+	name := opts.Name
+	if name == "" {
+		name = "sightrisk"
+	}
+	nodes := g.Nodes()
+	if opts.MaxNodes > 0 && len(nodes) > opts.MaxNodes {
+		nodes = nodes[:opts.MaxNodes]
+	}
+	included := make(map[UserID]bool, len(nodes))
+	for _, n := range nodes {
+		included[n] = true
+	}
+
+	fmt.Fprintf(bw, "graph %q {\n", name)
+	fmt.Fprintf(bw, "  node [shape=circle fontsize=10];\n")
+	for _, n := range nodes {
+		attrs := ""
+		if l, ok := opts.Label[n]; ok {
+			attrs += fmt.Sprintf(" label=%q", l)
+		}
+		if c, ok := opts.Highlight[n]; ok {
+			attrs += fmt.Sprintf(" style=filled fillcolor=%q", c)
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", n, trimSpaceLeft(attrs))
+	}
+	var edges [][2]UserID
+	for _, a := range nodes {
+		for _, b := range g.Friends(a) {
+			if a < b && included[b] {
+				edges = append(edges, [2]UserID{a, b})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		fmt.Fprintf(bw, "  n%d -- n%d;\n", e[0], e[1])
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func trimSpaceLeft(s string) string {
+	for len(s) > 0 && s[0] == ' ' {
+		s = s[1:]
+	}
+	return s
+}

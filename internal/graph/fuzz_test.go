@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzUnmarshalJSON: arbitrary bytes never panic the decoder, and any
+// accepted graph satisfies the structural invariants (edge symmetry,
+// no self loops, consistent edge count).
+func FuzzUnmarshalJSON(f *testing.F) {
+	f.Add([]byte(`{"nodes":[1,2],"edges":[[1,2]]}`))
+	f.Add([]byte(`{"nodes":[],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[5],"edges":[[5,5]]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"nodes":[1,1,1],"edges":[[1,2],[2,1]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // rejected input is fine
+		}
+		count := 0
+		for _, a := range g.Nodes() {
+			for _, b := range g.Friends(a) {
+				if a == b {
+					t.Fatal("self loop survived decoding")
+				}
+				if !g.HasEdge(b, a) {
+					t.Fatal("asymmetric edge after decoding")
+				}
+				if a < b {
+					count++
+				}
+			}
+		}
+		if count != g.NumEdges() {
+			t.Fatalf("edge count %d, canonical pairs %d", g.NumEdges(), count)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package graph
+
+import "sort"
+
+// ClusteringCoefficient returns the local clustering coefficient of
+// id: the edge density among its friends. Nodes with fewer than two
+// friends have coefficient 0.
+func (g *Graph) ClusteringCoefficient(id UserID) float64 {
+	friends := g.Friends(id)
+	if len(friends) < 2 {
+		return 0
+	}
+	return g.InducedDensity(friends)
+}
+
+// MeanClusteringCoefficient averages the local clustering coefficient
+// over all nodes with degree >= 2 (0 when none qualify).
+func (g *Graph) MeanClusteringCoefficient() float64 {
+	total, n := 0.0, 0
+	for _, id := range g.Nodes() {
+		if g.Degree(id) < 2 {
+			continue
+		}
+		total += g.ClusteringCoefficient(id)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// ConnectedComponents returns the sizes of the graph's connected
+// components in descending order.
+func (g *Graph) ConnectedComponents() []int {
+	seen := make(map[UserID]bool, g.NumNodes())
+	var sizes []int
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		size := 0
+		queue := []UserID{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			size++
+			for _, n := range g.Friends(cur) {
+				if !seen[n] {
+					seen[n] = true
+					queue = append(queue, n)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
+
+// DegreeHistogram buckets node degrees into the given boundaries:
+// bucket i counts nodes with degree in [bounds[i-1]+1, bounds[i]]
+// (bucket 0 covers [0, bounds[0]]); a final overflow bucket counts
+// degrees above the last boundary. Returns one count per bucket plus
+// the overflow.
+func (g *Graph) DegreeHistogram(bounds []int) []int {
+	out := make([]int, len(bounds)+1)
+	for _, id := range g.Nodes() {
+		d := g.Degree(id)
+		placed := false
+		for i, b := range bounds {
+			if d <= b {
+				out[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			out[len(bounds)]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// edgeList is the JSON wire format of a graph: the node list keeps
+// isolated nodes, the edge list keeps each undirected edge once with
+// A < B.
+type edgeList struct {
+	Nodes []UserID    `json:"nodes"`
+	Edges [][2]UserID `json:"edges"`
+}
+
+// MarshalJSON encodes the graph as a node list plus a canonical edge
+// list (each edge once, smaller endpoint first, sorted).
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(g.toEdgeList())
+}
+
+func (g *Graph) toEdgeList() edgeList {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	el := edgeList{Nodes: make([]UserID, 0, len(g.adj))}
+	for id := range g.adj {
+		el.Nodes = append(el.Nodes, id)
+	}
+	sortIDs(el.Nodes)
+	for _, a := range el.Nodes {
+		neigh := sortedKeysLocked(g.adj[a])
+		for _, b := range neigh {
+			if a < b {
+				el.Edges = append(el.Edges, [2]UserID{a, b})
+			}
+		}
+	}
+	return el
+}
+
+// UnmarshalJSON decodes a graph previously encoded by MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var el edgeList
+	if err := json.Unmarshal(data, &el); err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
+	}
+	g.mu.Lock()
+	g.adj = make(map[UserID]map[UserID]struct{}, len(el.Nodes))
+	g.edgeCount = 0
+	g.mu.Unlock()
+	for _, n := range el.Nodes {
+		g.AddNode(n)
+	}
+	for _, e := range el.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTo streams the JSON encoding of the graph to w.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// Save writes the graph to the named file.
+func (g *Graph) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: save: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := g.WriteTo(bw); err != nil {
+		f.Close()
+		return fmt.Errorf("graph: save: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("graph: save: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a graph from the named file.
+func Load(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: load: %w", err)
+	}
+	g := New()
+	if err := g.UnmarshalJSON(data); err != nil {
+		return nil, fmt.Errorf("graph: load %s: %w", path, err)
+	}
+	return g, nil
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	g.AddNode(42) // isolated node must survive
+
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.NumNodes() != 4 || back.NumEdges() != 2 {
+		t.Fatalf("round trip: %d nodes %d edges, want 4/2", back.NumNodes(), back.NumEdges())
+	}
+	if !back.HasNode(42) {
+		t.Fatal("isolated node lost in round trip")
+	}
+	if !back.HasEdge(1, 2) || !back.HasEdge(2, 3) {
+		t.Fatal("edges lost in round trip")
+	}
+}
+
+func TestJSONCanonical(t *testing.T) {
+	// Two graphs built in different edge orders encode identically.
+	a := New()
+	mustEdge(t, a, 3, 1)
+	mustEdge(t, a, 2, 1)
+	b := New()
+	mustEdge(t, b, 1, 2)
+	mustEdge(t, b, 1, 3)
+	da, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatalf("encodings differ:\n%s\n%s", da, db)
+	}
+}
+
+func TestUnmarshalBadJSON(t *testing.T) {
+	var g Graph
+	if err := g.UnmarshalJSON([]byte("{nope")); err == nil {
+		t.Fatal("UnmarshalJSON accepted invalid JSON")
+	}
+	if err := g.UnmarshalJSON([]byte(`{"nodes":[1],"edges":[[1,1]]}`)); err == nil {
+		t.Fatal("UnmarshalJSON accepted a self loop")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 10, 20)
+	mustEdge(t, g, 20, 30)
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := g.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if back.NumNodes() != 3 || back.NumEdges() != 2 {
+		t.Fatalf("loaded %d nodes %d edges, want 3/2", back.NumNodes(), back.NumEdges())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("Load of missing file succeeded")
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("WriteTo returned %d, buffer has %d", n, buf.Len())
+	}
+	var back Graph
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("unmarshal written bytes: %v", err)
+	}
+	if !back.HasEdge(1, 2) {
+		t.Fatal("edge lost through WriteTo")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	g.AddNode(9)
+	var buf bytes.Buffer
+	err := g.WriteDOT(&buf, DOTOptions{
+		Name:      "test",
+		Highlight: map[UserID]string{2: "red"},
+		Label:     map[UserID]string{1: "owner"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`graph "test" {`, "n1 -- n2;", "n2 -- n3;",
+		`fillcolor="red"`, `label="owner"`, "n9 [];",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := g.WriteDOT(&buf2, DOTOptions{Name: "test", Highlight: map[UserID]string{2: "red"}, Label: map[UserID]string{1: "owner"}}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("DOT export not deterministic")
+	}
+}
+
+func TestWriteDOTMaxNodes(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, DOTOptions{MaxNodes: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "n3") {
+		t.Fatalf("truncation kept node 3:\n%s", out)
+	}
+	if !strings.Contains(out, "n1 -- n2;") {
+		t.Fatalf("kept edge missing:\n%s", out)
+	}
+}

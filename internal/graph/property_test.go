@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a graph from a seeded random edge script.
+func randomGraph(seed int64, n, edges int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(UserID(i))
+	}
+	for i := 0; i < edges; i++ {
+		a := UserID(rng.Intn(n))
+		b := UserID(rng.Intn(n))
+		if a != b {
+			_ = g.AddEdge(a, b)
+		}
+	}
+	return g
+}
+
+// TestPropEdgeSymmetry: every edge is visible from both endpoints and
+// the edge count equals the number of canonical pairs.
+func TestPropEdgeSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 30, 80)
+		count := 0
+		for _, a := range g.Nodes() {
+			for _, b := range g.Friends(a) {
+				if !g.HasEdge(b, a) {
+					return false
+				}
+				if a < b {
+					count++
+				}
+			}
+		}
+		return count == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropStrangersDisjoint: strangers never include the owner or the
+// owner's direct friends, and every stranger is at distance exactly 2.
+func TestPropStrangersDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 40, 100)
+		owner := UserID(int(uint64(seed) % 40))
+		friends := g.FriendSet(owner)
+		dist := g.BFSDistances(owner)
+		for _, s := range g.Strangers(owner) {
+			if s == owner {
+				return false
+			}
+			if _, ok := friends[s]; ok {
+				return false
+			}
+			if dist[s] != 2 {
+				return false
+			}
+		}
+		// Conversely every distance-2 node is a stranger.
+		strangerSet := map[UserID]struct{}{}
+		for _, s := range g.Strangers(owner) {
+			strangerSet[s] = struct{}{}
+		}
+		for id, d := range dist {
+			if d == 2 {
+				if _, ok := strangerSet[id]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropInducedBounds: induced edge counts and densities stay within
+// combinatorial bounds.
+func TestPropInducedBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 25, 70)
+		rng := rand.New(rand.NewSource(seed ^ 0x5555))
+		nodes := g.Nodes()
+		k := 1 + rng.Intn(len(nodes))
+		subset := nodes[:k]
+		edges := g.InducedEdges(subset)
+		maxEdges := k * (k - 1) / 2
+		if edges < 0 || edges > maxEdges {
+			return false
+		}
+		d := g.InducedDensity(subset)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropJSONRoundTrip: marshal → unmarshal is the identity on the
+// (nodes, edges) structure for arbitrary random graphs.
+func TestPropJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 20, 40)
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, a := range g.Nodes() {
+			for _, b := range g.Friends(a) {
+				if !back.HasEdge(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropCloneEqualButIndependent: clones match structurally and stay
+// independent after mutation.
+func TestPropCloneEqualButIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 20, 50)
+		c := g.Clone()
+		if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+			return false
+		}
+		before := g.NumEdges()
+		// Remove everything from the clone; original must be intact.
+		for _, n := range c.Nodes() {
+			c.RemoveNode(n)
+		}
+		return g.NumEdges() == before && c.NumEdges() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropRemoveNodeCleansEdges: after removing any node no edges
+// reference it and the edge count is consistent.
+func TestPropRemoveNodeCleansEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 20, 60)
+		victim := UserID(int(uint64(seed) % 20))
+		g.RemoveNode(victim)
+		count := 0
+		for _, a := range g.Nodes() {
+			if a == victim {
+				return false
+			}
+			for _, b := range g.Friends(a) {
+				if b == victim {
+					return false
+				}
+				if a < b {
+					count++
+				}
+			}
+		}
+		return count == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

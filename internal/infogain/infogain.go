@@ -1,0 +1,190 @@
+// Package infogain implements entropy, information gain, information
+// gain ratio and the normalized attribute-importance measure of the
+// paper's Definition 6, used to mine which profile attributes and
+// benefit items drive an owner's risk judgments (Tables I and II).
+package infogain
+
+import (
+	"math"
+	"sort"
+)
+
+// Entropy returns the Shannon entropy (base 2) of a discrete
+// distribution given as counts. Zero counts are ignored; an empty or
+// all-zero distribution has entropy 0.
+func Entropy(counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Sample is one (attribute value, class) observation — e.g. one
+// stranger's gender together with the owner's risk label for them.
+type Sample struct {
+	Value string
+	Class int
+}
+
+// counts groups samples by value and tallies class frequencies.
+type grouped struct {
+	total      int
+	classTotal map[int]int
+	byValue    map[string]map[int]int
+	valueSize  map[string]int
+}
+
+func group(samples []Sample) grouped {
+	g := grouped{
+		classTotal: make(map[int]int),
+		byValue:    make(map[string]map[int]int),
+		valueSize:  make(map[string]int),
+	}
+	for _, s := range samples {
+		g.total++
+		g.classTotal[s.Class]++
+		m := g.byValue[s.Value]
+		if m == nil {
+			m = make(map[int]int)
+			g.byValue[s.Value] = m
+		}
+		m[s.Class]++
+		g.valueSize[s.Value]++
+	}
+	return g
+}
+
+func mapEntropy(counts map[int]int) float64 {
+	vals := make([]int, 0, len(counts))
+	for _, c := range counts {
+		vals = append(vals, c)
+	}
+	return Entropy(vals)
+}
+
+// Gain returns the information gain of the attribute over the class:
+// H(class) - Σ_v p(v)·H(class|v).
+func Gain(samples []Sample) float64 {
+	g := group(samples)
+	if g.total == 0 {
+		return 0
+	}
+	base := mapEntropy(g.classTotal)
+	cond := 0.0
+	for v, classCounts := range g.byValue {
+		p := float64(g.valueSize[v]) / float64(g.total)
+		cond += p * mapEntropy(classCounts)
+	}
+	gain := base - cond
+	if gain < 0 { // guard tiny negative float error
+		return 0
+	}
+	return gain
+}
+
+// SplitInfo returns the intrinsic entropy of the attribute's value
+// distribution, the denominator of the gain ratio.
+func SplitInfo(samples []Sample) float64 {
+	g := group(samples)
+	vals := make([]int, 0, len(g.valueSize))
+	for _, c := range g.valueSize {
+		vals = append(vals, c)
+	}
+	return Entropy(vals)
+}
+
+// CorrectedGain returns the information gain minus its expected value
+// under independence of attribute and class — Quinlan's bias
+// correction (analyzed by Mingers): a random attribute with V values
+// over N samples and C classes has expected gain ≈
+// (V-1)(C-1) / (2·N·ln 2). Without this correction a high-cardinality
+// attribute (e.g. last name, where most values are unique) scores a
+// spuriously large gain because each singleton value is trivially
+// pure. Negative corrected gains clamp to 0.
+func CorrectedGain(samples []Sample) float64 {
+	g := group(samples)
+	if g.total == 0 {
+		return 0
+	}
+	v := float64(len(g.valueSize))
+	c := float64(len(g.classTotal))
+	expected := (v - 1) * (c - 1) / (2 * float64(g.total) * math.Ln2)
+	corrected := Gain(samples) - expected
+	if corrected < 0 {
+		return 0
+	}
+	return corrected
+}
+
+// GainRatio returns the bias-corrected information gain divided by
+// split information (Quinlan's gain ratio). Attributes with a single
+// value (split info 0) have ratio 0: they cannot explain any label
+// variation.
+func GainRatio(samples []Sample) float64 {
+	si := SplitInfo(samples)
+	if si == 0 {
+		return 0
+	}
+	return CorrectedGain(samples) / si
+}
+
+// Importance normalizes a map of per-attribute gain ratios so they sum
+// to 1 (Definition 6). When every ratio is 0, importance is uniform
+// over the attributes — no attribute explains anything, so none
+// dominates.
+func Importance(ratios map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(ratios))
+	sum := 0.0
+	for _, r := range ratios {
+		sum += r
+	}
+	if sum == 0 {
+		if len(ratios) == 0 {
+			return out
+		}
+		u := 1 / float64(len(ratios))
+		for k := range ratios {
+			out[k] = u
+		}
+		return out
+	}
+	for k, r := range ratios {
+		out[k] = r / sum
+	}
+	return out
+}
+
+// Ranked is an attribute with its importance, used to order Table I /
+// Table II rows.
+type Ranked struct {
+	Attribute  string
+	Importance float64
+}
+
+// Rank sorts the importance map by descending importance (ties by
+// attribute name for determinism).
+func Rank(importance map[string]float64) []Ranked {
+	out := make([]Ranked, 0, len(importance))
+	for k, v := range importance {
+		out = append(out, Ranked{Attribute: k, Importance: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Importance != out[j].Importance {
+			return out[i].Importance > out[j].Importance
+		}
+		return out[i].Attribute < out[j].Attribute
+	})
+	return out
+}

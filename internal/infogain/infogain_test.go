@@ -1,0 +1,202 @@
+package infogain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntropy(t *testing.T) {
+	cases := []struct {
+		counts []int
+		want   float64
+	}{
+		{nil, 0},
+		{[]int{0, 0}, 0},
+		{[]int{5}, 0},
+		{[]int{1, 1}, 1},
+		{[]int{1, 1, 1, 1}, 2},
+		{[]int{3, 1}, -(0.75*math.Log2(0.75) + 0.25*math.Log2(0.25))},
+	}
+	for _, tt := range cases {
+		if got := Entropy(tt.counts); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Entropy(%v) = %g, want %g", tt.counts, got, tt.want)
+		}
+	}
+}
+
+func samplesFrom(values []string, classes []int) []Sample {
+	out := make([]Sample, len(values))
+	for i := range values {
+		out[i] = Sample{Value: values[i], Class: classes[i]}
+	}
+	return out
+}
+
+func TestGainPerfectPredictor(t *testing.T) {
+	// Value fully determines class: gain = H(class) = 1 bit.
+	s := samplesFrom(
+		[]string{"a", "a", "b", "b"},
+		[]int{1, 1, 2, 2},
+	)
+	if got := Gain(s); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Gain = %g, want 1", got)
+	}
+}
+
+func TestGainIndependentAttribute(t *testing.T) {
+	// Value carries no information about class: gain 0.
+	s := samplesFrom(
+		[]string{"a", "b", "a", "b"},
+		[]int{1, 1, 2, 2},
+	)
+	if got := Gain(s); math.Abs(got) > 1e-12 {
+		t.Fatalf("Gain = %g, want 0", got)
+	}
+}
+
+func TestGainEmpty(t *testing.T) {
+	if Gain(nil) != 0 {
+		t.Fatal("Gain(nil) != 0")
+	}
+}
+
+func TestSplitInfo(t *testing.T) {
+	s := samplesFrom([]string{"a", "a", "b", "b"}, []int{1, 2, 1, 2})
+	if got := SplitInfo(s); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("SplitInfo = %g, want 1", got)
+	}
+}
+
+func TestCorrectedGainKillsUniqueValues(t *testing.T) {
+	// A "last name"-style attribute: every value unique. Raw gain is
+	// the full class entropy (spurious); the bias correction must
+	// remove essentially all of it.
+	n := 60
+	values := make([]string, n)
+	classes := make([]int, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range values {
+		values[i] = string(rune('A'+i%26)) + string(rune('a'+i/26))
+		classes[i] = 1 + rng.Intn(3)
+	}
+	s := samplesFrom(values, classes)
+	raw := Gain(s)
+	if raw < 1 {
+		t.Fatalf("setup: raw gain = %g, expected spuriously high", raw)
+	}
+	if got := CorrectedGain(s); got > 0.15*raw {
+		t.Fatalf("CorrectedGain = %g, want near 0 (raw %g)", got, raw)
+	}
+}
+
+func TestCorrectedGainKeepsRealSignal(t *testing.T) {
+	// A two-valued perfect predictor over many samples keeps nearly
+	// all of its gain after correction.
+	n := 100
+	values := make([]string, n)
+	classes := make([]int, n)
+	for i := range values {
+		if i%2 == 0 {
+			values[i], classes[i] = "a", 1
+		} else {
+			values[i], classes[i] = "b", 3
+		}
+	}
+	s := samplesFrom(values, classes)
+	if got := CorrectedGain(s); got < 0.95 {
+		t.Fatalf("CorrectedGain = %g, want ~1", got)
+	}
+}
+
+func TestGainRatio(t *testing.T) {
+	// Perfect two-valued predictor: ratio ≈ gain / splitinfo ≈ 1.
+	s := samplesFrom(
+		[]string{"a", "a", "a", "a", "b", "b", "b", "b"},
+		[]int{1, 1, 1, 1, 2, 2, 2, 2},
+	)
+	if got := GainRatio(s); math.Abs(got-1) > 0.2 {
+		t.Fatalf("GainRatio = %g, want ≈ 1", got)
+	}
+	// Single-valued attribute: split info 0 → ratio 0.
+	s = samplesFrom([]string{"x", "x"}, []int{1, 2})
+	if got := GainRatio(s); got != 0 {
+		t.Fatalf("GainRatio single-value = %g, want 0", got)
+	}
+}
+
+func TestImportanceNormalizes(t *testing.T) {
+	imp := Importance(map[string]float64{"a": 3, "b": 1})
+	if math.Abs(imp["a"]-0.75) > 1e-12 || math.Abs(imp["b"]-0.25) > 1e-12 {
+		t.Fatalf("Importance = %v", imp)
+	}
+}
+
+func TestImportanceAllZero(t *testing.T) {
+	imp := Importance(map[string]float64{"a": 0, "b": 0, "c": 0})
+	for k, v := range imp {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("Importance[%s] = %g, want uniform 1/3", k, v)
+		}
+	}
+	if len(Importance(nil)) != 0 {
+		t.Fatal("Importance(nil) not empty")
+	}
+}
+
+func TestRank(t *testing.T) {
+	ranked := Rank(map[string]float64{"mid": 0.3, "top": 0.5, "low": 0.2})
+	want := []string{"top", "mid", "low"}
+	for i, r := range ranked {
+		if r.Attribute != want[i] {
+			t.Fatalf("Rank = %v, want order %v", ranked, want)
+		}
+	}
+	// Ties break by name for determinism.
+	ranked = Rank(map[string]float64{"b": 0.5, "a": 0.5})
+	if ranked[0].Attribute != "a" {
+		t.Fatalf("tie order = %v, want a first", ranked)
+	}
+}
+
+// TestPropGainBounds: 0 ≤ corrected gain ≤ gain ≤ H(class) for random
+// samples, and importance always sums to 1 (or is empty).
+func TestPropGainBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		values := []string{"a", "b", "c", "d"}
+		samples := make([]Sample, n)
+		classCounts := map[int]int{}
+		for i := range samples {
+			samples[i] = Sample{
+				Value: values[rng.Intn(len(values))],
+				Class: 1 + rng.Intn(3),
+			}
+			classCounts[samples[i].Class]++
+		}
+		var counts []int
+		for _, c := range classCounts {
+			counts = append(counts, c)
+		}
+		hClass := Entropy(counts)
+		g := Gain(samples)
+		cg := CorrectedGain(samples)
+		if g < -1e-12 || g > hClass+1e-9 {
+			return false
+		}
+		if cg < 0 || cg > g+1e-12 {
+			return false
+		}
+		imp := Importance(map[string]float64{"x": g, "y": cg, "z": 0.1})
+		sum := 0.0
+		for _, v := range imp {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+// Package label defines the three-valued risk label of the ICDE 2012
+// risk paper (Section III-A): rather than a continuous value in [0,1],
+// owners pick one of not risky = 1, risky = 2, very risky = 3.
+package label
+
+import "fmt"
+
+// Label is an owner risk judgment for a stranger.
+type Label int
+
+// The paper's three label values.
+const (
+	NotRisky  Label = 1
+	Risky     Label = 2
+	VeryRisky Label = 3
+)
+
+// Min and Max bound the label range (Definition 5's Lmin and Lmax).
+const (
+	Min = NotRisky
+	Max = VeryRisky
+)
+
+// Valid reports whether l is one of the three defined labels.
+func (l Label) Valid() bool { return l >= Min && l <= Max }
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	switch l {
+	case NotRisky:
+		return "not risky"
+	case Risky:
+		return "risky"
+	case VeryRisky:
+		return "very risky"
+	default:
+		return fmt.Sprintf("Label(%d)", int(l))
+	}
+}
+
+// All returns the three labels in ascending order.
+func All() []Label { return []Label{NotRisky, Risky, VeryRisky} }
+
+// Clamp forces an arbitrary integer into the valid label range.
+func Clamp(v int) Label {
+	if v < int(Min) {
+		return Min
+	}
+	if v > int(Max) {
+		return Max
+	}
+	return Label(v)
+}
+
+// FromScore maps a continuous risk score in [0,1] to a label using
+// even thirds. Used by simulated owners and by callers that need to
+// discretize continuous risk estimates.
+func FromScore(score float64) Label {
+	switch {
+	case score < 1.0/3:
+		return NotRisky
+	case score < 2.0/3:
+		return Risky
+	default:
+		return VeryRisky
+	}
+}

@@ -1,0 +1,73 @@
+package label
+
+import "testing"
+
+func TestValid(t *testing.T) {
+	for _, l := range All() {
+		if !l.Valid() {
+			t.Fatalf("%v invalid", l)
+		}
+	}
+	for _, l := range []Label{0, 4, -1, 100} {
+		if l.Valid() {
+			t.Fatalf("Label(%d) valid", int(l))
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[Label]string{
+		NotRisky:  "not risky",
+		Risky:     "risky",
+		VeryRisky: "very risky",
+		Label(9):  "Label(9)",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("All() = %v", all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i] <= all[i-1] {
+			t.Fatal("All() not ascending")
+		}
+	}
+	if all[0] != Min || all[2] != Max {
+		t.Fatal("All() bounds wrong")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := map[int]Label{
+		-5: NotRisky, 0: NotRisky, 1: NotRisky,
+		2: Risky, 3: VeryRisky, 4: VeryRisky, 100: VeryRisky,
+	}
+	for in, want := range cases {
+		if got := Clamp(in); got != want {
+			t.Errorf("Clamp(%d) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestFromScore(t *testing.T) {
+	cases := []struct {
+		score float64
+		want  Label
+	}{
+		{0, NotRisky}, {0.32, NotRisky},
+		{1.0 / 3, Risky}, {0.5, Risky}, {0.66, Risky},
+		{2.0 / 3, VeryRisky}, {0.9, VeryRisky}, {1, VeryRisky},
+	}
+	for _, tt := range cases {
+		if got := FromScore(tt.score); got != tt.want {
+			t.Errorf("FromScore(%g) = %v, want %v", tt.score, got, tt.want)
+		}
+	}
+}

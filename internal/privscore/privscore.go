@@ -1,0 +1,283 @@
+// Package privscore implements the privacy-score framework of Liu &
+// Terzi (ICDM 2009) — the paper's citation [29] and the related work
+// it explicitly contrasts itself against: a per-user score measuring
+// the privacy risk a user's own sharing behaviour creates, computed
+// from item sensitivity and item visibility.
+//
+// Two estimators are provided, following the original paper:
+//
+//   - Naive: sensitivity of item i is the share of users hiding it
+//     (β_i = (N - |R_i|)/N), and the privacy score of user j is
+//     PR(j) = Σ_i β_i · V(i,j).
+//   - IRT: a two-parameter Item Response Theory model where the
+//     probability user j reveals item i follows a logistic curve in
+//     the user's latent attitude θ_j with per-item discrimination α_i
+//     and difficulty (sensitivity) β_i, fit by alternating
+//     Newton-Raphson steps. The privacy score is Σ_i β̂_i · V(i,j)
+//     with difficulties min-max rescaled to [0,1].
+//
+// The contrast experiment (experiments.PrivacyScoreContrast) shows why
+// the risk paper needed a different notion: Liu-Terzi scores measure
+// the *stranger's own* exposure, which owners read as benefit, not as
+// the subjective interaction risk the labels capture.
+package privscore
+
+import (
+	"fmt"
+	"math"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+// Matrix is the binary response matrix of a population: rows are
+// users, columns the benefit items, entries the visibility bits.
+type Matrix struct {
+	Users []graph.UserID
+	Items []profile.Item
+	// V[u][i] is 1 when item i of user u is visible.
+	V [][]float64
+}
+
+// BuildMatrix extracts the response matrix for the given users from a
+// profile store; users without a profile are skipped.
+func BuildMatrix(store *profile.Store, users []graph.UserID) Matrix {
+	items := profile.Items()
+	m := Matrix{Items: items}
+	for _, u := range users {
+		p := store.Get(u)
+		if p == nil {
+			continue
+		}
+		row := make([]float64, len(items))
+		for i, item := range items {
+			if p.IsVisible(item) {
+				row[i] = 1
+			}
+		}
+		m.Users = append(m.Users, u)
+		m.V = append(m.V, row)
+	}
+	return m
+}
+
+// Scores maps users to privacy scores; higher means more exposed.
+type Scores struct {
+	// ByUser is the per-user privacy score.
+	ByUser map[graph.UserID]float64
+	// Sensitivity is the fitted per-item sensitivity in [0,1].
+	Sensitivity map[profile.Item]float64
+}
+
+// Naive computes Liu & Terzi's naive estimator: item sensitivity is
+// the population share hiding the item, and the score sums the
+// sensitivities of the items the user reveals.
+func Naive(m Matrix) (Scores, error) {
+	if len(m.Users) == 0 {
+		return Scores{}, fmt.Errorf("privscore: empty response matrix")
+	}
+	n := float64(len(m.Users))
+	sens := make([]float64, len(m.Items))
+	for i := range m.Items {
+		revealed := 0.0
+		for _, row := range m.V {
+			revealed += row[i]
+		}
+		sens[i] = (n - revealed) / n
+	}
+	out := Scores{
+		ByUser:      make(map[graph.UserID]float64, len(m.Users)),
+		Sensitivity: make(map[profile.Item]float64, len(m.Items)),
+	}
+	for i, item := range m.Items {
+		out.Sensitivity[item] = sens[i]
+	}
+	for ui, u := range m.Users {
+		score := 0.0
+		for i := range m.Items {
+			score += sens[i] * m.V[ui][i]
+		}
+		out.ByUser[u] = score
+	}
+	return out, nil
+}
+
+// IRTConfig tunes the IRT fit.
+type IRTConfig struct {
+	// Iterations of the alternating optimization (default 30).
+	Iterations int
+	// LearningRate for the Newton-damped updates (default 0.5).
+	LearningRate float64
+}
+
+// IRT fits the two-parameter logistic IRT model and returns privacy
+// scores PR(j) = Σ_i β̂_i · V(i,j) with difficulties rescaled to
+// [0,1]. The fit alternates damped Newton updates on user attitudes
+// θ_j and item parameters (α_i, β_i), which is the standard joint
+// maximum-likelihood scheme; it is regularized lightly so degenerate
+// all-visible/all-hidden rows cannot blow parameters up.
+func IRT(m Matrix, cfg IRTConfig) (Scores, error) {
+	if len(m.Users) == 0 {
+		return Scores{}, fmt.Errorf("privscore: empty response matrix")
+	}
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 30
+	}
+	lr := cfg.LearningRate
+	if lr <= 0 {
+		lr = 0.5
+	}
+	nu, ni := len(m.Users), len(m.Items)
+
+	theta := make([]float64, nu) // user attitudes
+	alpha := make([]float64, ni) // item discriminations
+	beta := make([]float64, ni)  // item difficulties (sensitivities)
+	for i := range alpha {
+		alpha[i] = 1
+	}
+	// Initialize difficulties from the naive hidden share mapped onto
+	// a logit scale, and attitudes from each user's reveal rate.
+	for i := 0; i < ni; i++ {
+		revealed := 0.0
+		for _, row := range m.V {
+			revealed += row[i]
+		}
+		p := clampP(revealed / float64(nu))
+		beta[i] = -math.Log(p / (1 - p)) // common items have low difficulty
+	}
+	for j, row := range m.V {
+		revealed := 0.0
+		for _, v := range row {
+			revealed += v
+		}
+		p := clampP(revealed / float64(ni))
+		theta[j] = math.Log(p / (1 - p))
+	}
+
+	const reg = 0.05 // L2 regularization toward the init-friendly origin
+	sigmoid := func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+	for it := 0; it < iters; it++ {
+		// Update attitudes with item parameters fixed.
+		for j := 0; j < nu; j++ {
+			grad, hess := -reg*theta[j], -reg
+			for i := 0; i < ni; i++ {
+				p := sigmoid(alpha[i] * (theta[j] - beta[i]))
+				grad += alpha[i] * (m.V[j][i] - p)
+				hess -= alpha[i] * alpha[i] * p * (1 - p)
+			}
+			theta[j] = clamp(theta[j]-lr*grad/hess, -6, 6)
+		}
+		// Update item parameters with attitudes fixed.
+		for i := 0; i < ni; i++ {
+			gradB, hessB := -reg*beta[i], -reg
+			gradA, hessA := -reg*(alpha[i]-1), -reg
+			for j := 0; j < nu; j++ {
+				d := theta[j] - beta[i]
+				p := sigmoid(alpha[i] * d)
+				gradB += -alpha[i] * (m.V[j][i] - p)
+				hessB -= alpha[i] * alpha[i] * p * (1 - p)
+				gradA += d * (m.V[j][i] - p)
+				hessA -= d * d * p * (1 - p)
+			}
+			beta[i] = clamp(beta[i]-lr*gradB/hessB, -8, 8)
+			alpha[i] = clamp(alpha[i]-lr*gradA/hessA, 0.2, 5)
+		}
+	}
+
+	// Min-max rescale difficulties into [0,1] sensitivities.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range beta {
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	sens := make([]float64, ni)
+	for i, b := range beta {
+		if hi > lo {
+			sens[i] = (b - lo) / (hi - lo)
+		} else {
+			sens[i] = 0.5
+		}
+	}
+
+	out := Scores{
+		ByUser:      make(map[graph.UserID]float64, nu),
+		Sensitivity: make(map[profile.Item]float64, ni),
+	}
+	for i, item := range m.Items {
+		out.Sensitivity[item] = sens[i]
+	}
+	for ui, u := range m.Users {
+		score := 0.0
+		for i := range m.Items {
+			score += sens[i] * m.V[ui][i]
+		}
+		out.ByUser[u] = score
+	}
+	return out, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampP(p float64) float64 {
+	const eps = 0.02
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+// PearsonByUser computes the Pearson correlation between two score
+// maps over their common users. Returns NaN with fewer than two
+// common users or zero variance.
+func PearsonByUser(a, b map[graph.UserID]float64) float64 {
+	var xs, ys []float64
+	for u, x := range a {
+		if y, ok := b[u]; ok {
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+	}
+	return Pearson(xs, ys)
+}
+
+// Pearson computes the Pearson correlation of two equal-length series.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}

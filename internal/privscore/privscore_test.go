@@ -1,0 +1,229 @@
+package privscore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+// fixedMatrix builds a small deterministic response matrix:
+//   - item "photo" visible for everyone (sensitivity 0),
+//   - item "work" hidden for everyone (sensitivity 1),
+//   - item "wall" visible for the first half.
+func fixedMatrix(n int) Matrix {
+	m := Matrix{Items: []profile.Item{profile.ItemPhoto, profile.ItemWork, profile.ItemWall}}
+	for j := 0; j < n; j++ {
+		row := []float64{1, 0, 0}
+		if j < n/2 {
+			row[2] = 1
+		}
+		m.Users = append(m.Users, graph.UserID(j+1))
+		m.V = append(m.V, row)
+	}
+	return m
+}
+
+func TestBuildMatrix(t *testing.T) {
+	store := profile.NewStore()
+	for i := 1; i <= 3; i++ {
+		p := profile.NewProfile(graph.UserID(i))
+		p.SetVisible(profile.ItemPhoto, i != 2)
+		store.Put(p)
+	}
+	m := BuildMatrix(store, []graph.UserID{1, 2, 3, 99})
+	if len(m.Users) != 3 {
+		t.Fatalf("users = %d (user 99 has no profile)", len(m.Users))
+	}
+	if len(m.Items) != 7 {
+		t.Fatalf("items = %d", len(m.Items))
+	}
+	// Photo column: visible for users 1 and 3.
+	photoIdx := -1
+	for i, item := range m.Items {
+		if item == profile.ItemPhoto {
+			photoIdx = i
+		}
+	}
+	if m.V[0][photoIdx] != 1 || m.V[1][photoIdx] != 0 || m.V[2][photoIdx] != 1 {
+		t.Fatal("photo column wrong")
+	}
+}
+
+func TestNaiveSensitivity(t *testing.T) {
+	m := fixedMatrix(10)
+	s, err := Naive(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sensitivity[profile.ItemPhoto]; got != 0 {
+		t.Fatalf("photo sensitivity = %g, want 0 (everyone reveals)", got)
+	}
+	if got := s.Sensitivity[profile.ItemWork]; got != 1 {
+		t.Fatalf("work sensitivity = %g, want 1 (everyone hides)", got)
+	}
+	if got := s.Sensitivity[profile.ItemWall]; got != 0.5 {
+		t.Fatalf("wall sensitivity = %g, want 0.5", got)
+	}
+}
+
+func TestNaiveScores(t *testing.T) {
+	m := fixedMatrix(10)
+	s, err := Naive(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First half reveal photo (0) + wall (0.5) → 0.5; second half only
+	// photo → 0.
+	for j, u := range m.Users {
+		want := 0.0
+		if j < 5 {
+			want = 0.5
+		}
+		if got := s.ByUser[u]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("score[%d] = %g, want %g", u, got, want)
+		}
+	}
+}
+
+func TestNaiveEmpty(t *testing.T) {
+	if _, err := Naive(Matrix{}); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := IRT(Matrix{}, IRTConfig{}); err == nil {
+		t.Fatal("empty matrix accepted by IRT")
+	}
+}
+
+// syntheticIRTMatrix samples a response matrix from a known 2PL model
+// so the fit can be validated against ground truth.
+func syntheticIRTMatrix(nu int, betas []float64, seed int64) (Matrix, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	items := profile.Items()[:len(betas)]
+	m := Matrix{Items: items}
+	thetas := make([]float64, nu)
+	for j := 0; j < nu; j++ {
+		thetas[j] = rng.NormFloat64() * 1.5
+		row := make([]float64, len(betas))
+		for i, b := range betas {
+			p := 1 / (1 + math.Exp(-(thetas[j] - b)))
+			if rng.Float64() < p {
+				row[i] = 1
+			}
+		}
+		m.Users = append(m.Users, graph.UserID(j+1))
+		m.V = append(m.V, row)
+	}
+	return m, thetas
+}
+
+func TestIRTRecoversDifficultyOrdering(t *testing.T) {
+	// Items with increasing true difficulty must come out with
+	// increasing fitted sensitivity.
+	trueBetas := []float64{-2, -0.5, 0.5, 2}
+	m, _ := syntheticIRTMatrix(400, trueBetas, 3)
+	s, err := IRT(m, IRTConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for i := range trueBetas {
+		got := s.Sensitivity[m.Items[i]]
+		if got < prev {
+			t.Fatalf("fitted sensitivities not increasing: item %d has %g after %g", i, got, prev)
+		}
+		prev = got
+	}
+	// Extremes hit the min-max rescale bounds.
+	if s.Sensitivity[m.Items[0]] != 0 || s.Sensitivity[m.Items[3]] != 1 {
+		t.Fatalf("rescale bounds: %g / %g", s.Sensitivity[m.Items[0]], s.Sensitivity[m.Items[3]])
+	}
+}
+
+func TestIRTScoresTrackExposure(t *testing.T) {
+	// Users revealing more sensitive items must score higher.
+	trueBetas := []float64{-1, 0, 1}
+	m, _ := syntheticIRTMatrix(300, trueBetas, 4)
+	s, err := IRT(m, IRTConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score correlates positively with the raw reveal count.
+	reveal := make(map[graph.UserID]float64, len(m.Users))
+	for j, u := range m.Users {
+		total := 0.0
+		for _, v := range m.V[j] {
+			total += v
+		}
+		reveal[u] = total
+	}
+	if r := PearsonByUser(s.ByUser, reveal); math.IsNaN(r) || r < 0.5 {
+		t.Fatalf("IRT score vs reveal-count correlation = %g, want strongly positive", r)
+	}
+}
+
+func TestIRTDegenerateMatrix(t *testing.T) {
+	// All-visible matrix: the fit must not blow up, scores finite.
+	m := Matrix{Items: []profile.Item{profile.ItemPhoto, profile.ItemWall}}
+	for j := 0; j < 5; j++ {
+		m.Users = append(m.Users, graph.UserID(j+1))
+		m.V = append(m.V, []float64{1, 1})
+	}
+	s, err := IRT(m, IRTConfig{Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, v := range s.ByUser {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("score[%d] = %g", u, v)
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	if got := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pearson of perfectly correlated = %g", got)
+	}
+	if got := Pearson([]float64{1, 2, 3}, []float64{6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Pearson of anti-correlated = %g", got)
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{2})) {
+		t.Fatal("Pearson of single point should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 1}, []float64{2, 3})) {
+		t.Fatal("Pearson with zero variance should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 2}, []float64{1})) {
+		t.Fatal("Pearson with mismatched lengths should be NaN")
+	}
+}
+
+func TestPearsonByUser(t *testing.T) {
+	a := map[graph.UserID]float64{1: 1, 2: 2, 3: 3, 9: 100}
+	b := map[graph.UserID]float64{1: 10, 2: 20, 3: 30, 8: -5}
+	if got := PearsonByUser(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("PearsonByUser = %g, want 1 over common users", got)
+	}
+	if !math.IsNaN(PearsonByUser(a, map[graph.UserID]float64{42: 1})) {
+		t.Fatal("no common users should yield NaN")
+	}
+}
+
+func TestNaiveAndIRTAgreeOnOrdering(t *testing.T) {
+	// On a well-behaved matrix the two estimators should broadly agree
+	// about who is most exposed.
+	m, _ := syntheticIRTMatrix(300, []float64{-1.5, -0.5, 0.5, 1.5}, 5)
+	naive, err := Naive(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irt, err := IRT(m, IRTConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := PearsonByUser(naive.ByUser, irt.ByUser); math.IsNaN(r) || r < 0.7 {
+		t.Fatalf("naive vs IRT correlation = %g, want high", r)
+	}
+}

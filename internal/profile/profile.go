@@ -1,0 +1,212 @@
+// Package profile models OSN user profiles as the ICDE 2012 risk paper
+// uses them: a small set of categorical profile attributes (gender,
+// locale, last name, hometown, education, work, location) and a set of
+// benefit items (wall, photos, friends list, location, education, work,
+// hometown) each of which is either visible or hidden to non-friends.
+//
+// Profile attributes drive clustering (Squeezer) and classifier edge
+// weights; benefit-item visibility drives the benefit measure B(o,s)
+// and the visibility statistics of the paper's Tables IV and V.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"sightrisk/internal/graph"
+)
+
+// Attribute names a categorical profile attribute. The paper clusters
+// with gender, last name and locale, and additionally mines hometown,
+// education, work and location as benefit items.
+type Attribute string
+
+// The profile attributes used throughout the reproduction.
+const (
+	AttrGender    Attribute = "gender"
+	AttrLocale    Attribute = "locale"
+	AttrLastName  Attribute = "last name"
+	AttrHometown  Attribute = "hometown"
+	AttrEducation Attribute = "education"
+	AttrWork      Attribute = "work"
+	AttrLocation  Attribute = "location"
+)
+
+// ClusteringAttributes are the three attributes the paper feeds to the
+// Squeezer algorithm (Section IV-D).
+func ClusteringAttributes() []Attribute {
+	return []Attribute{AttrGender, AttrLocale, AttrLastName}
+}
+
+// AllAttributes returns every attribute a profile may carry, in a
+// stable order.
+func AllAttributes() []Attribute {
+	return []Attribute{
+		AttrGender, AttrLocale, AttrLastName, AttrHometown,
+		AttrEducation, AttrWork, AttrLocation,
+	}
+}
+
+// Item names a benefit item on a profile (Section II, "Benefits").
+type Item string
+
+// The seven benefit items of the paper (Tables II-V).
+const (
+	ItemWall     Item = "wall"
+	ItemPhoto    Item = "photo"
+	ItemFriend   Item = "friend"
+	ItemLocation Item = "location"
+	ItemEdu      Item = "education"
+	ItemWork     Item = "work"
+	ItemHometown Item = "hometown"
+)
+
+// Items returns all benefit items in the paper's Table IV column order.
+func Items() []Item {
+	return []Item{
+		ItemWall, ItemPhoto, ItemFriend, ItemLocation,
+		ItemEdu, ItemWork, ItemHometown,
+	}
+}
+
+// Profile is one user's categorical attributes and benefit-item
+// visibility. Visibility is as seen by a non-friend (the owner judging
+// the stranger).
+type Profile struct {
+	User    graph.UserID         `json:"user"`
+	Attrs   map[Attribute]string `json:"attrs"`
+	Visible map[Item]bool        `json:"visible"`
+}
+
+// NewProfile returns an empty profile for the user.
+func NewProfile(u graph.UserID) *Profile {
+	return &Profile{
+		User:    u,
+		Attrs:   make(map[Attribute]string),
+		Visible: make(map[Item]bool),
+	}
+}
+
+// Attr returns the value of the attribute, or "" when unset.
+func (p *Profile) Attr(a Attribute) string { return p.Attrs[a] }
+
+// SetAttr sets an attribute value.
+func (p *Profile) SetAttr(a Attribute, v string) { p.Attrs[a] = v }
+
+// IsVisible reports whether the benefit item is visible to non-friends.
+// This is Vs(i, o) of the benefit measure.
+func (p *Profile) IsVisible(i Item) bool { return p.Visible[i] }
+
+// SetVisible sets the visibility bit of a benefit item.
+func (p *Profile) SetVisible(i Item, v bool) { p.Visible[i] = v }
+
+// Clone returns a deep copy.
+func (p *Profile) Clone() *Profile {
+	c := NewProfile(p.User)
+	for k, v := range p.Attrs {
+		c.Attrs[k] = v
+	}
+	for k, v := range p.Visible {
+		c.Visible[k] = v
+	}
+	return c
+}
+
+// Validate checks that the profile carries at least the clustering
+// attributes the pipeline depends on.
+func (p *Profile) Validate() error {
+	for _, a := range ClusteringAttributes() {
+		if p.Attrs[a] == "" {
+			return fmt.Errorf("profile: user %d missing attribute %q", p.User, a)
+		}
+	}
+	return nil
+}
+
+// Store maps users to profiles. It is a plain map wrapper with
+// deterministic iteration helpers; synchronization, when needed, is the
+// caller's concern (the pipeline builds stores once and then only
+// reads).
+type Store struct {
+	byUser map[graph.UserID]*Profile
+}
+
+// NewStore returns an empty profile store.
+func NewStore() *Store {
+	return &Store{byUser: make(map[graph.UserID]*Profile)}
+}
+
+// Put inserts or replaces the profile.
+func (s *Store) Put(p *Profile) { s.byUser[p.User] = p }
+
+// Get returns the profile for the user, or nil when absent.
+func (s *Store) Get(u graph.UserID) *Profile { return s.byUser[u] }
+
+// Has reports whether the user has a profile.
+func (s *Store) Has(u graph.UserID) bool {
+	_, ok := s.byUser[u]
+	return ok
+}
+
+// Len returns the number of stored profiles.
+func (s *Store) Len() int { return len(s.byUser) }
+
+// Users returns all user ids in ascending order.
+func (s *Store) Users() []graph.UserID {
+	out := make([]graph.UserID, 0, len(s.byUser))
+	for u := range s.byUser {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Profiles returns the profiles of the given users, skipping users
+// without one.
+func (s *Store) Profiles(users []graph.UserID) []*Profile {
+	out := make([]*Profile, 0, len(users))
+	for _, u := range users {
+		if p := s.byUser[u]; p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ValueFrequencies counts, for one attribute, how often each value
+// occurs among the given users. Unset values are skipped. This feeds
+// the frequency-based part of the PS profile-similarity measure.
+func (s *Store) ValueFrequencies(users []graph.UserID, a Attribute) map[string]int {
+	freq := make(map[string]int)
+	for _, u := range users {
+		p := s.byUser[u]
+		if p == nil {
+			continue
+		}
+		if v := p.Attrs[a]; v != "" {
+			freq[v]++
+		}
+	}
+	return freq
+}
+
+// VisibilityRate returns the fraction of the given users whose item i
+// is visible; users without a profile are skipped. Returns 0 for an
+// empty selection.
+func (s *Store) VisibilityRate(users []graph.UserID, i Item) float64 {
+	n, vis := 0, 0
+	for _, u := range users {
+		p := s.byUser[u]
+		if p == nil {
+			continue
+		}
+		n++
+		if p.Visible[i] {
+			vis++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(vis) / float64(n)
+}

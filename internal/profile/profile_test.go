@@ -1,0 +1,190 @@
+package profile
+
+import (
+	"testing"
+
+	"sightrisk/internal/graph"
+)
+
+func TestNewProfile(t *testing.T) {
+	p := NewProfile(7)
+	if p.User != 7 {
+		t.Fatalf("User = %d, want 7", p.User)
+	}
+	if p.Attr(AttrGender) != "" {
+		t.Fatal("fresh profile has non-empty attribute")
+	}
+	if p.IsVisible(ItemPhoto) {
+		t.Fatal("fresh profile has visible item")
+	}
+}
+
+func TestSetAttr(t *testing.T) {
+	p := NewProfile(1)
+	p.SetAttr(AttrGender, "female")
+	p.SetAttr(AttrLocale, "it_IT")
+	if got := p.Attr(AttrGender); got != "female" {
+		t.Fatalf("gender = %q", got)
+	}
+	p.SetAttr(AttrGender, "male") // overwrite
+	if got := p.Attr(AttrGender); got != "male" {
+		t.Fatalf("gender after overwrite = %q", got)
+	}
+}
+
+func TestVisibility(t *testing.T) {
+	p := NewProfile(1)
+	p.SetVisible(ItemWall, true)
+	if !p.IsVisible(ItemWall) {
+		t.Fatal("wall should be visible")
+	}
+	p.SetVisible(ItemWall, false)
+	if p.IsVisible(ItemWall) {
+		t.Fatal("wall should be hidden")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := NewProfile(1)
+	p.SetAttr(AttrGender, "male")
+	p.SetVisible(ItemPhoto, true)
+	c := p.Clone()
+	c.SetAttr(AttrGender, "female")
+	c.SetVisible(ItemPhoto, false)
+	if p.Attr(AttrGender) != "male" || !p.IsVisible(ItemPhoto) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := NewProfile(1)
+	if err := p.Validate(); err == nil {
+		t.Fatal("empty profile validated")
+	}
+	p.SetAttr(AttrGender, "male")
+	p.SetAttr(AttrLocale, "en_US")
+	if err := p.Validate(); err == nil {
+		t.Fatal("profile without last name validated")
+	}
+	p.SetAttr(AttrLastName, "Smith-1")
+	if err := p.Validate(); err != nil {
+		t.Fatalf("complete profile failed validation: %v", err)
+	}
+}
+
+func TestClusteringAttributesSubsetOfAll(t *testing.T) {
+	all := map[Attribute]bool{}
+	for _, a := range AllAttributes() {
+		all[a] = true
+	}
+	for _, a := range ClusteringAttributes() {
+		if !all[a] {
+			t.Fatalf("clustering attribute %q not in AllAttributes", a)
+		}
+	}
+	if len(ClusteringAttributes()) != 3 {
+		t.Fatalf("clustering attributes = %d, want 3 (gender, locale, last name)", len(ClusteringAttributes()))
+	}
+}
+
+func TestItemsCount(t *testing.T) {
+	if got := len(Items()); got != 7 {
+		t.Fatalf("Items() has %d entries, want 7", got)
+	}
+	seen := map[Item]bool{}
+	for _, i := range Items() {
+		if seen[i] {
+			t.Fatalf("duplicate item %q", i)
+		}
+		seen[i] = true
+	}
+}
+
+func newStore(t *testing.T, n int) *Store {
+	t.Helper()
+	s := NewStore()
+	for i := 0; i < n; i++ {
+		p := NewProfile(graph.UserID(i))
+		if i%2 == 0 {
+			p.SetAttr(AttrGender, "male")
+		} else {
+			p.SetAttr(AttrGender, "female")
+		}
+		p.SetVisible(ItemPhoto, i%4 != 0)
+		s.Put(p)
+	}
+	return s
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := newStore(t, 4)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if s.Get(2) == nil || s.Get(2).User != 2 {
+		t.Fatal("Get(2) wrong")
+	}
+	if s.Get(99) != nil {
+		t.Fatal("Get(absent) != nil")
+	}
+	if !s.Has(0) || s.Has(99) {
+		t.Fatal("Has wrong")
+	}
+}
+
+func TestStoreUsersSorted(t *testing.T) {
+	s := NewStore()
+	for _, id := range []graph.UserID{9, 2, 5} {
+		s.Put(NewProfile(id))
+	}
+	got := s.Users()
+	want := []graph.UserID{2, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Users = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStoreProfilesSkipsMissing(t *testing.T) {
+	s := newStore(t, 3)
+	got := s.Profiles([]graph.UserID{0, 99, 2})
+	if len(got) != 2 {
+		t.Fatalf("Profiles returned %d, want 2", len(got))
+	}
+	if got[0].User != 0 || got[1].User != 2 {
+		t.Fatalf("Profiles order wrong: %v, %v", got[0].User, got[1].User)
+	}
+}
+
+func TestValueFrequencies(t *testing.T) {
+	s := newStore(t, 6)
+	freq := s.ValueFrequencies([]graph.UserID{0, 1, 2, 3, 4, 5}, AttrGender)
+	if freq["male"] != 3 || freq["female"] != 3 {
+		t.Fatalf("frequencies = %v", freq)
+	}
+	// Unset attributes are skipped.
+	freq = s.ValueFrequencies([]graph.UserID{0, 1}, AttrLocale)
+	if len(freq) != 0 {
+		t.Fatalf("locale frequencies = %v, want empty", freq)
+	}
+	// Users without profiles are skipped.
+	freq = s.ValueFrequencies([]graph.UserID{99, 0}, AttrGender)
+	if freq["male"] != 1 || len(freq) != 1 {
+		t.Fatalf("frequencies with missing profile = %v", freq)
+	}
+}
+
+func TestVisibilityRate(t *testing.T) {
+	s := newStore(t, 8) // photo hidden for ids 0,4; visible for 6 of 8
+	got := s.VisibilityRate([]graph.UserID{0, 1, 2, 3, 4, 5, 6, 7}, ItemPhoto)
+	if want := 6.0 / 8.0; got != want {
+		t.Fatalf("VisibilityRate = %g, want %g", got, want)
+	}
+	if got := s.VisibilityRate(nil, ItemPhoto); got != 0 {
+		t.Fatalf("VisibilityRate(empty) = %g, want 0", got)
+	}
+	if got := s.VisibilityRate([]graph.UserID{99}, ItemPhoto); got != 0 {
+		t.Fatalf("VisibilityRate(missing profiles) = %g, want 0", got)
+	}
+}

@@ -1,0 +1,19 @@
+package prompt
+
+import "testing"
+
+// FuzzParse: Parse never panics and only returns valid labels.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"1", "2", "3", "not risky", "VERY RISKY", "", "banana", " 2 ", "99", "-1", "ريسكي", "\x00\x01"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		l, ok := Parse(in)
+		if ok && !l.Valid() {
+			t.Fatalf("Parse(%q) returned ok with invalid label %d", in, int(l))
+		}
+		if !ok && l != 0 {
+			t.Fatalf("Parse(%q) returned !ok with non-zero label %d", in, int(l))
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders a horizontal ASCII bar chart: one row per label,
+// bars scaled so the maximum value spans width characters. Values are
+// printed after each bar with the given format. NaN values render as
+// empty bars marked "n/a".
+func BarChart(labels []string, values []float64, width int, format string) string {
+	if width < 1 {
+		width = 40
+	}
+	if format == "" {
+		format = "%.3g"
+	}
+	max := 0.0
+	for _, v := range values {
+		if !math.IsNaN(v) && v > max {
+			max = v
+		}
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		v := math.NaN()
+		if i < len(values) {
+			v = values[i]
+		}
+		fmt.Fprintf(&b, "%-*s |", labelWidth, l)
+		if math.IsNaN(v) {
+			b.WriteString(strings.Repeat(" ", width))
+			b.WriteString("| n/a\n")
+			continue
+		}
+		n := 0
+		if max > 0 {
+			n = int(math.Round(v / max * float64(width)))
+		}
+		if n > width {
+			n = width
+		}
+		b.WriteString(strings.Repeat("#", n))
+		b.WriteString(strings.Repeat(" ", width-n))
+		b.WriteString("| ")
+		fmt.Fprintf(&b, format, v)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series renders two aligned numeric series as a compact comparison
+// block — used for the Figure 5/6 style round series where two
+// strategies are plotted against the same x axis.
+func Series(xLabel string, xs []int, names [2]string, a, b []float64, format string) string {
+	if format == "" {
+		format = "%.3f"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s", xLabel)
+	fmt.Fprintf(&sb, "%12s%12s\n", names[0], names[1])
+	for i, x := range xs {
+		va, vb := math.NaN(), math.NaN()
+		if i < len(a) {
+			va = a[i]
+		}
+		if i < len(b) {
+			vb = b[i]
+		}
+		fmt.Fprintf(&sb, "%-6d", x)
+		for _, v := range [2]float64{va, vb} {
+			if math.IsNaN(v) {
+				fmt.Fprintf(&sb, "%12s", "-")
+			} else {
+				fmt.Fprintf(&sb, "%12s", fmt.Sprintf(format, v))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,59 @@
+package synthetic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+)
+
+// Churn mutates an owner's neighborhood in place the way the paper
+// says live graphs move (Section III): strangers acquire new
+// connections to the owner's friends — "new connections between
+// strangers themselves, which might impact their similarity measures
+// with the owner" — so network similarities drift between runs. It
+// adds up to newEdges fresh stranger→friend edges, sampled uniformly,
+// and returns the number actually added (duplicates are skipped, so
+// saturated neighborhoods add fewer).
+//
+// Churn invalidates nothing structurally: the stranger set is
+// unchanged (edges to friends keep strangers at distance 2), only NS
+// scores move — which is exactly the drift the on-the-fly pool
+// construction must absorb.
+func Churn(study *Study, owner *Owner, newEdges int, seed int64) (int, error) {
+	if study == nil || owner == nil {
+		return 0, fmt.Errorf("synthetic: churn needs a study and an owner")
+	}
+	if newEdges < 0 {
+		return 0, fmt.Errorf("synthetic: newEdges must be >= 0, got %d", newEdges)
+	}
+	friends := owner.Net.Friends
+	strangers := owner.Net.Strangers
+	if len(friends) == 0 || len(strangers) == 0 {
+		return 0, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	added := 0
+	// Bound attempts so saturated neighborhoods terminate.
+	for attempts := 0; added < newEdges && attempts < 20*newEdges+100; attempts++ {
+		s := strangers[rng.Intn(len(strangers))]
+		f := friends[rng.Intn(len(friends))]
+		if study.Graph.HasEdge(s, f) {
+			continue
+		}
+		// Keep the paper's Figure 4 property: cap mutual friends below
+		// ~2/5 of the owner's friend count so NS stays under 0.6.
+		if len(study.Graph.MutualFriends(owner.ID, s)) >= len(friends)*2/5 {
+			continue
+		}
+		if err := study.Graph.AddEdge(s, f); err != nil {
+			return added, err
+		}
+		added++
+	}
+	// Drop memoized labels: the owner re-judges strangers whose
+	// closeness changed (deterministically, via the same attitude).
+	owner.cache = make(map[graph.UserID]label.Label)
+	return added, nil
+}

@@ -1,0 +1,211 @@
+package synthetic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+// EgoConfig parameterizes one owner's ego network: the owner, their
+// direct friends organized in communities, and the stranger ring
+// (friends of friends).
+type EgoConfig struct {
+	// Friends is the owner's direct friend count.
+	Friends int
+	// Strangers is the number of second-hop contacts to generate.
+	Strangers int
+	// CommunitySize is the approximate number of friends per community
+	// (school, work, hometown, ...). Must be >= 2.
+	CommunitySize int
+	// IntraCommunityP is the friend-friend edge probability inside a
+	// community; CrossCommunityP across communities.
+	IntraCommunityP, CrossCommunityP float64
+	// MutualExponent shapes the distribution of a stranger's mutual-
+	// friend count m: m = 1 + floor((maxMutual-1)·u^MutualExponent).
+	// Larger exponents skew harder toward m = 1, reproducing the
+	// paper's Figure 4 (most strangers weakly connected; "some
+	// strangers can have more than 40 mutual friends").
+	MutualExponent float64
+	// MaxMutual caps a stranger's mutual-friend count (paper: > 40
+	// observed; we default to 40).
+	MaxMutual int
+	// OwnerLocaleP is the probability a stranger shares the owner's
+	// locale.
+	OwnerLocaleP float64
+	// StrangerEdgeP is the probability of adding an edge between two
+	// consecutive same-community strangers (realism for the crawler;
+	// does not affect NS).
+	StrangerEdgeP float64
+	// Topology selects how the owner's friends are wired to each other
+	// (default Communities; see the robustness experiment).
+	Topology Topology
+}
+
+// DefaultEgoConfig mirrors the paper's population scale per owner:
+// ~130 friends (Facebook's contemporary mean) and 3,661 strangers
+// (the paper's per-owner mean).
+func DefaultEgoConfig() EgoConfig {
+	return EgoConfig{
+		Friends:         130,
+		Strangers:       3661,
+		CommunitySize:   18,
+		IntraCommunityP: 0.35,
+		CrossCommunityP: 0.02,
+		MutualExponent:  12,
+		MaxMutual:       40,
+		OwnerLocaleP:    0.9,
+		StrangerEdgeP:   0.15,
+	}
+}
+
+func (c EgoConfig) validate() error {
+	if c.Friends < 2 {
+		return fmt.Errorf("synthetic: Friends must be >= 2, got %d", c.Friends)
+	}
+	if c.Strangers < 1 {
+		return fmt.Errorf("synthetic: Strangers must be >= 1, got %d", c.Strangers)
+	}
+	if c.CommunitySize < 2 {
+		return fmt.Errorf("synthetic: CommunitySize must be >= 2, got %d", c.CommunitySize)
+	}
+	if c.MutualExponent <= 0 {
+		return fmt.Errorf("synthetic: MutualExponent must be > 0, got %g", c.MutualExponent)
+	}
+	if c.MaxMutual < 1 {
+		return fmt.Errorf("synthetic: MaxMutual must be >= 1, got %d", c.MaxMutual)
+	}
+	return nil
+}
+
+// EgoNet is a generated owner-centric network fragment.
+type EgoNet struct {
+	Owner     graph.UserID
+	Friends   []graph.UserID
+	Strangers []graph.UserID
+	// Community[f] is the community index of friend f.
+	Community map[graph.UserID]int
+}
+
+// idAllocator deals fresh user ids across ego networks.
+type idAllocator struct{ next graph.UserID }
+
+func (a *idAllocator) take() graph.UserID {
+	a.next++
+	return a.next
+}
+
+// generateEgo builds one owner's ego network into g and store. The
+// ownerLocale pins the owner's and most strangers' locale;
+// communityBase offsets community hints so value pools differ across
+// owners.
+func generateEgo(rng *rand.Rand, g *graph.Graph, store *profile.Store, ids *idAllocator, cfg EgoConfig, ownerLocale string, ownerGender string, communityBase int) (*EgoNet, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pools := newValuePools(rng)
+
+	net := &EgoNet{Owner: ids.take(), Community: make(map[graph.UserID]int)}
+	g.AddNode(net.Owner)
+	ownerProfile := profile.NewProfile(net.Owner)
+	pools.fillProfileAttrs(ownerProfile, ownerLocale, communityBase, -1)
+	if ownerGender != "" {
+		ownerProfile.SetAttr(profile.AttrGender, ownerGender)
+	}
+	fillVisibility(rng, ownerProfile)
+	store.Put(ownerProfile)
+
+	// Friends, partitioned into communities.
+	nComm := (cfg.Friends + cfg.CommunitySize - 1) / cfg.CommunitySize
+	if nComm < 1 {
+		nComm = 1
+	}
+	communities := make([][]graph.UserID, nComm)
+	for i := 0; i < cfg.Friends; i++ {
+		f := ids.take()
+		c := i % nComm
+		net.Friends = append(net.Friends, f)
+		net.Community[f] = c
+		communities[c] = append(communities[c], f)
+		if err := g.AddEdge(net.Owner, f); err != nil {
+			return nil, err
+		}
+		p := profile.NewProfile(f)
+		fam := -1
+		if rng.Float64() < 0.15 {
+			fam = communityBase + c // family clusters inside communities
+		}
+		pools.fillProfileAttrs(p, pools.locale(ownerLocale, cfg.OwnerLocaleP), communityBase+c, fam)
+		fillVisibility(rng, p)
+		store.Put(p)
+	}
+
+	// Friend-friend edges per the configured topology (communities by
+	// default; small-world / scale-free for robustness runs).
+	if err := wireFriends(rng, g, net.Friends, net.Community, cfg); err != nil {
+		return nil, err
+	}
+
+	// Strangers: each attaches to m mutual friends, mostly inside one
+	// community so that high-m strangers sit next to dense communities
+	// (which is what NS rewards).
+	var prevStranger graph.UserID
+	var prevCommunity int
+	for i := 0; i < cfg.Strangers; i++ {
+		s := ids.take()
+		net.Strangers = append(net.Strangers, s)
+		c := rng.Intn(nComm)
+		maxM := cfg.MaxMutual
+		// Cap mutual friends at two fifths of the owner's friend count
+		// so NS (Jaccard-based, density-boosted) tops out just below
+		// 0.6, matching the paper's observation that no stranger
+		// exceeds that network similarity (its Figure 4 populates
+		// groups up to [0.5, 0.6)).
+		if limit := cfg.Friends * 2 / 5; maxM > limit {
+			maxM = limit
+		}
+		if maxM < 1 {
+			maxM = 1
+		}
+		u := rng.Float64()
+		m := 1 + int(math.Floor(float64(maxM-1)*math.Pow(u, cfg.MutualExponent)))
+
+		attached := make(map[graph.UserID]struct{}, m)
+		comm := communities[c]
+		for len(attached) < m {
+			var f graph.UserID
+			if rng.Float64() < 0.8 && len(attached) < len(comm) {
+				f = comm[rng.Intn(len(comm))]
+			} else {
+				f = net.Friends[rng.Intn(len(net.Friends))]
+			}
+			if _, dup := attached[f]; dup {
+				continue
+			}
+			attached[f] = struct{}{}
+			if err := g.AddEdge(s, f); err != nil {
+				return nil, err
+			}
+		}
+
+		p := profile.NewProfile(s)
+		fam := -1
+		if rng.Float64() < 0.1 {
+			fam = communityBase + c
+		}
+		pools.fillProfileAttrs(p, pools.locale(ownerLocale, cfg.OwnerLocaleP), communityBase+c, fam)
+		fillVisibility(rng, p)
+		store.Put(p)
+
+		// Occasional stranger-stranger edge inside the same community.
+		if prevStranger != 0 && prevCommunity == c && rng.Float64() < cfg.StrangerEdgeP {
+			if err := g.AddEdge(prevStranger, s); err != nil {
+				return nil, err
+			}
+		}
+		prevStranger, prevCommunity = s, c
+	}
+	return net, nil
+}

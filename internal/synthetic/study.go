@@ -1,0 +1,177 @@
+package synthetic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/profile"
+)
+
+// StudyConfig sizes a whole study population.
+type StudyConfig struct {
+	Seed int64
+	// Owners is the number of study participants (paper: 47).
+	Owners int
+	// Ego configures each owner's ego network; Friends and Strangers
+	// are jittered ±Jitter around the configured values so owners
+	// differ in scale.
+	Ego    EgoConfig
+	Jitter float64
+	// GenderDominantFrac is the fraction of owners whose primary
+	// labeling signal is gender (Table I: 34/47 ≈ 0.72).
+	GenderDominantFrac float64
+}
+
+// DefaultStudyConfig reproduces the paper's population: 47 owners,
+// mean 3,661 strangers each (~172k stranger profiles in total).
+func DefaultStudyConfig() StudyConfig {
+	return StudyConfig{
+		Seed:               1,
+		Owners:             47,
+		Ego:                DefaultEgoConfig(),
+		Jitter:             0.25,
+		GenderDominantFrac: 34.0 / 47,
+	}
+}
+
+// SmallStudyConfig is a laptop-fast population for tests and examples:
+// 8 owners with ~400 strangers each.
+func SmallStudyConfig() StudyConfig {
+	cfg := DefaultStudyConfig()
+	cfg.Owners = 8
+	cfg.Ego.Friends = 60
+	cfg.Ego.Strangers = 400
+	return cfg
+}
+
+// ownerDemographics mirrors the paper's participant table: 32 male /
+// 15 female; 17 TR, 5 IT, 9 US, 1 India (no IN locale in Table V — we
+// map it to en_GB, the closest interface language), 7 PL, and the
+// remaining 8 participants (unreported in the paper) spread over the
+// remaining Table V locales.
+func ownerDemographics(n int, rng *rand.Rand) (genders, locales []string) {
+	genders = make([]string, n)
+	locales = make([]string, n)
+	for i := 0; i < n; i++ {
+		if i < int(float64(n)*32.0/47+0.5) {
+			genders[i] = GenderMale
+		} else {
+			genders[i] = GenderFemale
+		}
+	}
+	base := []string{}
+	quota := []struct {
+		locale string
+		count  int
+	}{
+		{LocaleTR, 17}, {LocaleIT, 5}, {LocaleUS, 9}, {LocaleGB, 1}, {LocalePL, 7},
+		{LocaleDE, 3}, {LocaleES, 3}, {LocaleGB, 2},
+	}
+	for _, q := range quota {
+		for i := 0; i < q.count; i++ {
+			base = append(base, q.locale)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if i < len(base) {
+			locales[i] = base[i*len(base)/n] // proportional when n != 47
+		} else {
+			all := Locales()
+			locales[i] = all[rng.Intn(len(all))]
+		}
+	}
+	rng.Shuffle(n, func(i, j int) { genders[i], genders[j] = genders[j], genders[i] })
+	rng.Shuffle(n, func(i, j int) { locales[i], locales[j] = locales[j], locales[i] })
+	return genders, locales
+}
+
+// Study is a full generated population: one graph holding every
+// owner's ego network (as disjoint components), all profiles, and the
+// simulated owners.
+type Study struct {
+	Graph    *graph.Graph
+	Profiles *profile.Store
+	Owners   []*Owner
+}
+
+// TotalStrangers sums the stranger counts over all owners.
+func (s *Study) TotalStrangers() int {
+	total := 0
+	for _, o := range s.Owners {
+		total += len(o.Net.Strangers)
+	}
+	return total
+}
+
+// MeanStrangers returns the mean stranger count per owner.
+func (s *Study) MeanStrangers() float64 {
+	if len(s.Owners) == 0 {
+		return 0
+	}
+	return float64(s.TotalStrangers()) / float64(len(s.Owners))
+}
+
+// GenerateStudy builds the study population deterministically from the
+// config seed.
+func GenerateStudy(cfg StudyConfig) (*Study, error) {
+	if cfg.Owners < 1 {
+		return nil, fmt.Errorf("synthetic: Owners must be >= 1, got %d", cfg.Owners)
+	}
+	if err := cfg.Ego.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New()
+	store := profile.NewStore()
+	ids := &idAllocator{}
+	study := &Study{Graph: g, Profiles: store}
+
+	genders, locales := ownerDemographics(cfg.Owners, rng)
+
+	for i := 0; i < cfg.Owners; i++ {
+		ego := cfg.Ego
+		ego.Friends = jitter(rng, ego.Friends, cfg.Jitter)
+		ego.Strangers = jitter(rng, ego.Strangers, cfg.Jitter)
+		net, err := generateEgo(rng, g, store, ids, ego, locales[i], genders[i], (i+1)*1000)
+		if err != nil {
+			return nil, fmt.Errorf("synthetic: owner %d: %w", i, err)
+		}
+		genderDominant := rng.Float64() < cfg.GenderDominantFrac
+		owner := &Owner{
+			ID:         net.Owner,
+			Net:        net,
+			Theta:      drawTheta(rng),
+			Confidence: clamp(78.39+8*rng.NormFloat64(), 60, 95),
+			Attitude:   drawAttitude(rng, genders[i], genderDominant),
+			g:          g,
+			store:      store,
+			cache:      make(map[graph.UserID]label.Label),
+		}
+		study.Owners = append(study.Owners, owner)
+	}
+	return study, nil
+}
+
+func jitter(rng *rand.Rand, v int, frac float64) int {
+	if frac <= 0 {
+		return v
+	}
+	delta := 1 + frac*(2*rng.Float64()-1)
+	out := int(float64(v) * delta)
+	if out < 2 {
+		out = 2
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

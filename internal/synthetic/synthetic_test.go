@@ -1,0 +1,450 @@
+package synthetic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+func smallStudy(t *testing.T, seed int64) *Study {
+	t.Helper()
+	cfg := SmallStudyConfig()
+	cfg.Owners = 3
+	cfg.Ego.Strangers = 200
+	cfg.Seed = seed
+	study, err := GenerateStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return study
+}
+
+func TestGenerateStudyBasics(t *testing.T) {
+	study := smallStudy(t, 1)
+	if len(study.Owners) != 3 {
+		t.Fatalf("owners = %d, want 3", len(study.Owners))
+	}
+	if study.TotalStrangers() == 0 {
+		t.Fatal("no strangers generated")
+	}
+	if got := study.MeanStrangers(); got <= 0 {
+		t.Fatalf("mean strangers = %g", got)
+	}
+}
+
+func TestGenerateStudyValidation(t *testing.T) {
+	cfg := SmallStudyConfig()
+	cfg.Owners = 0
+	if _, err := GenerateStudy(cfg); err == nil {
+		t.Fatal("zero owners accepted")
+	}
+	cfg = SmallStudyConfig()
+	cfg.Ego.Friends = 1
+	if _, err := GenerateStudy(cfg); err == nil {
+		t.Fatal("one friend accepted")
+	}
+	cfg = SmallStudyConfig()
+	cfg.Ego.MutualExponent = 0
+	if _, err := GenerateStudy(cfg); err == nil {
+		t.Fatal("zero mutual exponent accepted")
+	}
+}
+
+func TestStrangersMatchGraph(t *testing.T) {
+	// The generator's stranger roster must coincide with the graph's
+	// second-hop definition.
+	study := smallStudy(t, 2)
+	for _, o := range study.Owners {
+		fromGraph := study.Graph.Strangers(o.ID)
+		roster := map[graph.UserID]bool{}
+		for _, s := range o.Strangers() {
+			roster[s] = true
+		}
+		if len(fromGraph) != len(roster) {
+			t.Fatalf("owner %d: graph says %d strangers, roster %d", o.ID, len(fromGraph), len(roster))
+		}
+		for _, s := range fromGraph {
+			if !roster[s] {
+				t.Fatalf("owner %d: graph stranger %d missing from roster", o.ID, s)
+			}
+		}
+	}
+}
+
+func TestEveryoneHasCompleteProfile(t *testing.T) {
+	study := smallStudy(t, 3)
+	for _, u := range study.Graph.Nodes() {
+		p := study.Profiles.Get(u)
+		if p == nil {
+			t.Fatalf("user %d has no profile", u)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("user %d: %v", u, err)
+		}
+		for _, a := range profile.AllAttributes() {
+			if p.Attr(a) == "" {
+				t.Fatalf("user %d missing attribute %s", u, a)
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := smallStudy(t, 7)
+	b := smallStudy(t, 7)
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range a.Owners {
+		sa, sb := a.Owners[i].Strangers(), b.Owners[i].Strangers()
+		if len(sa) != len(sb) {
+			t.Fatalf("owner %d stranger counts differ", i)
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatal("stranger rosters differ")
+			}
+			if a.Owners[i].LabelStranger(sa[j]) != b.Owners[i].LabelStranger(sb[j]) {
+				t.Fatal("same seed produced different labels")
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := smallStudy(t, 1)
+	b := smallStudy(t, 99)
+	if a.Graph.NumEdges() == b.Graph.NumEdges() && a.TotalStrangers() == b.TotalStrangers() {
+		t.Fatal("different seeds produced identical populations (suspicious)")
+	}
+}
+
+func TestOwnerLabelingDeterministicAndMemoized(t *testing.T) {
+	study := smallStudy(t, 4)
+	o := study.Owners[0]
+	s := o.Strangers()[0]
+	first := o.LabelStranger(s)
+	for i := 0; i < 5; i++ {
+		if got := o.LabelStranger(s); got != first {
+			t.Fatalf("labeling not stable: %v then %v", first, got)
+		}
+	}
+	if !first.Valid() {
+		t.Fatalf("invalid label %d", int(first))
+	}
+}
+
+func TestOwnerScoreRange(t *testing.T) {
+	study := smallStudy(t, 5)
+	for _, o := range study.Owners {
+		for _, s := range o.Strangers() {
+			score := o.Score(s)
+			if score < 0 || score > 1 {
+				t.Fatalf("score %g out of [0,1]", score)
+			}
+		}
+	}
+}
+
+func TestAttitudeCutPointsOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		att := drawAttitude(rng, GenderMale, i%3 != 0)
+		if !(att.T1 < att.T2) {
+			t.Fatalf("cut points unordered: T1=%g T2=%g", att.T1, att.T2)
+		}
+		if att.T1 <= 0 || att.T2 >= 1 {
+			t.Fatalf("cut points out of (0,1): T1=%g T2=%g", att.T1, att.T2)
+		}
+		if att.WGender < 0 || att.WLocale < 0 || att.WNS < 0 {
+			t.Fatal("negative attitude weight")
+		}
+		if att.RiskyGender != GenderMale && att.RiskyGender != GenderFemale {
+			t.Fatalf("bad risky gender %q", att.RiskyGender)
+		}
+	}
+}
+
+func TestAllThreeLabelsOccur(t *testing.T) {
+	study := smallStudy(t, 6)
+	counts := map[int]int{}
+	for _, o := range study.Owners {
+		for _, s := range o.Strangers() {
+			counts[int(o.LabelStranger(s))]++
+		}
+	}
+	for l := 1; l <= 3; l++ {
+		if counts[l] == 0 {
+			t.Fatalf("label %d never assigned: %v", l, counts)
+		}
+	}
+}
+
+func TestThetaDrawsNearPaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		th := drawTheta(rng)
+		if err := th.Validate(); err != nil {
+			t.Fatalf("drawn theta invalid: %v", err)
+		}
+		sum := 0.0
+		for _, v := range th {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("drawn theta sums to %g", sum)
+		}
+	}
+}
+
+func TestVisibilityCalibration(t *testing.T) {
+	// Marginal visibility rates of a large sample must track the
+	// calibrated paper rates within a few points.
+	cfg := SmallStudyConfig()
+	cfg.Owners = 6
+	cfg.Ego.Strangers = 800
+	cfg.Seed = 11
+	study, err := GenerateStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var males, females []graph.UserID
+	for _, o := range study.Owners {
+		for _, s := range o.Strangers() {
+			switch study.Profiles.Get(s).Attr(profile.AttrGender) {
+			case GenderMale:
+				males = append(males, s)
+			case GenderFemale:
+				females = append(females, s)
+			}
+		}
+	}
+	// Numeric tolerance is loose (±0.08): gender marginals couple to
+	// the population's locale mix (see visibilityProb), so only rough
+	// agreement with Table IV is achievable.
+	for _, tt := range []struct {
+		users  []graph.UserID
+		gender string
+	}{{males, GenderMale}, {females, GenderFemale}} {
+		for _, item := range profile.Items() {
+			got := study.Profiles.VisibilityRate(tt.users, item)
+			want := PaperGenderVisibility(item, tt.gender)
+			if math.Abs(got-want) > 0.08 {
+				t.Errorf("%s/%s visibility = %.3f, paper %.3f", tt.gender, item, got, want)
+			}
+		}
+	}
+	// The structural Table IV claim: female strangers are less visible
+	// on every item except photos, where the rates are nearly equal.
+	for _, item := range profile.Items() {
+		m := study.Profiles.VisibilityRate(males, item)
+		f := study.Profiles.VisibilityRate(females, item)
+		if item == profile.ItemPhoto {
+			if math.Abs(m-f) > 0.05 {
+				t.Errorf("photo visibility gap = %.3f, want ≈ 0", m-f)
+			}
+			continue
+		}
+		if f >= m {
+			t.Errorf("%s: female visibility %.3f >= male %.3f, want lower", item, f, m)
+		}
+	}
+}
+
+func TestVisibilityProbClamped(t *testing.T) {
+	for _, item := range profile.Items() {
+		for _, g := range []string{GenderMale, GenderFemale, "unknown"} {
+			for _, l := range append(Locales(), "zz_ZZ") {
+				p := visibilityProb(item, g, l)
+				if p < 0.01 || p > 0.99 {
+					t.Fatalf("visibilityProb(%s,%s,%s) = %g", item, g, l, p)
+				}
+			}
+		}
+	}
+}
+
+func TestOwnerDemographics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	genders, locales := ownerDemographics(47, rng)
+	males := 0
+	for _, g := range genders {
+		if g == GenderMale {
+			males++
+		}
+	}
+	if males < 28 || males > 36 {
+		t.Fatalf("males = %d, want ≈ 32", males)
+	}
+	byLocale := map[string]int{}
+	for _, l := range locales {
+		byLocale[l]++
+	}
+	if byLocale[LocaleTR] < 10 {
+		t.Fatalf("TR owners = %d, want the plurality (≈17)", byLocale[LocaleTR])
+	}
+	for _, l := range locales {
+		found := false
+		for _, known := range Locales() {
+			if l == known {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("unknown owner locale %q", l)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		v := jitter(rng, 100, 0.25)
+		if v < 75 || v > 125 {
+			t.Fatalf("jitter(100, 0.25) = %d", v)
+		}
+	}
+	if jitter(rng, 100, 0) != 100 {
+		t.Fatal("zero jitter changed value")
+	}
+	if jitter(rng, 1, 0.9) < 2 {
+		t.Fatal("jitter floor violated")
+	}
+}
+
+func TestExpectedBenefitOffsetSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		att := drawAttitude(rng, GenderFemale, true)
+		off := expectedBenefitOffset(att)
+		if math.Abs(off) > 0.2 {
+			t.Fatalf("benefit offset %g implausibly large", off)
+		}
+	}
+}
+
+func TestHashUnitDeterministicUniform(t *testing.T) {
+	if hashUnit(1, 2, 3) != hashUnit(1, 2, 3) {
+		t.Fatal("hashUnit not deterministic")
+	}
+	if hashUnit(1, 2, 3) == hashUnit(1, 2, 4) {
+		t.Fatal("hashUnit collision on adjacent input (suspicious)")
+	}
+	// Rough uniformity: mean of many draws near 0.5.
+	sum := 0.0
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		v := hashUnit(42, i, i*7+1)
+		if v < 0 || v >= 1 {
+			t.Fatalf("hashUnit out of [0,1): %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("hashUnit mean = %g, want ≈ 0.5", mean)
+	}
+}
+
+func TestMutualFriendCap(t *testing.T) {
+	// NS must stay below ~0.6 (paper Fig. 4: no stranger above 0.6).
+	study := smallStudy(t, 8)
+	for _, o := range study.Owners {
+		for _, s := range o.Strangers() {
+			m := len(study.Graph.MutualFriends(o.ID, s))
+			if m > study.Graph.Degree(o.ID)*2/5+1 {
+				t.Fatalf("stranger %d has %d mutual friends, owner degree %d", s, m, study.Graph.Degree(o.ID))
+			}
+		}
+	}
+}
+
+func TestChurnAddsEdgesAndMovesNS(t *testing.T) {
+	study := smallStudy(t, 9)
+	o := study.Owners[0]
+	before := study.Graph.NumEdges()
+	added, err := Churn(study, o, 80, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("churn added nothing")
+	}
+	if got := study.Graph.NumEdges() - before; got != added {
+		t.Fatalf("edge delta %d != reported %d", got, added)
+	}
+	// Stranger set unchanged (new edges keep strangers at distance 2).
+	after := study.Graph.Strangers(o.ID)
+	if len(after) != len(o.Strangers()) {
+		t.Fatalf("stranger count changed: %d -> %d", len(o.Strangers()), len(after))
+	}
+	// The mutual-friend cap that keeps Figure 4's NS ceiling holds.
+	limit := study.Graph.Degree(o.ID)*2/5 + 1
+	for _, s := range after {
+		if m := len(study.Graph.MutualFriends(o.ID, s)); m > limit {
+			t.Fatalf("stranger %d has %d mutual friends after churn (limit %d)", s, m, limit)
+		}
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	study := smallStudy(t, 9)
+	if _, err := Churn(nil, study.Owners[0], 5, 1); err == nil {
+		t.Fatal("nil study accepted")
+	}
+	if _, err := Churn(study, nil, 5, 1); err == nil {
+		t.Fatal("nil owner accepted")
+	}
+	if _, err := Churn(study, study.Owners[0], -1, 1); err == nil {
+		t.Fatal("negative edge count accepted")
+	}
+	if n, err := Churn(study, study.Owners[0], 0, 1); err != nil || n != 0 {
+		t.Fatalf("zero churn = (%d, %v)", n, err)
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	for _, topo := range []Topology{Communities, SmallWorld, ScaleFree} {
+		cfg := SmallStudyConfig()
+		cfg.Owners = 1
+		cfg.Ego.Strangers = 150
+		cfg.Ego.Topology = topo
+		cfg.Seed = 12
+		study, err := GenerateStudy(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		o := study.Owners[0]
+		if len(o.Strangers()) == 0 {
+			t.Fatalf("%v: no strangers", topo)
+		}
+		// Friend circles stay connected enough to carry NS density.
+		friends := study.Graph.Friends(o.ID)
+		edges := study.Graph.InducedEdges(friends)
+		if edges == 0 {
+			t.Fatalf("%v: no friend-friend edges", topo)
+		}
+		// Strangers remain exactly at distance 2.
+		for _, s := range o.Strangers() {
+			if study.Graph.HasEdge(o.ID, s) {
+				t.Fatalf("%v: stranger %d is a direct friend", topo, s)
+			}
+		}
+	}
+	if got := Topology(9).String(); got != "Topology(9)" {
+		t.Fatalf("unknown topology string = %q", got)
+	}
+	if Communities.String() != "communities" || SmallWorld.String() != "small-world" || ScaleFree.String() != "scale-free" {
+		t.Fatal("topology names wrong")
+	}
+}
+
+func TestUnknownTopologyRejected(t *testing.T) {
+	cfg := SmallStudyConfig()
+	cfg.Ego.Topology = Topology(42)
+	if _, err := GenerateStudy(cfg); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}

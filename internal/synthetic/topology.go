@@ -1,0 +1,138 @@
+package synthetic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sightrisk/internal/graph"
+)
+
+// Topology selects how an owner's friends are wired to each other.
+// The risk pipeline's claims should not depend on the generator's
+// exact shape, so the robustness experiment re-runs the headline
+// results across these topologies.
+type Topology int
+
+// Friend-graph topologies.
+const (
+	// Communities is the default: friends partitioned into dense
+	// communities with sparse cross links (schools, workplaces, ...).
+	Communities Topology = iota
+	// SmallWorld is a Watts-Strogatz ring lattice with rewiring: high
+	// clustering, short paths, no explicit communities.
+	SmallWorld
+	// ScaleFree is Barabási-Albert preferential attachment: a few hub
+	// friends collect most intra-circle edges.
+	ScaleFree
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case Communities:
+		return "communities"
+	case SmallWorld:
+		return "small-world"
+	case ScaleFree:
+		return "scale-free"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// wireFriends connects the owner's friends per the configured
+// topology. Friends are already connected to the owner; this adds the
+// friend-friend edges whose density the NS measure rewards.
+func wireFriends(rng *rand.Rand, g *graph.Graph, friends []graph.UserID, community map[graph.UserID]int, cfg EgoConfig) error {
+	switch cfg.Topology {
+	case Communities:
+		for i, a := range friends {
+			for _, b := range friends[i+1:] {
+				p := cfg.CrossCommunityP
+				if community[a] == community[b] {
+					p = cfg.IntraCommunityP
+				}
+				if rng.Float64() < p {
+					if err := g.AddEdge(a, b); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	case SmallWorld:
+		// Ring lattice with k nearest neighbors on each side, then
+		// rewiring with probability 0.1.
+		n := len(friends)
+		if n < 2 {
+			return nil
+		}
+		k := 3
+		if k >= n {
+			k = n - 1
+		}
+		for i := 0; i < n; i++ {
+			for d := 1; d <= k; d++ {
+				j := (i + d) % n
+				target := friends[j]
+				if rng.Float64() < 0.1 { // rewire
+					target = friends[rng.Intn(n)]
+					if target == friends[i] {
+						continue
+					}
+				}
+				if err := g.AddEdge(friends[i], target); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case ScaleFree:
+		// Barabási-Albert: each friend after the first attaches to m
+		// earlier friends with probability proportional to their
+		// current intra-circle degree (plus one, so isolated nodes
+		// remain reachable).
+		n := len(friends)
+		if n < 2 {
+			return nil
+		}
+		const m = 3
+		deg := make([]int, n)
+		for i := 1; i < n; i++ {
+			links := m
+			if links > i {
+				links = i
+			}
+			chosen := map[int]bool{}
+			for len(chosen) < links {
+				total := 0
+				for j := 0; j < i; j++ {
+					if !chosen[j] {
+						total += deg[j] + 1
+					}
+				}
+				pick := rng.Intn(total)
+				for j := 0; j < i; j++ {
+					if chosen[j] {
+						continue
+					}
+					pick -= deg[j] + 1
+					if pick < 0 {
+						chosen[j] = true
+						break
+					}
+				}
+			}
+			for j := range chosen {
+				if err := g.AddEdge(friends[i], friends[j]); err != nil {
+					return err
+				}
+				deg[i]++
+				deg[j]++
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("synthetic: unknown topology %v", cfg.Topology)
+	}
+}

@@ -1,0 +1,169 @@
+// Package synthetic generates the study population that replaces the
+// paper's live Facebook data (DESIGN.md §2): community-structured
+// owner ego-networks, categorical profiles with homophilous value
+// assignment, a benefit-item visibility model calibrated to the
+// paper's measured gender and locale marginals (Tables IV and V), and
+// simulated owners whose latent risk attitudes reproduce the paper's
+// mined attribute-importance structure (Tables I-III).
+package synthetic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sightrisk/internal/profile"
+)
+
+// Locale codes used by the paper's Table V.
+const (
+	LocaleTR = "tr_TR"
+	LocaleDE = "de_DE"
+	LocaleUS = "en_US"
+	LocaleIT = "it_IT"
+	LocaleGB = "en_GB"
+	LocaleES = "es_ES"
+	LocalePL = "pl_PL"
+)
+
+// Locales returns the seven locales of Table V in the paper's order.
+func Locales() []string {
+	return []string{LocaleTR, LocaleDE, LocaleUS, LocaleIT, LocaleGB, LocaleES, LocalePL}
+}
+
+// Genders used by Table IV.
+const (
+	GenderMale   = "male"
+	GenderFemale = "female"
+)
+
+// surnameStems provides per-locale surname material; actual last names
+// are a stem plus a numeric family index so each locale has hundreds
+// of distinct family names with realistic reuse inside communities.
+var surnameStems = map[string][]string{
+	LocaleTR: {"Yilmaz", "Kaya", "Demir", "Celik", "Sahin", "Ozturk", "Aydin", "Arslan"},
+	LocaleDE: {"Mueller", "Schmidt", "Schneider", "Fischer", "Weber", "Wagner", "Becker"},
+	LocaleUS: {"Smith", "Johnson", "Williams", "Brown", "Jones", "Miller", "Davis"},
+	LocaleIT: {"Rossi", "Russo", "Ferrari", "Esposito", "Bianchi", "Romano", "Colombo"},
+	LocaleGB: {"Taylor", "Wilson", "Evans", "Thomas", "Roberts", "Walker", "Wright"},
+	LocaleES: {"Garcia", "Fernandez", "Gonzalez", "Rodriguez", "Lopez", "Martinez"},
+	LocalePL: {"Nowak", "Kowalski", "Wisniewski", "Wojcik", "Kowalczyk", "Kaminski"},
+}
+
+// hometownStems provides per-locale hometown material.
+var hometownStems = map[string][]string{
+	LocaleTR: {"Istanbul", "Ankara", "Izmir", "Bursa", "Antalya"},
+	LocaleDE: {"Berlin", "Hamburg", "Munich", "Cologne", "Frankfurt"},
+	LocaleUS: {"New York", "Chicago", "Houston", "Phoenix", "Seattle"},
+	LocaleIT: {"Milan", "Rome", "Naples", "Turin", "Varese"},
+	LocaleGB: {"London", "Manchester", "Birmingham", "Leeds", "Glasgow"},
+	LocaleES: {"Madrid", "Barcelona", "Valencia", "Seville", "Bilbao"},
+	LocalePL: {"Warsaw", "Krakow", "Lodz", "Wroclaw", "Poznan"},
+}
+
+var educationStems = []string{
+	"State University", "Tech Institute", "City College", "National University",
+	"Polytechnic", "High School No.", "Community College",
+}
+
+var workStems = []string{
+	"Acme Corp", "Globex", "Initech", "Umbrella Labs", "Wayne Industries",
+	"Stark Retail", "Cyberdyne Services", "Wonka Foods",
+}
+
+// valuePools deals locale-consistent attribute values with controlled
+// cardinality, so pools have the frequency structure PS() and Squeezer
+// rely on.
+type valuePools struct {
+	rng *rand.Rand
+}
+
+func newValuePools(rng *rand.Rand) *valuePools { return &valuePools{rng: rng} }
+
+// surname draws a last name for the locale; familyHint, when >= 0,
+// pins the family so community members can share names.
+func (v *valuePools) surname(locale string, familyHint int) string {
+	stems := surnameStems[locale]
+	if len(stems) == 0 {
+		stems = surnameStems[LocaleUS]
+	}
+	fam := familyHint
+	if fam < 0 {
+		fam = v.rng.Intn(200)
+	}
+	return fmt.Sprintf("%s-%d", stems[fam%len(stems)], fam)
+}
+
+// hometown draws a hometown; communityHint pins the dominant town of a
+// community.
+func (v *valuePools) hometown(locale string, communityHint int) string {
+	stems := hometownStems[locale]
+	if len(stems) == 0 {
+		stems = hometownStems[LocaleUS]
+	}
+	if communityHint >= 0 && v.rng.Float64() < 0.7 {
+		return stems[communityHint%len(stems)]
+	}
+	return stems[v.rng.Intn(len(stems))]
+}
+
+// education draws an education string; community members often share.
+func (v *valuePools) education(communityHint int) string {
+	if communityHint >= 0 && v.rng.Float64() < 0.6 {
+		return fmt.Sprintf("%s %d", educationStems[communityHint%len(educationStems)], communityHint%9+1)
+	}
+	return fmt.Sprintf("%s %d", educationStems[v.rng.Intn(len(educationStems))], v.rng.Intn(9)+1)
+}
+
+// work draws an employer string.
+func (v *valuePools) work(communityHint int) string {
+	if communityHint >= 0 && v.rng.Float64() < 0.4 {
+		return workStems[communityHint%len(workStems)]
+	}
+	return workStems[v.rng.Intn(len(workStems))]
+}
+
+// gender draws a gender with the given male probability.
+func (v *valuePools) gender(pMale float64) string {
+	if v.rng.Float64() < pMale {
+		return GenderMale
+	}
+	return GenderFemale
+}
+
+// neighborLocale maps each locale to the foreign locale most common
+// among its users' contacts (diaspora/neighbor effects); real 2-hop
+// networks are locale-concentrated rather than uniformly mixed.
+var neighborLocale = map[string]string{
+	LocaleTR: LocaleDE, // Turkish diaspora in Germany
+	LocaleDE: LocaleTR,
+	LocaleUS: LocaleGB,
+	LocaleGB: LocaleUS,
+	LocaleIT: LocaleES,
+	LocaleES: LocaleIT,
+	LocalePL: LocaleDE,
+}
+
+// locale draws a stranger locale: with probability pOwn the owner's
+// locale; otherwise mostly the owner's neighbor locale, occasionally
+// any of the seven.
+func (v *valuePools) locale(ownerLocale string, pOwn float64) string {
+	if v.rng.Float64() < pOwn {
+		return ownerLocale
+	}
+	if n, ok := neighborLocale[ownerLocale]; ok && v.rng.Float64() < 0.75 {
+		return n
+	}
+	all := Locales()
+	return all[v.rng.Intn(len(all))]
+}
+
+// fillProfileAttrs populates all categorical attributes of p.
+func (v *valuePools) fillProfileAttrs(p *profile.Profile, locale string, communityHint, familyHint int) {
+	p.SetAttr(profile.AttrGender, v.gender(0.55))
+	p.SetAttr(profile.AttrLocale, locale)
+	p.SetAttr(profile.AttrLastName, v.surname(locale, familyHint))
+	p.SetAttr(profile.AttrHometown, v.hometown(locale, communityHint))
+	p.SetAttr(profile.AttrEducation, v.education(communityHint))
+	p.SetAttr(profile.AttrWork, v.work(communityHint))
+	p.SetAttr(profile.AttrLocation, v.hometown(locale, -1))
+}

@@ -1,0 +1,129 @@
+package synthetic
+
+import (
+	"math/rand"
+
+	"sightrisk/internal/profile"
+)
+
+// Visibility model: each benefit item of a stranger's profile is
+// visible to non-friends with a probability combining a gender effect
+// (paper Table IV) and a locale effect (paper Table V). The two
+// measured marginals are blended per item so that regenerating either
+// table from a synthetic sample lands near the paper's numbers.
+
+// genderVisibility is Table IV: per-item visibility rate by gender.
+var genderVisibility = map[profile.Item]map[string]float64{
+	profile.ItemWall:     {GenderMale: 0.25, GenderFemale: 0.16},
+	profile.ItemPhoto:    {GenderMale: 0.88, GenderFemale: 0.87},
+	profile.ItemFriend:   {GenderMale: 0.56, GenderFemale: 0.47},
+	profile.ItemLocation: {GenderMale: 0.42, GenderFemale: 0.32},
+	profile.ItemEdu:      {GenderMale: 0.35, GenderFemale: 0.28},
+	profile.ItemWork:     {GenderMale: 0.20, GenderFemale: 0.12},
+	profile.ItemHometown: {GenderMale: 0.41, GenderFemale: 0.30},
+}
+
+// localeVisibility is Table V: per-item visibility rate by locale.
+var localeVisibility = map[profile.Item]map[string]float64{
+	profile.ItemWall: {
+		LocaleTR: 0.20, LocaleDE: 0.20, LocaleUS: 0.17, LocaleIT: 0.27,
+		LocaleGB: 0.12, LocaleES: 0.22, LocalePL: 0.31,
+	},
+	profile.ItemPhoto: {
+		LocaleTR: 0.84, LocaleDE: 0.77, LocaleUS: 0.89, LocaleIT: 0.92,
+		LocaleGB: 0.91, LocaleES: 0.87, LocalePL: 0.95,
+	},
+	profile.ItemFriend: {
+		LocaleTR: 0.41, LocaleDE: 0.46, LocaleUS: 0.52, LocaleIT: 0.68,
+		LocaleGB: 0.46, LocaleES: 0.63, LocalePL: 0.72,
+	},
+	profile.ItemLocation: {
+		LocaleTR: 0.36, LocaleDE: 0.34, LocaleUS: 0.42, LocaleIT: 0.32,
+		LocaleGB: 0.38, LocaleES: 0.37, LocalePL: 0.33,
+	},
+	profile.ItemEdu: {
+		LocaleTR: 0.31, LocaleDE: 0.17, LocaleUS: 0.34, LocaleIT: 0.38,
+		LocaleGB: 0.25, LocaleES: 0.28, LocalePL: 0.23,
+	},
+	profile.ItemWork: {
+		LocaleTR: 0.15, LocaleDE: 0.17, LocaleUS: 0.18, LocaleIT: 0.14,
+		LocaleGB: 0.17, LocaleES: 0.13, LocalePL: 0.13,
+	},
+	profile.ItemHometown: {
+		LocaleTR: 0.32, LocaleDE: 0.34, LocaleUS: 0.37, LocaleIT: 0.41,
+		LocaleGB: 0.32, LocaleES: 0.37, LocalePL: 0.31,
+	},
+}
+
+// PaperGenderVisibility exposes the Table IV calibration rate.
+func PaperGenderVisibility(item profile.Item, gender string) float64 {
+	return genderVisibility[item][gender]
+}
+
+// PaperLocaleVisibility exposes the Table V calibration rate.
+func PaperLocaleVisibility(item profile.Item, locale string) float64 {
+	return localeVisibility[item][locale]
+}
+
+// visibilityProb blends the two calibrated marginals multiplicatively:
+//
+//	p(item | g, l) = clamp( lRate(item, l) · gRate(item, g) / gMean(item) )
+//
+// The locale rate is the base and the gender effect is a ratio around
+// the item's mean gender rate. With balanced genders the locale
+// marginal is preserved exactly (Table V), and the gender marginal
+// deviates from Table IV only by the population's locale mix — an
+// unavoidable coupling, since the paper's two tables are marginals of
+// one joint distribution measured on a locale-skewed population.
+func visibilityProb(item profile.Item, gender, locale string) float64 {
+	p, okl := localeVisibility[item][locale]
+	if !okl {
+		p = itemMean(item)
+	}
+	if g, okg := genderVisibility[item][gender]; okg {
+		if mean := genderMean(item); mean > 0 {
+			p *= g / mean
+		}
+	}
+	if p < 0.01 {
+		p = 0.01
+	}
+	if p > 0.99 {
+		p = 0.99
+	}
+	return p
+}
+
+func genderMean(item profile.Item) float64 {
+	rates := genderVisibility[item]
+	if len(rates) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rates {
+		sum += r
+	}
+	return sum / float64(len(rates))
+}
+
+func itemMean(item profile.Item) float64 {
+	rates := localeVisibility[item]
+	if len(rates) == 0 {
+		return 0.5
+	}
+	sum := 0.0
+	for _, r := range rates {
+		sum += r
+	}
+	return sum / float64(len(rates))
+}
+
+// fillVisibility samples every benefit item's visibility bit for the
+// profile, using its gender and locale attributes.
+func fillVisibility(rng *rand.Rand, p *profile.Profile) {
+	gender := p.Attr(profile.AttrGender)
+	locale := p.Attr(profile.AttrLocale)
+	for _, item := range profile.Items() {
+		p.SetVisible(item, rng.Float64() < visibilityProb(item, gender, locale))
+	}
+}

@@ -1,0 +1,392 @@
+// Package sight is the public API of sightrisk, a reproduction of
+// "Privacy in Social Networks: How Risky is Your Social Graph?"
+// (Akcora, Carminati, Ferrari — ICDE 2012).
+//
+// The library estimates, for a social-network user (the owner), how
+// risky it would be to interact with each of their strangers — the
+// second-hop contacts reachable through friends of friends. Risk is
+// subjective, so labels come from the owner: the engine runs the
+// paper's active-learning process, asking the owner for only a few
+// labels per pool of similar strangers and predicting the rest with a
+// graph-based semi-supervised classifier.
+//
+// Typical use:
+//
+//	net := sight.NewNetwork()
+//	net.AddFriendship(alice, bob)            // build the social graph
+//	net.SetAttribute(bob, sight.AttrGender, "male")
+//	...
+//	report, err := sight.EstimateRisk(net, alice, annotator, sight.DefaultOptions())
+//
+// The annotator is anything that can answer "how risky is stranger s?"
+// with one of NotRisky, Risky or VeryRisky — an interactive prompt, a
+// stored questionnaire, or a model.
+package sight
+
+import (
+	"fmt"
+	"math"
+
+	"sightrisk/internal/active"
+	"sightrisk/internal/benefit"
+	"sightrisk/internal/cluster"
+	"sightrisk/internal/core"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/profile"
+	"sightrisk/internal/similarity"
+)
+
+// UserID identifies a user in the social network.
+type UserID = graph.UserID
+
+// Label is a three-valued owner risk judgment.
+type Label = label.Label
+
+// Risk label values (Section III-A of the paper).
+const (
+	NotRisky  = label.NotRisky
+	Risky     = label.Risky
+	VeryRisky = label.VeryRisky
+)
+
+// Profile attribute names accepted by Network.SetAttribute.
+const (
+	AttrGender    = string(profile.AttrGender)
+	AttrLocale    = string(profile.AttrLocale)
+	AttrLastName  = string(profile.AttrLastName)
+	AttrHometown  = string(profile.AttrHometown)
+	AttrEducation = string(profile.AttrEducation)
+	AttrWork      = string(profile.AttrWork)
+	AttrLocation  = string(profile.AttrLocation)
+)
+
+// Benefit item names accepted by Network.SetVisibility and Theta maps.
+const (
+	ItemWall     = string(profile.ItemWall)
+	ItemPhoto    = string(profile.ItemPhoto)
+	ItemFriend   = string(profile.ItemFriend)
+	ItemLocation = string(profile.ItemLocation)
+	ItemEdu      = string(profile.ItemEdu)
+	ItemWork     = string(profile.ItemWork)
+	ItemHometown = string(profile.ItemHometown)
+)
+
+// Annotator answers owner risk queries for strangers.
+type Annotator interface {
+	LabelStranger(s UserID) Label
+}
+
+// AnnotatorFunc adapts a function to Annotator.
+type AnnotatorFunc func(s UserID) Label
+
+// LabelStranger implements Annotator.
+func (f AnnotatorFunc) LabelStranger(s UserID) Label { return f(s) }
+
+// Network is a social graph plus user profiles — everything the risk
+// engine consumes. Build it with AddFriendship / SetAttribute /
+// SetVisibility, or wrap pre-built internal structures via engine
+// internals (the cmd tools do the latter).
+type Network struct {
+	g        *graph.Graph
+	profiles *profile.Store
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{g: graph.New(), profiles: profile.NewStore()}
+}
+
+// WrapNetwork builds a Network over existing internal structures.
+// Intended for code inside this module (cmd tools, experiments);
+// external users build networks incrementally.
+func WrapNetwork(g *graph.Graph, store *profile.Store) *Network {
+	return &Network{g: g, profiles: store}
+}
+
+// AddUser ensures the user exists (users are also added implicitly by
+// AddFriendship).
+func (n *Network) AddUser(u UserID) { n.g.AddNode(u) }
+
+// AddFriendship links two users as friends.
+func (n *Network) AddFriendship(a, b UserID) error { return n.g.AddEdge(a, b) }
+
+// NumUsers returns the number of users.
+func (n *Network) NumUsers() int { return n.g.NumNodes() }
+
+// NumFriendships returns the number of friendship links.
+func (n *Network) NumFriendships() int { return n.g.NumEdges() }
+
+// Friends returns a user's friends.
+func (n *Network) Friends(u UserID) []UserID { return n.g.Friends(u) }
+
+// Strangers returns the owner's second-hop contacts — the users risk
+// labels are estimated for.
+func (n *Network) Strangers(owner UserID) []UserID { return n.g.Strangers(owner) }
+
+// SetAttribute sets a categorical profile attribute (see the Attr*
+// constants) for the user, creating the profile if needed.
+func (n *Network) SetAttribute(u UserID, attr, value string) {
+	p := n.profiles.Get(u)
+	if p == nil {
+		p = profile.NewProfile(u)
+		n.profiles.Put(p)
+	}
+	p.SetAttr(profile.Attribute(attr), value)
+}
+
+// Attribute returns the user's attribute value ("" when unset).
+func (n *Network) Attribute(u UserID, attr string) string {
+	p := n.profiles.Get(u)
+	if p == nil {
+		return ""
+	}
+	return p.Attr(profile.Attribute(attr))
+}
+
+// SetVisibility sets whether a benefit item (see the Item* constants)
+// of the user's profile is visible to non-friends.
+func (n *Network) SetVisibility(u UserID, item string, visible bool) {
+	p := n.profiles.Get(u)
+	if p == nil {
+		p = profile.NewProfile(u)
+		n.profiles.Put(p)
+	}
+	p.SetVisible(profile.Item(item), visible)
+}
+
+// NetworkSimilarity returns NS(o,s) ∈ [0,1]: the mutual-friend overlap
+// of the two users boosted by the density of the community their
+// mutual friends form.
+func (n *Network) NetworkSimilarity(o, s UserID) float64 {
+	return similarity.NS(n.g, o, s)
+}
+
+// Benefit returns B(o,s): the θ-weighted share of the stranger's
+// benefit items visible to the owner. theta maps Item* names to
+// importance coefficients in [0,1].
+func (n *Network) Benefit(theta map[string]float64, s UserID) (float64, error) {
+	t := make(benefit.Theta, len(theta))
+	for k, v := range theta {
+		t[profile.Item(k)] = v
+	}
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	return benefit.Score(t, n.profiles.Get(s)), nil
+}
+
+// Graph exposes the underlying graph (read-mostly; intended for code
+// inside this module).
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Profiles exposes the underlying profile store.
+func (n *Network) Profiles() *profile.Store { return n.profiles }
+
+// PoolStrategy selects how strangers are grouped into learning pools.
+type PoolStrategy int
+
+// Pooling strategies.
+const (
+	// PoolNPP uses network-and-profile based pools (the paper's
+	// proposal, Definition 3).
+	PoolNPP PoolStrategy = iota
+	// PoolNSP uses network-similarity-only pools (the paper's
+	// baseline).
+	PoolNSP
+)
+
+// Options tunes the risk-estimation pipeline. The zero value is not
+// valid; start from DefaultOptions.
+type Options struct {
+	// Alpha is the number of network similarity groups (paper: 10).
+	Alpha int
+	// Beta is Squeezer's new-cluster threshold (paper: 0.4).
+	Beta float64
+	// Strategy selects NPP (default) or NSP pooling.
+	Strategy PoolStrategy
+	// PerRound is the number of owner labels requested per round
+	// (paper: 3).
+	PerRound int
+	// Confidence is the owner's confidence c ∈ [0,100] for the
+	// classification-change tolerance (paper's user mean ≈ 78).
+	Confidence float64
+	// StableRounds is the number of consecutive stable rounds required
+	// to stop (paper: 2).
+	StableRounds int
+	// RMSEThreshold is the accuracy bar of the stopping rule
+	// (paper: 0.5).
+	RMSEThreshold float64
+	// MaxRounds caps each pool's session; 0 means until exhaustion.
+	MaxRounds int
+	// Sampler names the query-selection strategy: "random" (the
+	// paper's, default), "uncertainty", "density" or
+	// "uncertainty-density".
+	Sampler string
+	// Stopper names the stopping criterion: "combined" (the paper's,
+	// default), "max-confidence" or "overall-uncertainty".
+	Stopper string
+	// Progress, when non-nil, is invoked after each pool's learning
+	// session with (pools done, pools total, labels collected so far).
+	Progress func(done, total, labels int)
+	// Seed drives stranger sampling.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's experimental configuration.
+func DefaultOptions() Options {
+	return Options{
+		Alpha:         10,
+		Beta:          0.4,
+		Strategy:      PoolNPP,
+		PerRound:      3,
+		Confidence:    80,
+		StableRounds:  2,
+		RMSEThreshold: 0.5,
+		Seed:          1,
+	}
+}
+
+func (o Options) coreConfig() (core.Config, error) {
+	cfg := core.DefaultConfig()
+	cfg.Pool.Alpha = o.Alpha
+	cfg.Pool.Squeezer.Beta = o.Beta
+	switch o.Strategy {
+	case PoolNPP:
+		cfg.Pool.Strategy = cluster.NPP
+	case PoolNSP:
+		cfg.Pool.Strategy = cluster.NSP
+	default:
+		return core.Config{}, fmt.Errorf("sight: unknown pool strategy %d", int(o.Strategy))
+	}
+	cfg.Learn.PerRound = o.PerRound
+	cfg.Learn.Confidence = o.Confidence
+	cfg.Learn.StableRounds = o.StableRounds
+	cfg.Learn.RMSEThreshold = o.RMSEThreshold
+	cfg.Learn.MaxRounds = o.MaxRounds
+	switch o.Sampler {
+	case "", "random":
+		// engine default
+	case "uncertainty":
+		cfg.Learn.Sampler = active.UncertaintySampler{}
+	case "density":
+		cfg.Learn.Sampler = active.DensitySampler{}
+	case "uncertainty-density":
+		cfg.Learn.Sampler = active.UncertaintyDensitySampler{}
+	default:
+		return core.Config{}, fmt.Errorf("sight: unknown sampler %q", o.Sampler)
+	}
+	switch o.Stopper {
+	case "", "combined":
+		// engine default built from RMSEThreshold and StableRounds
+	case "max-confidence":
+		cfg.Learn.Stopper = active.MaxConfidenceStopper{Confidence: 0.9}
+	case "overall-uncertainty":
+		cfg.Learn.Stopper = active.OverallUncertaintyStopper{Threshold: 0.4}
+	default:
+		return core.Config{}, fmt.Errorf("sight: unknown stopper %q", o.Stopper)
+	}
+	cfg.Progress = o.Progress
+	cfg.Seed = o.Seed
+	return cfg, nil
+}
+
+// StrangerRisk is one stranger's entry in a risk report.
+type StrangerRisk struct {
+	User UserID
+	// Label is the final risk label — the owner's own where one was
+	// collected, the classifier's prediction otherwise.
+	Label Label
+	// OwnerLabeled marks direct owner judgments.
+	OwnerLabeled bool
+	// NetworkSimilarity is NS(owner, User).
+	NetworkSimilarity float64
+	// Pool identifies the learning pool the stranger belonged to.
+	Pool string
+}
+
+// Report is the outcome of EstimateRisk.
+type Report struct {
+	Owner     UserID
+	Strangers []StrangerRisk
+	// LabelsRequested is the owner effort spent (direct labels).
+	LabelsRequested int
+	// Pools is the number of learning pools.
+	Pools int
+	// MeanRounds is the mean session length over non-trivial pools
+	// (NaN when all pools were trivial).
+	MeanRounds float64
+	// ExactMatchRate is the validation accuracy: the share of
+	// fresh owner labels exactly matching the prior round's
+	// prediction (NaN without validation comparisons).
+	ExactMatchRate float64
+}
+
+// Label returns the report's label for the stranger (0 when absent).
+func (r *Report) Label(s UserID) Label {
+	for _, sr := range r.Strangers {
+		if sr.User == s {
+			return sr.Label
+		}
+	}
+	return 0
+}
+
+// CountByLabel tallies the report's labels.
+func (r *Report) CountByLabel() map[Label]int {
+	out := make(map[Label]int, 3)
+	for _, sr := range r.Strangers {
+		out[sr.Label]++
+	}
+	return out
+}
+
+// EstimateRisk runs the full pipeline for the owner: group the owner's
+// strangers into pools, run an active-learning session per pool
+// querying the annotator, and assemble the final risk report.
+func EstimateRisk(n *Network, owner UserID, ann Annotator, opts Options) (*Report, error) {
+	if n == nil {
+		return nil, fmt.Errorf("sight: network must not be nil")
+	}
+	if ann == nil {
+		return nil, fmt.Errorf("sight: annotator must not be nil")
+	}
+	cfg, err := opts.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	engine := core.New(cfg)
+	run, err := engine.RunOwner(n.g, n.profiles, owner, annotatorBridge{ann}, math.NaN())
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Owner:           owner,
+		LabelsRequested: run.QueriedCount(),
+		Pools:           len(run.Pools),
+		MeanRounds:      run.MeanRoundsToStop(),
+	}
+	rep.ExactMatchRate, _ = run.ExactMatchRate()
+	for _, pr := range run.Pools {
+		for _, m := range pr.Pool.Members {
+			rep.Strangers = append(rep.Strangers, StrangerRisk{
+				User:              m,
+				Label:             pr.Result.Labels[m],
+				OwnerLabeled:      pr.Result.OwnerLabeled[m],
+				NetworkSimilarity: run.NSG.Score[m],
+				Pool:              pr.Pool.ID(),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// annotatorBridge adapts the public Annotator to the internal one.
+type annotatorBridge struct{ a Annotator }
+
+func (b annotatorBridge) LabelStranger(s graph.UserID) label.Label {
+	return b.a.LabelStranger(s)
+}
+
+var _ active.Annotator = annotatorBridge{}

@@ -1,0 +1,340 @@
+package sight
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// demoNetwork builds a small but non-trivial network: one owner, f
+// friends forming a connected circle, and n strangers whose profiles
+// alternate deterministically.
+func demoNetwork(t *testing.T, f, n int) (*Network, UserID) {
+	t.Helper()
+	net := NewNetwork()
+	owner := UserID(1)
+	friends := make([]UserID, f)
+	for i := range friends {
+		friends[i] = UserID(10 + i)
+		if err := net.AddFriendship(owner, friends[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if err := net.AddFriendship(friends[i-1], friends[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	genders := []string{"male", "female"}
+	locales := []string{"en_US", "it_IT"}
+	for i := 0; i < n; i++ {
+		s := UserID(1000 + i)
+		if err := net.AddFriendship(s, friends[i%f]); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := net.AddFriendship(s, friends[(i+1)%f]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.SetAttribute(s, AttrGender, genders[i%2])
+		net.SetAttribute(s, AttrLocale, locales[(i/2)%2])
+		net.SetAttribute(s, AttrLastName, fmt.Sprintf("Fam-%d", i%5))
+		net.SetVisibility(s, ItemPhoto, i%4 != 0)
+	}
+	net.SetAttribute(owner, AttrGender, "female")
+	net.SetAttribute(owner, AttrLocale, "en_US")
+	net.SetAttribute(owner, AttrLastName, "Fam-0")
+	return net, owner
+}
+
+func TestNetworkBuilding(t *testing.T) {
+	net := NewNetwork()
+	net.AddUser(5)
+	if net.NumUsers() != 1 {
+		t.Fatalf("users = %d", net.NumUsers())
+	}
+	if err := net.AddFriendship(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if net.NumUsers() != 3 || net.NumFriendships() != 1 {
+		t.Fatalf("users/friendships = %d/%d", net.NumUsers(), net.NumFriendships())
+	}
+	if err := net.AddFriendship(1, 1); err == nil {
+		t.Fatal("self friendship accepted")
+	}
+	if got := net.Friends(1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Friends = %v", got)
+	}
+}
+
+func TestAttributesAndVisibility(t *testing.T) {
+	net := NewNetwork()
+	net.SetAttribute(7, AttrGender, "male")
+	if got := net.Attribute(7, AttrGender); got != "male" {
+		t.Fatalf("attribute = %q", got)
+	}
+	if got := net.Attribute(8, AttrGender); got != "" {
+		t.Fatalf("attribute of unknown user = %q", got)
+	}
+	net.SetVisibility(9, ItemPhoto, true)
+	b, err := net.Benefit(map[string]float64{ItemPhoto: 1}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0 {
+		t.Fatalf("benefit = %g, want > 0", b)
+	}
+}
+
+func TestBenefitValidation(t *testing.T) {
+	net := NewNetwork()
+	net.SetVisibility(1, ItemPhoto, true)
+	if _, err := net.Benefit(map[string]float64{ItemPhoto: 2}, 1); err == nil {
+		t.Fatal("theta > 1 accepted")
+	}
+	if _, err := net.Benefit(map[string]float64{}, 1); err == nil {
+		t.Fatal("empty theta accepted")
+	}
+}
+
+func TestStrangersThroughPublicAPI(t *testing.T) {
+	net, owner := demoNetwork(t, 4, 20)
+	strangers := net.Strangers(owner)
+	if len(strangers) != 20 {
+		t.Fatalf("strangers = %d, want 20", len(strangers))
+	}
+}
+
+func TestNetworkSimilarityBounds(t *testing.T) {
+	net, owner := demoNetwork(t, 4, 20)
+	for _, s := range net.Strangers(owner) {
+		ns := net.NetworkSimilarity(owner, s)
+		if ns <= 0 || ns > 1 {
+			t.Fatalf("NS(%d) = %g", s, ns)
+		}
+	}
+}
+
+func TestEstimateRiskEndToEnd(t *testing.T) {
+	net, owner := demoNetwork(t, 5, 60)
+	// The "owner" dislikes foreign strangers.
+	ann := AnnotatorFunc(func(s UserID) Label {
+		if net.Attribute(s, AttrLocale) != "en_US" {
+			return VeryRisky
+		}
+		return NotRisky
+	})
+	rep, err := EstimateRisk(net, owner, ann, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Owner != owner {
+		t.Fatalf("owner = %d", rep.Owner)
+	}
+	if len(rep.Strangers) != 60 {
+		t.Fatalf("report covers %d strangers", len(rep.Strangers))
+	}
+	if rep.Pools < 1 {
+		t.Fatalf("pools = %d", rep.Pools)
+	}
+	if rep.LabelsRequested < 1 || rep.LabelsRequested > 60 {
+		t.Fatalf("labels requested = %d", rep.LabelsRequested)
+	}
+	// Final labels agree with the annotator's rule everywhere (clean
+	// separable attitude).
+	for _, sr := range rep.Strangers {
+		if want := ann(sr.User); sr.Label != want {
+			t.Fatalf("stranger %d labeled %v, want %v", sr.User, sr.Label, want)
+		}
+		if sr.Pool == "" {
+			t.Fatalf("stranger %d has no pool id", sr.User)
+		}
+		if sr.NetworkSimilarity < 0 || sr.NetworkSimilarity > 1 {
+			t.Fatalf("stranger %d NS = %g", sr.User, sr.NetworkSimilarity)
+		}
+	}
+	// Report helpers.
+	counts := rep.CountByLabel()
+	if counts[NotRisky]+counts[Risky]+counts[VeryRisky] != 60 {
+		t.Fatalf("counts = %v", counts)
+	}
+	some := rep.Strangers[0]
+	if rep.Label(some.User) != some.Label {
+		t.Fatal("Report.Label lookup wrong")
+	}
+	if rep.Label(424242) != 0 {
+		t.Fatal("Report.Label for unknown stranger should be 0")
+	}
+}
+
+func TestEstimateRiskValidation(t *testing.T) {
+	net, owner := demoNetwork(t, 3, 5)
+	ann := AnnotatorFunc(func(UserID) Label { return Risky })
+	if _, err := EstimateRisk(nil, owner, ann, DefaultOptions()); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := EstimateRisk(net, owner, nil, DefaultOptions()); err == nil {
+		t.Fatal("nil annotator accepted")
+	}
+	opts := DefaultOptions()
+	opts.Strategy = PoolStrategy(7)
+	if _, err := EstimateRisk(net, owner, ann, opts); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+	opts = DefaultOptions()
+	opts.Alpha = 0
+	if _, err := EstimateRisk(net, owner, ann, opts); err == nil {
+		t.Fatal("alpha 0 accepted")
+	}
+	opts = DefaultOptions()
+	opts.PerRound = 0
+	if _, err := EstimateRisk(net, owner, ann, opts); err == nil {
+		t.Fatal("per-round 0 accepted")
+	}
+	if _, err := EstimateRisk(net, 999999, ann, DefaultOptions()); err == nil {
+		t.Fatal("unknown owner accepted")
+	}
+}
+
+func TestNSPStrategyOption(t *testing.T) {
+	net, owner := demoNetwork(t, 5, 40)
+	ann := AnnotatorFunc(func(UserID) Label { return Risky })
+	opts := DefaultOptions()
+	opts.Strategy = PoolNSP
+	rep, err := EstimateRisk(net, owner, ann, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Strangers) != 40 {
+		t.Fatalf("NSP report covers %d strangers", len(rep.Strangers))
+	}
+	// NSP pools never carry a profile-cluster suffix > 0.
+	for _, sr := range rep.Strangers {
+		if sr.Pool[len(sr.Pool)-3:] != "000" {
+			t.Fatalf("NSP pool id %q, want psg000 suffix", sr.Pool)
+		}
+	}
+}
+
+func TestOptionsSeedDeterminism(t *testing.T) {
+	net, owner := demoNetwork(t, 5, 50)
+	ann := AnnotatorFunc(func(s UserID) Label {
+		if net.Attribute(s, AttrGender) == "male" {
+			return Risky
+		}
+		return NotRisky
+	})
+	a, err := EstimateRisk(net, owner, ann, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateRisk(net, owner, ann, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LabelsRequested != b.LabelsRequested {
+		t.Fatal("same options produced different effort")
+	}
+	for i := range a.Strangers {
+		if a.Strangers[i] != b.Strangers[i] {
+			t.Fatal("same options produced different reports")
+		}
+	}
+}
+
+func TestMeanRoundsNaNForTrivialNetworks(t *testing.T) {
+	// A network whose pools are all trivial yields NaN mean rounds but
+	// still a complete report.
+	net := NewNetwork()
+	owner := UserID(1)
+	if err := net.AddFriendship(owner, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddFriendship(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	net.SetAttribute(3, AttrGender, "male")
+	rep, err := EstimateRisk(net, owner, AnnotatorFunc(func(UserID) Label { return NotRisky }), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Strangers) != 1 {
+		t.Fatalf("strangers = %d", len(rep.Strangers))
+	}
+	if !math.IsNaN(rep.MeanRounds) {
+		t.Fatalf("mean rounds = %g, want NaN", rep.MeanRounds)
+	}
+	if !rep.Strangers[0].OwnerLabeled {
+		t.Fatal("trivial pool stranger not owner-labeled")
+	}
+}
+
+func TestSamplerAndStopperOptions(t *testing.T) {
+	net, owner := demoNetwork(t, 5, 50)
+	ann := AnnotatorFunc(func(s UserID) Label {
+		if net.Attribute(s, AttrGender) == "male" {
+			return Risky
+		}
+		return NotRisky
+	})
+	for _, sampler := range []string{"random", "uncertainty", "density", "uncertainty-density"} {
+		opts := DefaultOptions()
+		opts.Sampler = sampler
+		rep, err := EstimateRisk(net, owner, ann, opts)
+		if err != nil {
+			t.Fatalf("sampler %s: %v", sampler, err)
+		}
+		if len(rep.Strangers) != 50 {
+			t.Fatalf("sampler %s covered %d strangers", sampler, len(rep.Strangers))
+		}
+	}
+	for _, stopper := range []string{"combined", "max-confidence", "overall-uncertainty"} {
+		opts := DefaultOptions()
+		opts.Stopper = stopper
+		if _, err := EstimateRisk(net, owner, ann, opts); err != nil {
+			t.Fatalf("stopper %s: %v", stopper, err)
+		}
+	}
+	opts := DefaultOptions()
+	opts.Sampler = "nope"
+	if _, err := EstimateRisk(net, owner, ann, opts); err == nil {
+		t.Fatal("unknown sampler accepted")
+	}
+	opts = DefaultOptions()
+	opts.Stopper = "nope"
+	if _, err := EstimateRisk(net, owner, ann, opts); err == nil {
+		t.Fatal("unknown stopper accepted")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	net, owner := demoNetwork(t, 5, 50)
+	ann := AnnotatorFunc(func(UserID) Label { return Risky })
+	var calls int
+	var lastDone, lastTotal, lastLabels int
+	opts := DefaultOptions()
+	opts.Progress = func(done, total, labels int) {
+		calls++
+		if done < lastDone || total <= 0 || done > total {
+			t.Fatalf("bad progress (%d/%d)", done, total)
+		}
+		if labels < lastLabels {
+			t.Fatal("labels went backwards")
+		}
+		lastDone, lastTotal, lastLabels = done, total, labels
+	}
+	rep, err := EstimateRisk(net, owner, ann, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress never called")
+	}
+	if lastDone != lastTotal || lastTotal != rep.Pools {
+		t.Fatalf("final progress %d/%d, report pools %d", lastDone, lastTotal, rep.Pools)
+	}
+	if lastLabels != rep.LabelsRequested {
+		t.Fatalf("final labels %d, report %d", lastLabels, rep.LabelsRequested)
+	}
+}
