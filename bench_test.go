@@ -16,6 +16,7 @@ package sight
 // actual rows next to the paper's values.
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -260,6 +261,29 @@ func BenchmarkPipelineOneOwner(b *testing.B) {
 		if _, err := engine.RunOwner(env.Study.Graph, env.Study.Profiles, o.ID, o, o.Confidence); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEstimateRiskParallel times the full single-owner pipeline
+// at several worker counts. Output is identical at every count (see
+// TestWorkersDeterminismProperty); this measures only wall time. On a
+// single-CPU runner all counts collapse to roughly serial speed —
+// record results together with the GOMAXPROCS they were taken at.
+func BenchmarkEstimateRiskParallel(b *testing.B) {
+	env := freshEnv(b, 1, 400)
+	o := env.Study.Owners[0]
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := env.Cfg
+			cfg.Workers = workers
+			engine := core.New(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.RunOwner(env.Study.Graph, env.Study.Profiles, o.ID, o, o.Confidence); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

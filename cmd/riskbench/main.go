@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	riskbench [-scale small|medium|full] [-seed N] [-only fig4,table1,...]
+//	riskbench [-scale small|medium|full] [-seed N] [-only fig4,table1,...] [-workers N]
 //
 // The full scale matches the paper's population (47 owners, mean 3,661
 // strangers each, ~172k stranger profiles) and takes a few minutes;
@@ -18,9 +18,11 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"sightrisk/internal/core"
 	"sightrisk/internal/experiments"
+	"sightrisk/internal/parallel"
 	"sightrisk/internal/profile"
 	"sightrisk/internal/stats"
 	"sightrisk/internal/synthetic"
@@ -32,13 +34,22 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (fig4 fig5 fig6 fig7 headline table1 table2 table3 table4 table5 contrast dynamics robustness); empty = all")
 	rounds := flag.Int("rounds", 8, "x-axis length for fig5/fig6")
 	ablations := flag.Bool("ablations", false, "also run the DESIGN.md §5 ablations (classifiers, alpha, beta, stopping rule, weight exponent, Squeezer weights, pool strategy)")
+	workers := flag.Int("workers", 0, "concurrent per-pool workers in the risk engine (0 = one per CPU, 1 = serial legacy path)")
+	times := flag.Bool("times", true, "report per-stage wall time")
 	flag.Parse()
 
-	env, err := buildEnv(*scale, *seed)
+	start := time.Now()
+	env, err := buildEnv(*scale, *seed, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "riskbench:", err)
 		os.Exit(1)
 	}
+	stage := func(id string, since time.Time) {
+		if *times {
+			fmt.Printf("riskbench: %-10s %10s  (workers=%d)\n", id, time.Since(since).Round(time.Millisecond), parallel.ResolveWorkers(*workers))
+		}
+	}
+	stage("generate", start)
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -68,24 +79,29 @@ func main() {
 		{"table5", printTable5},
 		{"contrast", printContrast},
 		{"dynamics", printDynamics},
-		{"robustness", func(e *experiments.Env) error { return printRobustness(*scale, *seed) }},
+		{"robustness", func(e *experiments.Env) error { return printRobustness(*scale, *seed, *workers) }},
 	}
 	for _, s := range steps {
 		if !enabled(s.id) {
 			continue
 		}
+		stepStart := time.Now()
 		if err := s.run(env); err != nil {
 			fmt.Fprintf(os.Stderr, "riskbench: %s: %v\n", s.id, err)
 			os.Exit(1)
 		}
+		stage(s.id, stepStart)
 	}
 
 	if *ablations {
+		ablStart := time.Now()
 		if err := printAblations(env); err != nil {
 			fmt.Fprintln(os.Stderr, "riskbench: ablations:", err)
 			os.Exit(1)
 		}
+		stage("ablations", ablStart)
 	}
+	stage("total", start)
 }
 
 func printContrast(e *experiments.Env) error {
@@ -102,13 +118,15 @@ func printContrast(e *experiments.Env) error {
 	return nil
 }
 
-func printRobustness(scale string, seed int64) error {
+func printRobustness(scale string, seed int64, workers int) error {
 	// Robustness builds its own (smaller) populations per topology, so
 	// it always runs at a bounded scale regardless of -scale.
 	cfg := synthetic.SmallStudyConfig()
 	cfg.Owners = 6
 	cfg.Seed = seed
-	rows, err := experiments.Robustness(cfg, core.DefaultConfig())
+	coreCfg := core.DefaultConfig()
+	coreCfg.Workers = workers
+	rows, err := experiments.Robustness(cfg, coreCfg)
 	if err != nil {
 		return err
 	}
@@ -179,7 +197,7 @@ func printAblations(env *experiments.Env) error {
 	return nil
 }
 
-func buildEnv(scale string, seed int64) (*experiments.Env, error) {
+func buildEnv(scale string, seed int64, workers int) (*experiments.Env, error) {
 	var cfg synthetic.StudyConfig
 	switch scale {
 	case "small":
@@ -194,7 +212,9 @@ func buildEnv(scale string, seed int64) (*experiments.Env, error) {
 		return nil, fmt.Errorf("unknown scale %q", scale)
 	}
 	cfg.Seed = seed
-	return experiments.NewEnv(cfg, core.DefaultConfig())
+	coreCfg := core.DefaultConfig()
+	coreCfg.Workers = workers
+	return experiments.NewEnv(cfg, coreCfg)
 }
 
 func fmtNaN(v float64, format string) string {

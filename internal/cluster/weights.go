@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"sightrisk/internal/profile"
+	"sightrisk/internal/similarity"
+)
+
+// PoolWeights precomputes the symmetric PS() edge-weight matrix a
+// pool's learning session classifies over: entry (i,j) is the profile
+// similarity of Members[i] and Members[j] under the pool-local value
+// frequencies, raised to exponent (the RBF-style sharpening the engine
+// applies so same-attribute neighbors dominate label propagation; 1
+// keeps raw PS). attrs empty means the paper's clustering attributes.
+//
+// The computation is self-contained per pool — it reads the store but
+// writes only its own matrix — which is what lets the engine build
+// many pools' weights concurrently.
+func PoolWeights(store *profile.Store, pool Pool, attrs []profile.Attribute, exponent float64) ([][]float64, error) {
+	psCtx := similarity.NewPSContext(store, pool.Members, attrs)
+	weights := psCtx.Matrix(store.Profiles(pool.Members))
+	if len(weights) != len(pool.Members) {
+		return nil, fmt.Errorf("cluster: pool %s: %d profiles for %d members (missing profiles)", pool.ID(), len(weights), len(pool.Members))
+	}
+	if exponent != 1 {
+		for i := range weights {
+			for j := range weights[i] {
+				weights[i][j] = math.Pow(weights[i][j], exponent)
+			}
+		}
+	}
+	return weights, nil
+}

@@ -14,8 +14,8 @@ import (
 	"sightrisk/internal/cluster"
 	"sightrisk/internal/graph"
 	"sightrisk/internal/label"
+	"sightrisk/internal/parallel"
 	"sightrisk/internal/profile"
-	"sightrisk/internal/similarity"
 	"sightrisk/internal/stats"
 )
 
@@ -46,6 +46,11 @@ type Config struct {
 	WeightExponent float64
 	// Seed drives the sampling RNGs (one derived stream per pool).
 	Seed int64
+	// Workers bounds how many per-pool computations (weight-matrix
+	// builds and classifier solves) run concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 runs the exact legacy serial path.
+	// Results are identical for every value — see RunOwner.
+	Workers int
 }
 
 // DefaultConfig returns the paper's experimental configuration.
@@ -172,6 +177,15 @@ func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
 // RunOwner executes the pipeline for one owner. confidence, when not
 // NaN, overrides Learn.Confidence (the paper lets each owner choose
 // their own). The annotator supplies owner labels on demand.
+//
+// With Config.Workers != 1 the per-pool work — weight-matrix builds
+// and active-learning sessions — runs concurrently, bounded by
+// Workers. The returned OwnerRun is identical to the serial one for
+// any deterministic annotator: pools are merged back in pool order,
+// every pool keeps its own derived RNG stream, and annotator queries
+// are serialized in a deterministic rotation (see runPoolsParallel).
+// The annotator therefore never needs to be thread-safe; it must only
+// be deterministic per stranger if reproducible reports are wanted.
 func (e *Engine) RunOwner(g *graph.Graph, store *profile.Store, owner graph.UserID, ann active.Annotator, confidence float64) (*OwnerRun, error) {
 	if g == nil || store == nil {
 		return nil, fmt.Errorf("core: graph and profile store must not be nil")
@@ -195,21 +209,21 @@ func (e *Engine) RunOwner(g *graph.Graph, store *profile.Store, owner graph.User
 	if exp == 0 {
 		exp = 4
 	}
-	for pi, pool := range pools {
-		psCtx := similarity.NewPSContext(store, pool.Members, e.cfg.PSAttributes)
-		weights := psCtx.Matrix(store.Profiles(pool.Members))
-		if len(weights) != len(pool.Members) {
-			return nil, fmt.Errorf("core: pool %s: %d profiles for %d members (missing profiles)", pool.ID(), len(weights), len(pool.Members))
+	if workers := parallel.ResolveWorkers(e.cfg.Workers); workers > 1 && len(pools) > 1 {
+		poolRuns, err := e.runPoolsParallel(store, owner, pools, ann, learn, exp, workers)
+		if err != nil {
+			return nil, err
 		}
-		if exp != 1 {
-			for i := range weights {
-				for j := range weights[i] {
-					weights[i][j] = math.Pow(weights[i][j], exp)
-				}
-			}
+		run.Pools = poolRuns
+		return run, nil
+	}
+	for pi, pool := range pools {
+		weights, err := cluster.PoolWeights(store, pool, e.cfg.PSAttributes, exp)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
 		}
 		cfg := learn
-		cfg.Rand = rand.New(rand.NewSource(e.cfg.Seed + int64(owner)*7919 + int64(pi)*104729))
+		cfg.Rand = rand.New(rand.NewSource(poolSeed(e.cfg.Seed, owner, pi)))
 		sess, err := active.NewSession(pool.Members, weights, ann, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: pool %s: %w", pool.ID(), err)
@@ -224,4 +238,11 @@ func (e *Engine) RunOwner(g *graph.Graph, store *profile.Store, owner graph.User
 		}
 	}
 	return run, nil
+}
+
+// poolSeed derives the per-pool sampling RNG seed. It depends only on
+// the base seed, the owner and the pool's index in pool order, so the
+// serial and parallel paths draw identical query samples.
+func poolSeed(seed int64, owner graph.UserID, pool int) int64 {
+	return seed + int64(owner)*7919 + int64(pool)*104729
 }

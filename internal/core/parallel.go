@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"sightrisk/internal/active"
+	"sightrisk/internal/classify"
+	"sightrisk/internal/cluster"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/parallel"
+	"sightrisk/internal/profile"
+)
+
+// runPoolsParallel is the concurrent counterpart of RunOwner's serial
+// pool loop. It produces byte-identical PoolRuns in pool order, for
+// any deterministic annotator, by splitting the work into two stages:
+//
+//  1. Weight matrices. Each pool's PS() matrix is self-contained
+//     (pool-local value frequencies, own backing array), so all builds
+//     run on a bounded worker Group with index-ordered results.
+//
+//  2. Sessions. Every pool gets its own goroutine — the query Gate's
+//     rotation must be able to wait on any pool, so sessions cannot
+//     share a bounded pool of goroutines — while the CPU-heavy
+//     classifier solves share `workers` Limiter permits. All annotator
+//     queries are routed through the Gate, which serializes them in a
+//     rotation over pool indices that depends only on each session's
+//     own deterministic behavior. The owner is therefore asked one
+//     question at a time, in the same order for every Workers > 1
+//     value and every run. (Workers == 1 keeps the legacy order: all
+//     of pool 0's questions, then pool 1's, and so on.)
+//
+// Failures cancel cooperatively: the first error flips the Group's
+// flag, in-flight sessions abort at their next classifier call, and
+// Wait reports the lowest-pool-index root cause so errors are as
+// deterministic as results.
+func (e *Engine) runPoolsParallel(store *profile.Store, owner graph.UserID, pools []cluster.Pool, ann active.Annotator, learn active.Config, exp float64, workers int) ([]PoolRun, error) {
+	weights := make([][][]float64, len(pools))
+	build := parallel.NewGroup(workers)
+	for i := range pools {
+		i := i
+		build.Go(i, func() error {
+			if build.Canceled() {
+				return parallel.ErrCanceled
+			}
+			w, err := cluster.PoolWeights(store, pools[i], e.cfg.PSAttributes, exp)
+			if err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+			weights[i] = w
+			return nil
+		})
+	}
+	if err := build.Wait(); err != nil {
+		return nil, err
+	}
+
+	gate := parallel.NewGate(len(pools))
+	limiter := parallel.NewLimiter(workers)
+	sessions := parallel.NewGroup(len(pools)) // one goroutine per pool; CPU bounded by limiter
+	runs := make([]PoolRun, len(pools))
+
+	// Progress reports completions as they happen; done counts and
+	// label totals stay monotone, but the completion order (unlike the
+	// results) is scheduler-dependent.
+	var progressMu sync.Mutex
+	poolsDone, labelsSoFar := 0, 0
+
+	for i := range pools {
+		i := i
+		sessions.Go(i, func() error {
+			defer gate.Done(i)
+			cfg := learn
+			cfg.Rand = rand.New(rand.NewSource(poolSeed(e.cfg.Seed, owner, i)))
+			cfg.Classifier = &limitedClassifier{
+				inner:    sessionClassifier(learn.Classifier),
+				limiter:  limiter,
+				canceled: sessions.Canceled,
+			}
+			sess, err := active.NewSession(pools[i].Members, weights[i], gatedAnnotator{gate: gate, slot: i, inner: ann}, cfg)
+			if err != nil {
+				return fmt.Errorf("core: pool %s: %w", pools[i].ID(), err)
+			}
+			res, err := sess.Run()
+			if err != nil {
+				return fmt.Errorf("core: pool %s: %w", pools[i].ID(), err)
+			}
+			runs[i] = PoolRun{Pool: pools[i], Result: res}
+			if e.cfg.Progress != nil {
+				progressMu.Lock()
+				poolsDone++
+				labelsSoFar += res.QueriedCount()
+				e.cfg.Progress(poolsDone, len(pools), labelsSoFar)
+				progressMu.Unlock()
+			}
+			return nil
+		})
+	}
+	if err := sessions.Wait(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// sessionClassifier mirrors active.NewSession's default: a nil
+// configured classifier means each session gets its own Harmonic
+// instance (so the warm-start scratch state is never shared). A
+// non-nil classifier is shared across concurrent sessions and must be
+// stateless across Predict calls — true of every classifier in this
+// module (Harmonic, Majority, KNN keep no per-call state).
+func sessionClassifier(configured classify.Classifier) classify.Classifier {
+	if configured != nil {
+		return configured
+	}
+	return classify.NewHarmonic()
+}
+
+// gatedAnnotator routes one pool's owner queries through the rotation
+// gate: LabelStranger holds the pool's turn for exactly one question.
+// This is what makes the active.Annotator contract single-threaded —
+// implementations are never called concurrently, with or without
+// Workers — and what keeps the question order deterministic.
+type gatedAnnotator struct {
+	gate  *parallel.Gate
+	slot  int
+	inner active.Annotator
+}
+
+func (a gatedAnnotator) LabelStranger(s graph.UserID) label.Label {
+	a.gate.Acquire(a.slot)
+	defer a.gate.Release(a.slot)
+	return a.inner.LabelStranger(s)
+}
+
+// warmStarter mirrors the optional warm-start fast path the active
+// package probes for (active.warmStartClassifier).
+type warmStarter interface {
+	PredictFrom(weights [][]float64, labeled map[int]label.Label, init [][3]float64) ([]classify.Prediction, error)
+}
+
+// limitedClassifier wraps a session's classifier so each solve (the
+// pipeline's CPU hot spot) holds one Limiter permit, and so in-flight
+// sessions abort promptly after another pool fails. It forwards the
+// warm-start path exactly as the session would have used it on the
+// bare classifier, keeping parallel predictions bit-identical to
+// serial ones.
+type limitedClassifier struct {
+	inner    classify.Classifier
+	limiter  *parallel.Limiter
+	canceled func() bool
+}
+
+func (c *limitedClassifier) Name() string { return c.inner.Name() }
+
+func (c *limitedClassifier) Predict(weights [][]float64, labeled map[int]label.Label) ([]classify.Prediction, error) {
+	return c.PredictFrom(weights, labeled, nil)
+}
+
+func (c *limitedClassifier) PredictFrom(weights [][]float64, labeled map[int]label.Label, init [][3]float64) ([]classify.Prediction, error) {
+	if c.canceled() {
+		return nil, parallel.ErrCanceled
+	}
+	var preds []classify.Prediction
+	var err error
+	c.limiter.Do(func() {
+		if ws, ok := c.inner.(warmStarter); ok && init != nil {
+			preds, err = ws.PredictFrom(weights, labeled, init)
+			return
+		}
+		preds, err = c.inner.Predict(weights, labeled)
+	})
+	return preds, err
+}
+
+var _ classify.Classifier = (*limitedClassifier)(nil)
+var _ warmStarter = (*limitedClassifier)(nil)

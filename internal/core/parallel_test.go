@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sightrisk/internal/active"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/synthetic"
+)
+
+// eqFloat treats NaN as equal to NaN: pipeline outputs carry NaN
+// sentinels (round-1 RMSE, trivial-pool means) that must survive a
+// determinism comparison.
+func eqFloat(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+// diffOwnerRuns returns a description of the first difference between
+// two runs, or "" when they are identical (bit-identical floats, NaN
+// aware). It compares everything a Report is assembled from.
+func diffOwnerRuns(a, b *OwnerRun) string {
+	if a.Owner != b.Owner {
+		return fmt.Sprintf("owner %d vs %d", a.Owner, b.Owner)
+	}
+	if len(a.Strangers) != len(b.Strangers) {
+		return fmt.Sprintf("stranger count %d vs %d", len(a.Strangers), len(b.Strangers))
+	}
+	for i := range a.Strangers {
+		if a.Strangers[i] != b.Strangers[i] {
+			return fmt.Sprintf("stranger[%d] %d vs %d", i, a.Strangers[i], b.Strangers[i])
+		}
+	}
+	if len(a.Pools) != len(b.Pools) {
+		return fmt.Sprintf("pool count %d vs %d", len(a.Pools), len(b.Pools))
+	}
+	for pi := range a.Pools {
+		pa, pb := a.Pools[pi], b.Pools[pi]
+		if pa.Pool.ID() != pb.Pool.ID() {
+			return fmt.Sprintf("pool[%d] id %s vs %s", pi, pa.Pool.ID(), pb.Pool.ID())
+		}
+		if len(pa.Pool.Members) != len(pb.Pool.Members) {
+			return fmt.Sprintf("pool %s member count %d vs %d", pa.Pool.ID(), len(pa.Pool.Members), len(pb.Pool.Members))
+		}
+		for i := range pa.Pool.Members {
+			if pa.Pool.Members[i] != pb.Pool.Members[i] {
+				return fmt.Sprintf("pool %s member[%d] %d vs %d", pa.Pool.ID(), i, pa.Pool.Members[i], pb.Pool.Members[i])
+			}
+		}
+		ra, rb := pa.Result, pb.Result
+		if ra.Reason != rb.Reason {
+			return fmt.Sprintf("pool %s reason %s vs %s", pa.Pool.ID(), ra.Reason, rb.Reason)
+		}
+		if len(ra.Labels) != len(rb.Labels) {
+			return fmt.Sprintf("pool %s label count %d vs %d", pa.Pool.ID(), len(ra.Labels), len(rb.Labels))
+		}
+		for u, l := range ra.Labels {
+			if rb.Labels[u] != l {
+				return fmt.Sprintf("pool %s label[%d] %v vs %v", pa.Pool.ID(), u, l, rb.Labels[u])
+			}
+		}
+		if len(ra.OwnerLabeled) != len(rb.OwnerLabeled) {
+			return fmt.Sprintf("pool %s queried count %d vs %d", pa.Pool.ID(), len(ra.OwnerLabeled), len(rb.OwnerLabeled))
+		}
+		for u := range ra.OwnerLabeled {
+			if !rb.OwnerLabeled[u] {
+				return fmt.Sprintf("pool %s: %d owner-labeled in one run only", pa.Pool.ID(), u)
+			}
+		}
+		for u, p := range ra.Predicted {
+			q, ok := rb.Predicted[u]
+			if !ok {
+				return fmt.Sprintf("pool %s: prediction for %d missing", pa.Pool.ID(), u)
+			}
+			if p.Label != q.Label || !eqFloat(p.Expected, q.Expected) ||
+				!eqFloat(p.Scores[0], q.Scores[0]) || !eqFloat(p.Scores[1], q.Scores[1]) || !eqFloat(p.Scores[2], q.Scores[2]) {
+				return fmt.Sprintf("pool %s prediction[%d] %+v vs %+v", pa.Pool.ID(), u, p, q)
+			}
+		}
+		if len(ra.Rounds) != len(rb.Rounds) {
+			return fmt.Sprintf("pool %s rounds %d vs %d", pa.Pool.ID(), len(ra.Rounds), len(rb.Rounds))
+		}
+		for i := range ra.Rounds {
+			ta, tb := ra.Rounds[i], rb.Rounds[i]
+			if ta.Number != tb.Number || !eqFloat(ta.RMSE, tb.RMSE) ||
+				ta.ExactMatches != tb.ExactMatches || ta.ExactTotal != tb.ExactTotal ||
+				ta.Unstabilized != tb.Unstabilized {
+				return fmt.Sprintf("pool %s round %d: %+v vs %+v", pa.Pool.ID(), i+1, ta, tb)
+			}
+			if len(ta.Queried) != len(tb.Queried) {
+				return fmt.Sprintf("pool %s round %d queried %v vs %v", pa.Pool.ID(), i+1, ta.Queried, tb.Queried)
+			}
+			for qi := range ta.Queried {
+				if ta.Queried[qi] != tb.Queried[qi] {
+					return fmt.Sprintf("pool %s round %d queried %v vs %v", pa.Pool.ID(), i+1, ta.Queried, tb.Queried)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// TestParallelMatchesSerial is the core determinism guarantee: for a
+// seeded synthetic study, every Workers value yields the exact
+// OwnerRun the legacy serial path (Workers 1) produces — same labels,
+// same query traces, same round telemetry, bit-identical floats.
+func TestParallelMatchesSerial(t *testing.T) {
+	study := studyWorld(t)
+	for _, o := range study.Owners {
+		cfg := DefaultConfig()
+		cfg.Workers = 1
+		serial, err := New(cfg).RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), 16} {
+			cfg := DefaultConfig()
+			cfg.Workers = workers
+			par, err := New(cfg).RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if d := diffOwnerRuns(serial, par); d != "" {
+				t.Fatalf("owner %d workers=%d differs from serial: %s", o.ID, workers, d)
+			}
+		}
+	}
+}
+
+// recordingAnnotator wraps an annotator, recording the exact query
+// order and failing loudly if two LabelStranger calls ever overlap —
+// the annotator thread-safety contract under test.
+type recordingAnnotator struct {
+	inner  active.Annotator
+	inside atomic.Int32
+	racy   atomic.Bool
+	order  []graph.UserID
+}
+
+func (r *recordingAnnotator) LabelStranger(s graph.UserID) label.Label {
+	if r.inside.Add(1) != 1 {
+		r.racy.Store(true)
+	}
+	r.order = append(r.order, s) // unsynchronized on purpose: the gate must serialize us
+	l := r.inner.LabelStranger(s)
+	r.inside.Add(-1)
+	return l
+}
+
+// TestAnnotatorSerializedDeterministicOrder: with any Workers > 1 the
+// owner must see strictly serialized queries in an order that is a
+// deterministic function of the study — identical run to run and
+// identical across different worker counts.
+func TestAnnotatorSerializedDeterministicOrder(t *testing.T) {
+	study := studyWorld(t)
+	o := study.Owners[0]
+	ask := func(workers int) []graph.UserID {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		rec := &recordingAnnotator{inner: o}
+		if _, err := New(cfg).RunOwner(study.Graph, study.Profiles, o.ID, rec, o.Confidence); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rec.racy.Load() {
+			t.Fatalf("workers=%d: LabelStranger calls overlapped", workers)
+		}
+		return rec.order
+	}
+
+	want := ask(2)
+	if len(want) == 0 {
+		t.Fatal("no queries recorded")
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		for trial := 0; trial < 2; trial++ {
+			got := ask(workers)
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d trial %d: %d queries, want %d", workers, trial, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d trial %d: query %d asked about %d, want %d (order must not depend on scheduling)",
+						workers, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelStress is the short-mode-friendly race stressor: several
+// owners run concurrently against the shared graph and profile store,
+// each with a parallel pool pipeline and a tiny round budget (many
+// small sessions → much goroutine churn). Run under -race this
+// exercises every shared read path (graph adjacency, profile store,
+// pool building, PS contexts).
+func TestParallelStress(t *testing.T) {
+	cfg := synthetic.SmallStudyConfig()
+	cfg.Owners = 4
+	cfg.Ego.Strangers = 120
+	cfg.Ego.Friends = 18
+	cfg.Seed = 31
+	study, err := synthetic.GenerateStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := DefaultConfig()
+	ecfg.Workers = 8
+	ecfg.Learn.MaxRounds = 2 // tiny budgets: more pools in flight per unit work
+	var wg sync.WaitGroup
+	errs := make([]error, len(study.Owners))
+	for i, o := range study.Owners {
+		i, o := i, o
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run, err := New(ecfg).RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(run.Labels()) != len(run.Strangers) {
+				errs[i] = fmt.Errorf("owner %d: %d labels for %d strangers", o.ID, len(run.Labels()), len(run.Strangers))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// poisonAnnotator returns an invalid label for one specific stranger.
+type poisonAnnotator struct {
+	inner  active.Annotator
+	victim graph.UserID
+}
+
+func (p poisonAnnotator) LabelStranger(s graph.UserID) label.Label {
+	if s == p.victim {
+		return label.Label(99)
+	}
+	return p.inner.LabelStranger(s)
+}
+
+// TestParallelErrorPropagation: a failure inside one pool's session
+// must cancel the run and surface deterministically, naming the
+// failing pool, under both the serial and the parallel path.
+func TestParallelErrorPropagation(t *testing.T) {
+	study := studyWorld(t)
+	o := study.Owners[0]
+	victim := o.Strangers()[0]
+	var msgs []string
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.Learn.Confidence = 100 // exhaustive: the victim is guaranteed to be queried
+		_, err := New(cfg).RunOwner(study.Graph, study.Profiles, o.ID, poisonAnnotator{inner: o, victim: victim}, math.NaN())
+		if err == nil {
+			t.Fatalf("workers=%d: invalid label not rejected", workers)
+		}
+		if !strings.Contains(err.Error(), "invalid label") {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Fatalf("error differs between serial and parallel:\n  serial:   %s\n  parallel: %s", msgs[0], msgs[1])
+	}
+}
+
+// TestParallelProgressMonotone: the Progress callback keeps its
+// monotone contract under concurrency and ends on (total, total).
+func TestParallelProgressMonotone(t *testing.T) {
+	study := studyWorld(t)
+	o := study.Owners[0]
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	var lastDone, lastLabels, calls, total int
+	cfg.Progress = func(done, tot, labels int) {
+		calls++
+		total = tot
+		if done != lastDone+1 {
+			t.Errorf("done jumped %d -> %d", lastDone, done)
+		}
+		if labels < lastLabels {
+			t.Errorf("labels went backwards %d -> %d", lastLabels, labels)
+		}
+		lastDone, lastLabels = done, labels
+	}
+	run, err := New(cfg).RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 || lastDone != total || len(run.Pools) != total {
+		t.Fatalf("progress ended at %d/%d after %d calls, %d pools", lastDone, total, calls, len(run.Pools))
+	}
+	if lastLabels != run.QueriedCount() {
+		t.Fatalf("final labels %d, run queried %d", lastLabels, run.QueriedCount())
+	}
+}

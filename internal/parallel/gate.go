@@ -1,0 +1,95 @@
+package parallel
+
+import "sync"
+
+// Gate serializes critical sections across a fixed set of n
+// participants (slots 0..n-1) in a deterministic rotation. The turn
+// starts at slot 0 and advances cyclically over the slots that have
+// not declared Done; crucially, the rotation *waits* on the slot it
+// points at until that slot either enters its critical section
+// (Acquire) or leaves the rotation for good (Done). Because each
+// slot's own sequence of Acquire/Done calls is a deterministic
+// function of its inputs, the global order of granted sections is too
+// — independent of goroutine scheduling, CPU count, or how many
+// worker permits exist.
+//
+// The engine uses one slot per learning pool and routes every
+// annotator (owner) query through the gate, which yields exactly the
+// contract the public API documents: with any Workers > 1 the owner
+// sees one question at a time, in an order that depends only on the
+// study inputs.
+//
+// Usage per slot: any number of Acquire/Release pairs, then exactly
+// one Done. Calling Done with the slot's turn pending releases the
+// rotation to the next live slot.
+type Gate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	turn    int
+	holding bool
+	done    []bool
+	live    int
+}
+
+// NewGate returns a gate over n slots with the turn at slot 0. A gate
+// over 0 slots is valid and inert.
+func NewGate(n int) *Gate {
+	g := &Gate{n: n, done: make([]bool, n), live: n}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Acquire blocks until the rotation reaches slot and enters the
+// critical section. Must not be called after Done(slot).
+func (g *Gate) Acquire(slot int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.turn != slot || g.holding {
+		g.cond.Wait()
+	}
+	g.holding = true
+}
+
+// Release ends slot's critical section and advances the rotation to
+// the next slot that has not declared Done.
+func (g *Gate) Release(slot int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.holding = false
+	g.advanceFrom(slot)
+	g.cond.Broadcast()
+}
+
+// Done removes slot from the rotation permanently. If the rotation is
+// currently waiting on slot, it moves on to the next live slot.
+func (g *Gate) Done(slot int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.done[slot] {
+		return
+	}
+	g.done[slot] = true
+	g.live--
+	if g.turn == slot && !g.holding {
+		g.advanceFrom(slot)
+	}
+	g.cond.Broadcast()
+}
+
+// advanceFrom moves the turn to the next non-done slot after from,
+// cyclically. With no live slots left the turn is parked on from
+// (nobody can be waiting). Callers hold g.mu.
+func (g *Gate) advanceFrom(from int) {
+	if g.live == 0 {
+		return
+	}
+	next := from
+	for i := 0; i < g.n; i++ {
+		next = (next + 1) % g.n
+		if !g.done[next] {
+			g.turn = next
+			return
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupRunsAllTasksIndexOrderedResults(t *testing.T) {
+	const n = 100
+	results := make([]int, n)
+	g := NewGroup(4)
+	for i := 0; i < n; i++ {
+		i := i
+		g.Go(i, func() error {
+			results[i] = i * i
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestGroupBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	g := NewGroup(workers)
+	for i := 0; i < 50; i++ {
+		g.Go(i, func() error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", p, workers)
+	}
+}
+
+func TestGroupReportsLowestIndexError(t *testing.T) {
+	g := NewGroup(8)
+	for i := 0; i < 20; i++ {
+		i := i
+		g.Go(i, func() error {
+			if i%2 == 1 { // 1, 3, 5, ... fail
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+	}
+	err := g.Wait()
+	if err == nil || err.Error() != "task 1 failed" {
+		t.Fatalf("got %v, want the lowest-index failure (task 1)", err)
+	}
+	if !g.Canceled() {
+		t.Fatal("group not canceled after failure")
+	}
+}
+
+func TestGroupPrefersRootCauseOverCancellation(t *testing.T) {
+	g := NewGroup(2)
+	// Lower index carries cancellation fallout; higher index has the
+	// real error. Wait must surface the real one.
+	g.Go(0, func() error { return fmt.Errorf("pool a: %w", ErrCanceled) })
+	g.Go(5, func() error { return errors.New("root cause") })
+	err := g.Wait()
+	if err == nil || err.Error() != "root cause" {
+		t.Fatalf("got %v, want root cause", err)
+	}
+}
+
+func TestGroupAllCanceledStillReturnsError(t *testing.T) {
+	g := NewGroup(2)
+	g.Go(3, func() error { return fmt.Errorf("b: %w", ErrCanceled) })
+	g.Go(1, func() error { return fmt.Errorf("a: %w", ErrCanceled) })
+	err := g.Wait()
+	if err == nil || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want a canceled error", err)
+	}
+	if err.Error() != fmt.Sprintf("a: %v", ErrCanceled) {
+		t.Fatalf("got %q, want the lowest-index cancellation", err)
+	}
+}
+
+func TestLimiterBoundsConcurrency(t *testing.T) {
+	const permits = 2
+	l := NewLimiter(permits)
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Do(func() {
+				c := cur.Add(1)
+				for {
+					p := peak.Load()
+					if c <= p || peak.CompareAndSwap(p, c) {
+						break
+					}
+				}
+				time.Sleep(100 * time.Microsecond)
+				cur.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > permits {
+		t.Fatalf("observed %d concurrent sections, want <= %d", p, permits)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := ResolveWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("ResolveWorkers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := ResolveWorkers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("ResolveWorkers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := ResolveWorkers(7); got != 7 {
+		t.Fatalf("ResolveWorkers(7) = %d, want 7", got)
+	}
+}
+
+// gateParticipant drives one slot: `sections` critical sections with a
+// tiny compute pause between them, recording the global grant order.
+func gateParticipant(g *Gate, slot, sections int, order *[]int, mu *sync.Mutex, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer g.Done(slot)
+	for s := 0; s < sections; s++ {
+		g.Acquire(slot)
+		mu.Lock()
+		*order = append(*order, slot)
+		mu.Unlock()
+		g.Release(slot)
+		time.Sleep(time.Duration(slot%3) * 50 * time.Microsecond) // desynchronize
+	}
+}
+
+// TestGateDeterministicRotation runs uneven participants repeatedly
+// and checks the grant order is identical every time — the property
+// the engine's annotator-query ordering is built on.
+func TestGateDeterministicRotation(t *testing.T) {
+	// Slot i performs i+1 sections: uneven exits exercise Done-skipping.
+	sections := []int{3, 1, 4, 2, 5}
+	var want []int
+	for trial := 0; trial < 25; trial++ {
+		g := NewGate(len(sections))
+		var mu sync.Mutex
+		var order []int
+		var wg sync.WaitGroup
+		for slot, n := range sections {
+			wg.Add(1)
+			go gateParticipant(g, slot, n, &order, &mu, &wg)
+		}
+		wg.Wait()
+		total := 0
+		for _, n := range sections {
+			total += n
+		}
+		if len(order) != total {
+			t.Fatalf("trial %d: %d grants, want %d", trial, len(order), total)
+		}
+		if trial == 0 {
+			want = append([]int(nil), order...)
+			continue
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("trial %d: grant %d went to slot %d, previously slot %d (order must be deterministic)\nwant %v\n got %v",
+					trial, i, order[i], want[i], want, order)
+			}
+		}
+	}
+}
+
+// TestGateRotationOrder pins the exact rotation semantics on a small
+// case: 3 slots doing {2, 1, 2} sections each must interleave
+// 0,1,2,0,2 — cyclic, skipping finished slots.
+func TestGateRotationOrder(t *testing.T) {
+	sections := []int{2, 1, 2}
+	g := NewGate(len(sections))
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for slot, n := range sections {
+		wg.Add(1)
+		go gateParticipant(g, slot, n, &order, &mu, &wg)
+	}
+	wg.Wait()
+	want := []int{0, 1, 2, 0, 2}
+	if len(order) != len(want) {
+		t.Fatalf("grants %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grants %v, want %v", order, want)
+		}
+	}
+}
+
+// TestGateMutualExclusion checks no two critical sections overlap.
+func TestGateMutualExclusion(t *testing.T) {
+	const slots = 8
+	g := NewGate(slots)
+	var inside atomic.Int32
+	var wg sync.WaitGroup
+	for slot := 0; slot < slots; slot++ {
+		slot := slot
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer g.Done(slot)
+			for s := 0; s < 20; s++ {
+				g.Acquire(slot)
+				if n := inside.Add(1); n != 1 {
+					t.Errorf("%d goroutines inside the gate", n)
+				}
+				inside.Add(-1)
+				g.Release(slot)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestGateDoneWithoutAcquire: a slot may leave the rotation without
+// ever entering a section (e.g. a pool whose session fails to start).
+func TestGateDoneWithoutAcquire(t *testing.T) {
+	g := NewGate(3)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Slot 1 acquires while slot 0 bails out immediately.
+		g.Done(0)
+		g.Acquire(1)
+		g.Release(1)
+		g.Done(1)
+		g.Acquire(2)
+		g.Release(2)
+		g.Done(2)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gate deadlocked after Done without Acquire")
+	}
+}
+
+func TestGateZeroSlots(t *testing.T) {
+	NewGate(0) // must not panic
+}

@@ -1,0 +1,82 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+// FuzzProfileSimilarity feeds arbitrary attribute values (including
+// empty strings, unicode, and values absent from the frequency
+// context) through PS and checks its contract: the result is always a
+// real number in [0,1], symmetric in its arguments, 1 on identical
+// profiles, and the computation never panics.
+func FuzzProfileSimilarity(f *testing.F) {
+	attrs := profile.ClusteringAttributes()
+	f.Add("male", "en_US", "Doe", "female", "it_IT", "Rossi", "male", "en_US")
+	f.Add("", "", "", "", "", "", "", "")
+	f.Add("x", "x", "x", "x", "x", "x", "x", "x")
+	f.Add("héllo", "日本語", "O'Brien", "a\x00b", " ", "\t", "zz", "en_US")
+	f.Add("male", "en_US", "Doe", "male", "en_US", "Doe", "rare", "unseen")
+	f.Fuzz(func(t *testing.T, g1, l1, n1, g2, l2, n2, poolG, poolL string) {
+		// Pool of two profiles supplying the value-frequency context;
+		// the compared profiles may hold values the pool never saw.
+		store := profile.NewStore()
+		pool := []graph.UserID{1, 2}
+		for i, u := range pool {
+			p := profile.NewProfile(u)
+			p.SetAttr(profile.AttrGender, poolG)
+			p.SetAttr(profile.AttrLocale, poolL)
+			if i == 1 {
+				p.SetAttr(profile.AttrLastName, n1)
+			}
+			store.Put(p)
+		}
+		ctx := NewPSContext(store, pool, attrs)
+
+		pa := profile.NewProfile(10)
+		pa.SetAttr(profile.AttrGender, g1)
+		pa.SetAttr(profile.AttrLocale, l1)
+		pa.SetAttr(profile.AttrLastName, n1)
+		pb := profile.NewProfile(11)
+		pb.SetAttr(profile.AttrGender, g2)
+		pb.SetAttr(profile.AttrLocale, l2)
+		pb.SetAttr(profile.AttrLastName, n2)
+
+		ab := ctx.PS(pa, pb)
+		ba := ctx.PS(pb, pa)
+		if math.IsNaN(ab) || ab < 0 || ab > 1 {
+			t.Fatalf("PS = %g, want [0,1]", ab)
+		}
+		if ab != ba {
+			t.Fatalf("PS not symmetric: %g vs %g", ab, ba)
+		}
+		if self := ctx.PS(pa, pa); self != 1 && hasAllAttrs(pa, attrs) {
+			t.Fatalf("PS(p,p) = %g with all attributes set, want 1", self)
+		}
+		if ctx.PS(nil, pb) != 0 || ctx.PS(pa, nil) != 0 {
+			t.Fatal("PS with nil profile must be 0")
+		}
+
+		// The matrix path must agree with pairwise PS and stay
+		// symmetric with a unit diagonal.
+		m := ctx.Matrix([]*profile.Profile{pa, pb})
+		if m[0][0] != 1 || m[1][1] != 1 {
+			t.Fatalf("diagonal %g/%g, want 1", m[0][0], m[1][1])
+		}
+		if m[0][1] != ab || m[1][0] != ab {
+			t.Fatalf("matrix entry %g/%g, pairwise %g", m[0][1], m[1][0], ab)
+		}
+	})
+}
+
+func hasAllAttrs(p *profile.Profile, attrs []profile.Attribute) bool {
+	for _, a := range attrs {
+		if p.Attr(a) == "" {
+			return false
+		}
+	}
+	return true
+}

@@ -257,11 +257,19 @@ func (o *Owner) Benefit(s graph.UserID) float64 {
 }
 
 // drawTheta samples an owner θ vector around the paper's Table III
-// means.
+// means. The items are drawn in sorted order: ranging over the Theta
+// map directly would consume the RNG in map-iteration order, making θ
+// vectors vary between runs of the same seed.
 func drawTheta(rng *rand.Rand) benefit.Theta {
-	t := make(benefit.Theta, 7)
-	for item, mean := range benefit.PaperTheta() {
-		v := mean + 0.03*(rng.Float64()-0.5)
+	means := benefit.PaperTheta()
+	items := make([]profile.Item, 0, len(means))
+	for item := range means {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	t := make(benefit.Theta, len(items))
+	for _, item := range items {
+		v := means[item] + 0.03*(rng.Float64()-0.5)
 		if v < 0.01 {
 			v = 0.01
 		}

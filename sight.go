@@ -73,6 +73,17 @@ const (
 )
 
 // Annotator answers owner risk queries for strangers.
+//
+// Thread-safety contract: implementations never need to be safe for
+// concurrent use. Even with Options.Workers > 1 the engine serializes
+// LabelStranger calls — the owner is asked one question at a time —
+// and the question order is a deterministic function of the network
+// and options (identical across runs and across any Workers > 1;
+// Workers == 1 asks pool by pool in the legacy order). Interactive
+// annotators therefore work unchanged. For reproducible reports the
+// annotator must be deterministic per stranger: asking about the same
+// stranger twice must yield the same label, and the label must not
+// depend on the order questions arrive in.
 type Annotator interface {
 	LabelStranger(s UserID) Label
 }
@@ -228,9 +239,20 @@ type Options struct {
 	Stopper string
 	// Progress, when non-nil, is invoked after each pool's learning
 	// session with (pools done, pools total, labels collected so far).
+	// With Workers != 1 it is called from the pipeline's worker
+	// goroutines (serialized, with monotone counts), in pool
+	// *completion* order rather than pool order.
 	Progress func(done, total, labels int)
 	// Seed drives stranger sampling.
 	Seed int64
+	// Workers bounds how many pools are processed concurrently
+	// (weight-matrix builds and classifier solves). 0 means one worker
+	// per CPU (runtime.GOMAXPROCS(0)); 1 forces the exact legacy
+	// serial path. The resulting Report is identical for every value —
+	// pools keep their own seeded RNG streams, results merge in pool
+	// order, and annotator queries are serialized one at a time in a
+	// deterministic order (see Annotator).
+	Workers int
 }
 
 // DefaultOptions returns the paper's experimental configuration.
@@ -288,6 +310,7 @@ func (o Options) coreConfig() (core.Config, error) {
 	}
 	cfg.Progress = o.Progress
 	cfg.Seed = o.Seed
+	cfg.Workers = o.Workers
 	return cfg, nil
 }
 
