@@ -121,6 +121,7 @@ func TriageFriendRequest(rep *Report, stranger UserID) (FriendRequestAdvice, err
 			ctx.Label = sr.Label
 			ctx.NetworkSimilarity = sr.NetworkSimilarity
 			ctx.OwnerLabeled = sr.OwnerLabeled
+			ctx.Fallback = sr.Fallback
 			break
 		}
 	}

@@ -16,11 +16,13 @@ package sight
 // actual rows next to the paper's values.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"testing"
 
+	"sightrisk/internal/active"
 	"sightrisk/internal/core"
 	"sightrisk/internal/experiments"
 	"sightrisk/internal/synthetic"
@@ -258,7 +260,7 @@ func BenchmarkPipelineOneOwner(b *testing.B) {
 	engine := core.New(env.Cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.RunOwner(env.Study.Graph, env.Study.Profiles, o.ID, o, o.Confidence); err != nil {
+		if _, err := engine.RunOwner(context.Background(), env.Study.Graph, env.Study.Profiles, o.ID, active.Infallible(o), o.Confidence); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -279,7 +281,7 @@ func BenchmarkEstimateRiskParallel(b *testing.B) {
 			engine := core.New(cfg)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := engine.RunOwner(env.Study.Graph, env.Study.Profiles, o.ID, o, o.Confidence); err != nil {
+				if _, err := engine.RunOwner(context.Background(), env.Study.Graph, env.Study.Profiles, o.ID, active.Infallible(o), o.Confidence); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -5,10 +5,15 @@
 // Usage:
 //
 //	riskbench [-scale small|medium|full] [-seed N] [-only fig4,table1,...] [-workers N]
+//	          [-fault-prob P] [-fault-latency D] [-fault-abandon N] [-fault-seed N] [-fault-retries N]
 //
 // The full scale matches the paper's population (47 owners, mean 3,661
 // strangers each, ~172k stranger profiles) and takes a few minutes;
-// small (default) runs in seconds.
+// small (default) runs in seconds. The -fault-* flags wrap every
+// owner's annotator in a seeded fault injector (transient failures,
+// latency, mid-session abandonment) so the robustness machinery can be
+// exercised against any experiment; the dedicated "faults" step
+// reports the retry overhead next to a clean baseline.
 package main
 
 import (
@@ -20,8 +25,10 @@ import (
 	"strings"
 	"time"
 
+	"sightrisk/internal/active"
 	"sightrisk/internal/core"
 	"sightrisk/internal/experiments"
+	"sightrisk/internal/faults"
 	"sightrisk/internal/parallel"
 	"sightrisk/internal/profile"
 	"sightrisk/internal/stats"
@@ -31,11 +38,16 @@ import (
 func main() {
 	scale := flag.String("scale", "small", "population scale: small, medium or full")
 	seed := flag.Int64("seed", 1, "study generation seed")
-	only := flag.String("only", "", "comma-separated experiment ids (fig4 fig5 fig6 fig7 headline table1 table2 table3 table4 table5 contrast dynamics robustness); empty = all")
+	only := flag.String("only", "", "comma-separated experiment ids (fig4 fig5 fig6 fig7 headline table1 table2 table3 table4 table5 contrast dynamics robustness faults); empty = all")
 	rounds := flag.Int("rounds", 8, "x-axis length for fig5/fig6")
 	ablations := flag.Bool("ablations", false, "also run the DESIGN.md §5 ablations (classifiers, alpha, beta, stopping rule, weight exponent, Squeezer weights, pool strategy)")
 	workers := flag.Int("workers", 0, "concurrent per-pool workers in the risk engine (0 = one per CPU, 1 = serial legacy path)")
 	times := flag.Bool("times", true, "report per-stage wall time")
+	faultProb := flag.Float64("fault-prob", 0, "inject transient annotator failures with this per-query probability")
+	faultLatency := flag.Duration("fault-latency", 0, "inject this much latency into every annotator answer")
+	faultAbandon := flag.Int("fault-abandon", 0, "owners abandon after this many answers per run (0 = never)")
+	faultSeed := flag.Int64("fault-seed", 7, "fault-injection seed")
+	faultRetries := flag.Int("fault-retries", 10, "retry attempts configured when -fault-prob is set")
 	flag.Parse()
 
 	start := time.Now()
@@ -43,6 +55,38 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "riskbench:", err)
 		os.Exit(1)
+	}
+	if *faultProb > 0 || *faultLatency > 0 || *faultAbandon > 0 {
+		fcfg := faults.Config{
+			Seed:         *faultSeed,
+			FailProb:     *faultProb,
+			Latency:      *faultLatency,
+			AbandonAfter: *faultAbandon,
+		}
+		if err := fcfg.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "riskbench:", err)
+			os.Exit(1)
+		}
+		if *faultProb > 0 {
+			env.Cfg.Retry = active.RetryPolicy{
+				MaxAttempts: *faultRetries,
+				BaseDelay:   time.Microsecond,
+				MaxDelay:    10 * time.Microsecond,
+			}
+		}
+		wrapped := 0
+		env.Wrap = func(a active.FallibleAnnotator) active.FallibleAnnotator {
+			cfg := fcfg
+			cfg.Seed = *faultSeed + int64(wrapped)
+			wrapped++
+			inj, err := faults.Wrap(a, cfg)
+			if err != nil {
+				return a // validated above; unreachable
+			}
+			return inj
+		}
+		fmt.Printf("riskbench: fault injection on (prob=%g latency=%v abandon=%d seed=%d retries=%d)\n",
+			*faultProb, *faultLatency, *faultAbandon, *faultSeed, *faultRetries)
 	}
 	stage := func(id string, since time.Time) {
 		if *times {
@@ -80,6 +124,7 @@ func main() {
 		{"contrast", printContrast},
 		{"dynamics", printDynamics},
 		{"robustness", func(e *experiments.Env) error { return printRobustness(*scale, *seed, *workers) }},
+		{"faults", printFaults},
 	}
 	for _, s := range steps {
 		if !enabled(s.id) {
@@ -136,6 +181,22 @@ func printRobustness(scale string, seed int64, workers int) error {
 	for _, r := range rows {
 		t.AddRow(r.Topology, stats.Pct(r.Group1Share), fmt.Sprintf("%d", r.MaxOccupiedGroup),
 			stats.Pct(r.ExactMatch), fmtNaN(r.MeanRounds, "%.2f"), fmtNaN(r.MeanLabels, "%.1f"))
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func printFaults(e *experiments.Env) error {
+	rows, err := experiments.FaultOverhead(e, []float64{0.05, 0.2}, active.RetryPolicy{})
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("Fault tolerance — retry overhead under injected annotator flakiness",
+		"scenario", "owners", "labels/owner", "failures", "attempts", "partial", "elapsed")
+	for _, r := range rows {
+		t.AddRow(r.Scenario, fmt.Sprintf("%d", r.Owners), fmtNaN(r.MeanLabels, "%.1f"),
+			fmt.Sprintf("%d", r.Failures), fmt.Sprintf("%d", r.Queries),
+			fmt.Sprintf("%d", r.Partial), r.Elapsed.Round(time.Millisecond).String())
 	}
 	fmt.Println(t)
 	return nil

@@ -9,15 +9,19 @@
 //	sightctl info -in study.json
 //	    Print dataset statistics.
 //
-//	sightctl run -in study.json [-owner ID] [-strategy npp|nsp] [-v] [-interactive]
+//	sightctl run -in study.json [-owner ID] [-strategy npp|nsp] [-v] [-interactive] [-checkpoint file]
 //	    Run the risk-estimation pipeline for one owner (or all owners)
 //	    using the stored labels as the annotator — or, with
 //	    -interactive, answering the paper's labeling question on the
-//	    terminal — and print the resulting risk report.
+//	    terminal — and print the resulting risk report. SIGINT/SIGTERM
+//	    cancel the run gracefully: the partial report is printed with
+//	    per-pool status, and with -checkpoint the session state is on
+//	    disk so the same invocation resumes where it stopped.
 //
-//	sightctl crawl -in study.json -owner ID [-ticks N]
+//	sightctl crawl -in study.json -owner ID [-ticks N] [-failprob P]
 //	    Simulate the Sight crawler discovering the owner's strangers
-//	    and print progress snapshots.
+//	    and print progress snapshots, optionally under transient API
+//	    failures.
 //
 //	sightctl tune -in study.json [-owner ID]
 //	    Mine pipeline parameters (α, β, Squeezer weights, θ) from the
@@ -29,12 +33,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"sightrisk/internal/benefit"
 	"sightrisk/internal/crawler"
@@ -157,8 +164,12 @@ func cmdRun(args []string) error {
 	interactive := fs.Bool("interactive", false, "ask for risk labels on the terminal (the Sight experience) instead of using stored labels")
 	out := fs.String("out", "", "also write the risk reports as JSON to this file")
 	seed := fs.Int64("seed", 1, "sampling seed")
+	checkpoint := fs.String("checkpoint", "", "checkpoint file: resumed from when it exists, rewritten after every labeling round (requires -owner)")
 	fs.Parse(args)
 
+	if *checkpoint != "" && *ownerID == 0 {
+		return fmt.Errorf("-checkpoint requires a single -owner")
+	}
 	ds, err := dataset.Load(*in)
 	if err != nil {
 		return err
@@ -174,6 +185,11 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 	net := sight.WrapNetwork(ds.Graph, ds.ProfileStore())
+
+	// SIGINT/SIGTERM cancel the run at the next query boundary; the
+	// pipeline degrades to a partial report instead of dying mid-round.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	owners := ds.OwnerIDs()
 	if *ownerID != 0 {
@@ -198,12 +214,37 @@ func cmdRun(args []string) error {
 			}
 			ann = prompt.New(os.Stdin, os.Stdout, ds.Graph, store, id, theta)
 		}
-		rep, err := sight.EstimateRisk(net, id, ann, opts)
+		opts.Checkpoint, opts.Resume = nil, nil
+		if *checkpoint != "" {
+			path := *checkpoint
+			if _, statErr := os.Stat(path); statErr == nil {
+				cp, err := sight.LoadCheckpoint(path)
+				if err != nil {
+					return err
+				}
+				opts.Resume = cp
+				fmt.Printf("resuming owner %d from %s (%d pools checkpointed)\n", id, path, len(cp.Pools))
+			}
+			// The sink persists after every round, so the file always
+			// holds the latest completed state — nothing extra to do on
+			// a signal.
+			opts.Checkpoint = func(c *sight.Checkpoint) error {
+				return sight.SaveCheckpoint(path, c)
+			}
+		}
+		rep, err := sight.EstimateRiskContext(ctx, net, id, sight.Infallible(ann), opts)
 		if err != nil {
 			return err
 		}
 		printReport(rep, rec, *verbose)
+		if rep.Partial && *checkpoint != "" {
+			fmt.Printf("  checkpoint saved to %s — rerun the same command to resume\n", *checkpoint)
+		}
 		reports = append(reports, rep)
+		if ctx.Err() != nil {
+			fmt.Println("interrupted — stopping after the current owner")
+			break
+		}
 	}
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -234,6 +275,23 @@ func printReport(rep *sight.Report, rec dataset.OwnerRecord, verbose bool) {
 	if !math.IsNaN(rep.MeanRounds) {
 		fmt.Printf("  mean rounds %.2f, validation exact-match %s\n", rep.MeanRounds, stats.Pct(rep.ExactMatchRate))
 	}
+	if rep.Partial {
+		fallbacks := 0
+		for _, sr := range rep.Strangers {
+			if sr.Fallback {
+				fallbacks++
+			}
+		}
+		fmt.Printf("  PARTIAL RUN (%v): %d strangers carry fallback labels\n", rep.Interrupt, fallbacks)
+		pools := make([]string, 0, len(rep.PoolStatus))
+		for p := range rep.PoolStatus {
+			pools = append(pools, p)
+		}
+		sort.Strings(pools)
+		for _, p := range pools {
+			fmt.Printf("    pool %-14s %s\n", p, rep.PoolStatus[p])
+		}
+	}
 	if len(rec.Labels) > 0 {
 		agree, total := 0, 0
 		for _, sr := range rep.Strangers {
@@ -252,8 +310,11 @@ func printReport(rep *sight.Report, rec dataset.OwnerRecord, verbose bool) {
 	if verbose {
 		for _, sr := range rep.Strangers {
 			marker := " "
-			if sr.OwnerLabeled {
+			switch {
+			case sr.OwnerLabeled:
 				marker = "*"
+			case sr.Fallback:
+				marker = "~"
 			}
 			fmt.Printf("    %s stranger %-8d NS=%.3f pool=%-14s %s\n",
 				marker, sr.User, sr.NetworkSimilarity, sr.Pool, sr.Label)
@@ -267,6 +328,8 @@ func cmdCrawl(args []string) error {
 	ownerID := fs.Int64("owner", 0, "owner id (default: first owner)")
 	ticks := fs.Int("ticks", 200, "ticks to simulate")
 	every := fs.Int("report", 25, "print a snapshot every N ticks")
+	failProb := fs.Float64("failprob", 0, "per-API-call transient failure probability in [0,1]")
+	retries := fs.Int("retries", 2, "retry budget per tick for failed API calls")
 	fs.Parse(args)
 
 	ds, err := dataset.Load(*in)
@@ -281,7 +344,10 @@ func cmdCrawl(args []string) error {
 		}
 		id = ids[0]
 	}
-	c, err := crawler.New(ds.Graph, ds.ProfileStore(), id, crawler.DefaultConfig())
+	ccfg := crawler.DefaultConfig()
+	ccfg.FailureProb = *failProb
+	ccfg.RetryBudgetPerTick = *retries
+	c, err := crawler.New(ds.Graph, ds.ProfileStore(), id, ccfg)
 	if err != nil {
 		return err
 	}
@@ -290,8 +356,8 @@ func cmdCrawl(args []string) error {
 		c.Tick()
 		if t%*every == 0 || t == *ticks {
 			st := c.Stats()
-			fmt.Printf("  tick %-5d discovered %-6d pending %-5d api calls %-6d coverage %s\n",
-				st.Ticks, st.Discovered, st.Pending, st.APICalls, stats.Pct(st.Coverage))
+			fmt.Printf("  tick %-5d discovered %-6d pending %-5d api calls %-6d failures %-5d coverage %s\n",
+				st.Ticks, st.Discovered, st.Pending, st.APICalls, st.Failures, stats.Pct(st.Coverage))
 		}
 	}
 	return nil

@@ -15,6 +15,7 @@
 package active
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,7 +26,12 @@ import (
 )
 
 // Annotator supplies owner risk judgments. Implementations may be a
-// live UI or a simulated owner model.
+// live UI or a simulated owner model. Annotator is the infallible
+// legacy contract: LabelStranger cannot fail and cannot be
+// interrupted. Annotators that can fail — real owner frontends with
+// timeouts, rate limits and abandonment — implement FallibleAnnotator
+// instead; wrap an Annotator with Infallible to use it where a
+// FallibleAnnotator is expected.
 //
 // Concurrency contract: a Session calls LabelStranger from the single
 // goroutine running Session.Run, and the core engine's parallel path
@@ -85,6 +91,13 @@ type Config struct {
 	// Rand drives stranger sampling; nil defaults to a fixed seed so
 	// sessions are reproducible.
 	Rand *rand.Rand
+	// AfterRound, when non-nil, is invoked after every completed round
+	// with that round's trace — the engine uses it to checkpoint the
+	// session so an interrupted run can resume without re-asking the
+	// owner anything. Returning an error aborts the session with that
+	// error (a failed checkpoint write should stop the run, not
+	// silently lose durability).
+	AfterRound func(Round) error
 }
 
 // DefaultConfig returns the paper's experimental setting: 3 labels per
@@ -108,11 +121,16 @@ func (c Config) validate() error {
 	if c.StableRounds < 1 {
 		return fmt.Errorf("active: StableRounds must be >= 1, got %d", c.StableRounds)
 	}
-	if c.RMSEThreshold < 0 {
-		return fmt.Errorf("active: RMSEThreshold must be >= 0, got %g", c.RMSEThreshold)
+	if c.RMSEThreshold <= 0 {
+		return fmt.Errorf("active: RMSEThreshold must be > 0, got %g", c.RMSEThreshold)
 	}
 	return nil
 }
+
+// Validate checks the configuration and returns a descriptive error
+// for out-of-range fields (PerRound < 1, Confidence outside [0,100],
+// StableRounds < 1, RMSEThreshold <= 0).
+func (c Config) Validate() error { return c.validate() }
 
 // ChangeTolerance returns Definition 5's tolerance for confidence c:
 // (Lmax - Lmin) · (100 - c) / 100. A stranger's prediction is
@@ -130,10 +148,11 @@ type StopReason string
 
 // Session outcomes.
 const (
-	StopConverged StopReason = "converged"    // RMSE and stabilization both satisfied
-	StopExhausted StopReason = "exhausted"    // every stranger in the pool was labeled
-	StopMaxRounds StopReason = "max-rounds"   // MaxRounds reached before convergence
-	StopTrivial   StopReason = "trivial-pool" // pool too small to need prediction
+	StopConverged   StopReason = "converged"    // RMSE and stabilization both satisfied
+	StopExhausted   StopReason = "exhausted"    // every stranger in the pool was labeled
+	StopMaxRounds   StopReason = "max-rounds"   // MaxRounds reached before convergence
+	StopTrivial     StopReason = "trivial-pool" // pool too small to need prediction
+	StopInterrupted StopReason = "interrupted"  // annotator failure, abandonment or cancellation
 )
 
 // Round is the trace of one labeling round.
@@ -192,7 +211,7 @@ type Session struct {
 	cfg     Config
 	members []graph.UserID
 	weights [][]float64
-	ann     Annotator
+	ann     FallibleAnnotator
 	clf     classify.Classifier
 	sampler Sampler
 	stopper Stopper
@@ -201,8 +220,9 @@ type Session struct {
 
 // NewSession prepares a session over the pool members with the given
 // symmetric profile-similarity weight matrix (weights[i][j] between
-// members[i] and members[j]).
-func NewSession(members []graph.UserID, weights [][]float64, ann Annotator, cfg Config) (*Session, error) {
+// members[i] and members[j]). The annotator is fallible; wrap a legacy
+// infallible Annotator with Infallible.
+func NewSession(members []graph.UserID, weights [][]float64, ann FallibleAnnotator, cfg Config) (*Session, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -245,11 +265,24 @@ func NewSession(members []graph.UserID, weights [][]float64, ann Annotator, cfg 
 	}, nil
 }
 
-// Run executes rounds until the stopping condition of Section III-D
-// holds: the most recent validation RMSE is below the threshold AND no
-// classification change occurred for StableRounds consecutive rounds —
-// or until the pool is exhausted or MaxRounds is hit.
-func (s *Session) Run() (*Result, error) {
+// Run executes the session without external cancellation; it is
+// RunContext with a background context.
+func (s *Session) Run() (*Result, error) { return s.RunContext(context.Background()) }
+
+// RunContext executes rounds until the stopping condition of
+// Section III-D holds: the most recent validation RMSE is below the
+// threshold AND no classification change occurred for StableRounds
+// consecutive rounds — or until the pool is exhausted or MaxRounds is
+// hit.
+//
+// ctx is checked at every query boundary (before each owner question
+// and at each round start); cancellation aborts the session at the
+// next boundary. When the annotator fails or ctx is canceled,
+// RunContext returns BOTH a partial Result (Reason StopInterrupted,
+// carrying every owner label gathered so far plus the last round's
+// predictions where available) and the error — callers decide whether
+// to degrade gracefully from the partial state or to fail.
+func (s *Session) RunContext(ctx context.Context) (*Result, error) {
 	n := len(s.members)
 	res := &Result{
 		Pool:         s.members,
@@ -264,17 +297,34 @@ func (s *Session) Run() (*Result, error) {
 	// Pools at or below the per-round budget are labeled outright:
 	// prediction would save no owner effort.
 	if n <= s.cfg.PerRound {
+		tr := Round{Number: 1, RMSE: math.NaN(), Unstabilized: -1}
 		for _, m := range s.members {
-			l := s.ann.LabelStranger(m)
+			if err := ctx.Err(); err != nil {
+				res.Reason = StopInterrupted
+				res.Rounds = []Round{tr}
+				return res, err
+			}
+			l, err := s.ann.LabelStranger(ctx, m)
+			if err != nil {
+				res.Reason = StopInterrupted
+				res.Rounds = []Round{tr}
+				return res, err
+			}
 			if !l.Valid() {
 				return nil, fmt.Errorf("active: annotator returned invalid label %d for %d", int(l), m)
 			}
 			res.Labels[m] = l
 			res.OwnerLabeled[m] = true
 			res.Predicted[m] = clampedPrediction(l)
+			tr.Queried = append(tr.Queried, m)
 		}
 		res.Reason = StopTrivial
-		res.Rounds = []Round{{Number: 1, Queried: append([]graph.UserID(nil), s.members...), RMSE: math.NaN(), Unstabilized: -1}}
+		res.Rounds = []Round{tr}
+		if s.cfg.AfterRound != nil {
+			if err := s.cfg.AfterRound(tr); err != nil {
+				return nil, err
+			}
+		}
 		return res, nil
 	}
 
@@ -289,10 +339,32 @@ func (s *Session) Run() (*Result, error) {
 	stableStreak := 0
 	lastRMSE := math.NaN()
 
+	// interrupt assembles the partial result handed back alongside a
+	// terminal annotator error or cancellation: owner labels collected
+	// so far, plus the previous round's predictions for everyone else
+	// (when at least one round completed).
+	interrupt := func(err error) (*Result, error) {
+		for i, m := range s.members {
+			if l, ok := labeled[i]; ok {
+				res.Labels[m] = l
+				res.OwnerLabeled[m] = true
+				res.Predicted[m] = clampedPrediction(l)
+			} else if prev != nil {
+				res.Predicted[m] = prev[i]
+				res.Labels[m] = prev[i].Label
+			}
+		}
+		res.Reason = StopInterrupted
+		return res, err
+	}
+
 	for round := 1; ; round++ {
 		if s.cfg.MaxRounds > 0 && round > s.cfg.MaxRounds {
 			res.Reason = StopMaxRounds
 			break
+		}
+		if err := ctx.Err(); err != nil {
+			return interrupt(err)
 		}
 		// Sample this round's query set from the unlabeled pool.
 		k := s.cfg.PerRound
@@ -307,7 +379,13 @@ func (s *Session) Run() (*Result, error) {
 		var sqErr float64
 		for _, idx := range queryIdx {
 			m := s.members[idx]
-			l := s.ann.LabelStranger(m)
+			if err := ctx.Err(); err != nil {
+				return interrupt(err)
+			}
+			l, err := s.ann.LabelStranger(ctx, m)
+			if err != nil {
+				return interrupt(err)
+			}
 			if !l.Valid() {
 				return nil, fmt.Errorf("active: annotator returned invalid label %d for %d", int(l), m)
 			}
@@ -365,6 +443,11 @@ func (s *Session) Run() (*Result, error) {
 		}
 		prev = preds
 		res.Rounds = append(res.Rounds, tr)
+		if s.cfg.AfterRound != nil {
+			if err := s.cfg.AfterRound(tr); err != nil {
+				return nil, err
+			}
+		}
 
 		if len(unlabeled) == 0 {
 			res.Reason = StopExhausted

@@ -47,7 +47,7 @@ func truthAnnotator(truth map[graph.UserID]label.Label) Annotator {
 
 func newSession(t *testing.T, members []graph.UserID, weights [][]float64, ann Annotator, cfg Config) *Session {
 	t.Helper()
-	s, err := NewSession(members, weights, ann, cfg)
+	s, err := NewSession(members, weights, Infallible(ann), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,18 +65,18 @@ func TestConfigValidation(t *testing.T) {
 		{PerRound: 3, Confidence: 80, StableRounds: 2, RMSEThreshold: -0.1},
 	}
 	for i, cfg := range bad {
-		if _, err := NewSession(members, weights, ann, cfg); err == nil {
+		if _, err := NewSession(members, weights, Infallible(ann), cfg); err == nil {
 			t.Fatalf("bad config %d accepted", i)
 		}
 	}
 	if _, err := NewSession(members, weights, nil, DefaultConfig()); err == nil {
 		t.Fatal("nil annotator accepted")
 	}
-	if _, err := NewSession(members, weights[:3], ann, DefaultConfig()); err == nil {
+	if _, err := NewSession(members, weights[:3], Infallible(ann), DefaultConfig()); err == nil {
 		t.Fatal("mismatched matrix accepted")
 	}
 	ragged := [][]float64{{0, 1}, {1}}
-	if _, err := NewSession(members[:2], ragged, ann, DefaultConfig()); err == nil {
+	if _, err := NewSession(members[:2], ragged, Infallible(ann), DefaultConfig()); err == nil {
 		t.Fatal("ragged matrix accepted")
 	}
 }

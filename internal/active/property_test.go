@@ -53,7 +53,7 @@ func TestPropSessionInvariants(t *testing.T) {
 			cfg.Sampler = DensitySampler{}
 		}
 		ann := AnnotatorFunc(func(s graph.UserID) label.Label { return truth[s] })
-		sess, err := NewSession(members, weights, ann, cfg)
+		sess, err := NewSession(members, weights, Infallible(ann), cfg)
 		if err != nil {
 			return false
 		}

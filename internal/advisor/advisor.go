@@ -138,6 +138,10 @@ type RequestContext struct {
 	// OwnerLabeled marks a direct owner judgment (predictions carry
 	// less certainty).
 	OwnerLabeled bool
+	// Fallback marks a label assigned by the graceful-degradation
+	// fallback of an interrupted session rather than learned — the
+	// weakest evidence tier, never strong enough to auto-decide.
+	Fallback bool
 }
 
 // Recommendation is the advisor's answer to a friendship request.
@@ -156,7 +160,14 @@ type Recommendation struct {
 //     request comes from a complete outsider (NS ≈ 0 contradicts a
 //     benign label: the pipeline only scores second-hop contacts, so
 //     an unconnected requester bypassed it).
+//
+// Fallback labels — assigned when the labeling session was interrupted
+// and the pipeline degraded gracefully instead of learning — are never
+// auto-decided: whatever the label says, the request goes to review.
 func TriageRequest(ctx RequestContext) Recommendation {
+	if ctx.Fallback {
+		return Recommendation{Review, "label is an interrupted-session fallback, not learned — re-run the session or check manually"}
+	}
 	switch ctx.Label {
 	case label.VeryRisky:
 		if !ctx.OwnerLabeled && ctx.NetworkSimilarity >= 0.3 {

@@ -65,6 +65,24 @@ func DefaultPoolConfig() PoolConfig {
 	return PoolConfig{Alpha: 10, Strategy: NPP, Squeezer: DefaultSqueezerConfig()}
 }
 
+// Validate checks the pool configuration and returns a descriptive
+// error for out-of-range fields (α <= 0, unknown strategy, β outside
+// [0,1]).
+func (c PoolConfig) Validate() error {
+	if c.Alpha <= 0 {
+		return fmt.Errorf("cluster: Alpha (number of network similarity groups) must be > 0, got %d", c.Alpha)
+	}
+	if c.Strategy != NPP && c.Strategy != NSP {
+		return fmt.Errorf("cluster: unknown strategy %v", c.Strategy)
+	}
+	if c.Strategy == NPP {
+		if c.Squeezer.Beta < 0 || c.Squeezer.Beta > 1 {
+			return fmt.Errorf("cluster: Squeezer.Beta must be in [0,1], got %g", c.Squeezer.Beta)
+		}
+	}
+	return nil
+}
+
 // BuildPools groups the owner's strangers into disjoint pools
 // according to the configured strategy and returns the pools together
 // with the underlying NSG (useful for reporting Figure 4 / Figure 7

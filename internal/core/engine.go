@@ -6,11 +6,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"sightrisk/internal/active"
+	"sightrisk/internal/classify"
 	"sightrisk/internal/cluster"
 	"sightrisk/internal/graph"
 	"sightrisk/internal/label"
@@ -51,6 +54,27 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 runs the exact legacy serial path.
 	// Results are identical for every value — see RunOwner.
 	Workers int
+	// Retry controls how transient annotator failures are retried and
+	// which deadlines bound queries and the whole session. The zero
+	// value performs a single attempt with no deadlines.
+	Retry active.RetryPolicy
+	// Checkpoint, when non-nil, receives a deep-copied snapshot of the
+	// run's checkpoint after every completed round (and once more when
+	// the run ends). A returned error aborts the run — losing
+	// durability silently would defeat the point.
+	Checkpoint func(*Checkpoint) error
+	// Resume, when non-nil, seeds the run with a prior checkpoint's
+	// answers: questions already answered are replayed from the cache
+	// and never re-asked, and the finished run is byte-identical to an
+	// uninterrupted one. The checkpoint must match the run's owner and
+	// seed.
+	Resume *Checkpoint
+	// AbandonGrace extends each in-flight owner query this long past
+	// cancellation of the run's context, so the answer currently being
+	// produced can still complete and be checkpointed. New queries are
+	// never started after cancellation regardless. 0 means in-flight
+	// queries are canceled immediately with the run.
+	AbandonGrace time.Duration
 }
 
 // DefaultConfig returns the paper's experimental configuration.
@@ -62,10 +86,40 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate checks the engine configuration and returns a descriptive
+// error for out-of-range fields instead of letting the run silently
+// misbehave.
+func (c Config) Validate() error {
+	if err := c.Pool.Validate(); err != nil {
+		return err
+	}
+	if err := c.Learn.Validate(); err != nil {
+		return err
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
+	}
+	if c.WeightExponent < 0 {
+		return fmt.Errorf("core: WeightExponent must be >= 0, got %g", c.WeightExponent)
+	}
+	if c.AbandonGrace < 0 {
+		return fmt.Errorf("core: AbandonGrace must be >= 0, got %v", c.AbandonGrace)
+	}
+	return c.Retry.Validate()
+}
+
 // PoolRun is the outcome of one pool's learning session.
 type PoolRun struct {
 	Pool   cluster.Pool
 	Result *active.Result
+	// Status distinguishes pools whose session ran to its stopping
+	// rule (PoolComplete) from pools interrupted by abandonment or
+	// cancellation (PoolPartial).
+	Status PoolStatus
+	// Fallback marks the members of a partial pool whose final label
+	// was synthesized (last predictions or majority/prior) rather than
+	// learned by a finished session. Nil for complete pools.
+	Fallback map[graph.UserID]bool
 }
 
 // OwnerRun is the outcome of the full pipeline for one owner.
@@ -74,6 +128,14 @@ type OwnerRun struct {
 	Strangers []graph.UserID
 	NSG       *cluster.NSG
 	Pools     []PoolRun
+	// Partial reports that the run degraded gracefully: the owner
+	// abandoned the session or the context was canceled, finished
+	// pools kept their learned labels, and interrupted pools carry
+	// fallback labels (see PoolRun.Status / Fallback).
+	Partial bool
+	// Cause is the interruption behind a partial run (ErrAbandoned or
+	// a context error); nil for complete runs.
+	Cause error
 }
 
 // Labels gathers the final risk label of every stranger across pools.
@@ -176,7 +238,17 @@ func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
 
 // RunOwner executes the pipeline for one owner. confidence, when not
 // NaN, overrides Learn.Confidence (the paper lets each owner choose
-// their own). The annotator supplies owner labels on demand.
+// their own). The annotator supplies owner labels on demand; wrap a
+// legacy infallible annotator with active.Infallible.
+//
+// ctx bounds the run: cancellation (or Retry.SessionTimeout expiring)
+// aborts cleanly at the next query boundary. Interruptions — ctx
+// cancellation or the annotator returning active.ErrAbandoned — do
+// not fail the run; it degrades gracefully into a partial OwnerRun
+// (Partial true, Cause set) in which finished pools keep their
+// learned labels and interrupted pools carry fallback labels. Only
+// hard failures (unexpected annotator errors, classifier errors,
+// failed checkpoint writes) return an error.
 //
 // With Config.Workers != 1 the per-pool work — weight-matrix builds
 // and active-learning sessions — runs concurrently, bounded by
@@ -186,12 +258,31 @@ func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
 // are serialized in a deterministic rotation (see runPoolsParallel).
 // The annotator therefore never needs to be thread-safe; it must only
 // be deterministic per stranger if reproducible reports are wanted.
-func (e *Engine) RunOwner(g *graph.Graph, store *profile.Store, owner graph.UserID, ann active.Annotator, confidence float64) (*OwnerRun, error) {
+func (e *Engine) RunOwner(ctx context.Context, g *graph.Graph, store *profile.Store, owner graph.UserID, ann active.FallibleAnnotator, confidence float64) (*OwnerRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := e.cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if g == nil || store == nil {
 		return nil, fmt.Errorf("core: graph and profile store must not be nil")
 	}
+	if ann == nil {
+		return nil, fmt.Errorf("core: annotator must not be nil")
+	}
 	if !g.HasNode(owner) {
 		return nil, fmt.Errorf("core: owner %d not in graph", owner)
+	}
+	if e.cfg.Resume != nil {
+		if err := e.cfg.Resume.validateResume(owner, e.cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	if e.cfg.Retry.SessionTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.Retry.SessionTimeout)
+		defer cancel()
 	}
 	strangers := g.Strangers(owner)
 	pools, nsg, err := cluster.BuildPools(g, store, owner, strangers, e.cfg.Pool)
@@ -205,39 +296,118 @@ func (e *Engine) RunOwner(g *graph.Graph, store *profile.Store, owner graph.User
 		learn.Confidence = confidence
 	}
 
+	// Assemble the fault-tolerance middleware around the caller's
+	// annotator, innermost first: retries for transient failures, the
+	// abandonment grace window, then the shared abandonment latch. The
+	// per-pool layers (replay cache, checkpoint recorder) are stacked
+	// on top by chain(), and the parallel path finally adds the turn
+	// gate above everything so cached and fresh queries alike keep
+	// their deterministic slot in the rotation.
+	var k *checkpointer
+	if e.cfg.Checkpoint != nil {
+		k = newCheckpointer(owner, e.cfg.Seed, e.cfg.Checkpoint)
+	}
+	base := active.WithRetry(ann, e.cfg.Retry)
+	if e.cfg.AbandonGrace > 0 {
+		base = graceAnnotator{grace: e.cfg.AbandonGrace, inner: base}
+	}
+	base = latchAnnotator{latch: &abandonLatch{}, inner: base}
+	chain := func(poolID string) active.FallibleAnnotator {
+		a := base
+		if e.cfg.Resume != nil {
+			if pc := e.cfg.Resume.Pools[poolID]; pc != nil && len(pc.Answers) > 0 {
+				a = replayAnnotator{cache: pc.answers(), inner: a}
+			}
+		}
+		if k != nil {
+			a = recordAnnotator{k: k, poolID: poolID, inner: a}
+		}
+		return a
+	}
+
 	exp := e.cfg.WeightExponent
 	if exp == 0 {
 		exp = 4
 	}
 	if workers := parallel.ResolveWorkers(e.cfg.Workers); workers > 1 && len(pools) > 1 {
-		poolRuns, err := e.runPoolsParallel(store, owner, pools, ann, learn, exp, workers)
-		if err != nil {
+		if err := e.runPoolsParallel(ctx, run, store, owner, pools, chain, k, learn, exp, workers); err != nil {
 			return nil, err
 		}
-		run.Pools = poolRuns
-		return run, nil
+	} else if err := e.runPoolsSerial(ctx, run, store, owner, pools, chain, k, learn, exp); err != nil {
+		return nil, err
 	}
-	for pi, pool := range pools {
-		weights, err := cluster.PoolWeights(store, pool, e.cfg.PSAttributes, exp)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		cfg := learn
-		cfg.Rand = rand.New(rand.NewSource(poolSeed(e.cfg.Seed, owner, pi)))
-		sess, err := active.NewSession(pool.Members, weights, ann, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: pool %s: %w", pool.ID(), err)
-		}
-		res, err := sess.Run()
-		if err != nil {
-			return nil, fmt.Errorf("core: pool %s: %w", pool.ID(), err)
-		}
-		run.Pools = append(run.Pools, PoolRun{Pool: pool, Result: res})
-		if e.cfg.Progress != nil {
-			e.cfg.Progress(pi+1, len(pools), run.QueriedCount())
-		}
+	if run.Partial {
+		fillFallbacks(run)
+	}
+	if err := k.flush(); err != nil {
+		return nil, err
 	}
 	return run, nil
+}
+
+// runPoolsSerial is the legacy one-pool-at-a-time path (Workers == 1,
+// or a single pool). On interruption it stops asking questions: the
+// interrupted pool keeps its partial result and every remaining pool
+// is synthesized as an empty partial run for fillFallbacks to
+// complete.
+func (e *Engine) runPoolsSerial(ctx context.Context, run *OwnerRun, store *profile.Store, owner graph.UserID, pools []cluster.Pool, chain func(string) active.FallibleAnnotator, k *checkpointer, learn active.Config, exp float64) error {
+	labelsTotal := 0
+	for pi, pool := range pools {
+		if run.Partial {
+			run.Pools = append(run.Pools, PoolRun{Pool: pool, Result: emptyInterruptedResult(pool), Status: PoolPartial})
+			if e.cfg.Progress != nil {
+				e.cfg.Progress(pi+1, len(pools), labelsTotal)
+			}
+			continue
+		}
+		weights, err := cluster.PoolWeights(store, pool, e.cfg.PSAttributes, exp)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		poolID := pool.ID()
+		cfg := learn
+		cfg.Rand = rand.New(rand.NewSource(poolSeed(e.cfg.Seed, owner, pi)))
+		if k != nil {
+			cfg.AfterRound = func(r active.Round) error { return k.afterRound(poolID, r) }
+		}
+		sess, err := active.NewSession(pool.Members, weights, chain(poolID), cfg)
+		if err != nil {
+			return fmt.Errorf("core: pool %s: %w", poolID, err)
+		}
+		res, err := sess.RunContext(ctx)
+		switch {
+		case err == nil:
+			if k != nil {
+				k.markDone(poolID)
+			}
+			run.Pools = append(run.Pools, PoolRun{Pool: pool, Result: res, Status: PoolComplete})
+		case isInterrupt(err) && res != nil:
+			run.Partial = true
+			run.Cause = err
+			run.Pools = append(run.Pools, PoolRun{Pool: pool, Result: res, Status: PoolPartial})
+		default:
+			return fmt.Errorf("core: pool %s: %w", poolID, err)
+		}
+		// Satellite fix: accumulate the owner-label total instead of
+		// rescanning every finished pool via run.QueriedCount().
+		labelsTotal += res.QueriedCount()
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(pi+1, len(pools), labelsTotal)
+		}
+	}
+	return nil
+}
+
+// emptyInterruptedResult stands in for a session that was never
+// started because the run was already interrupted.
+func emptyInterruptedResult(pool cluster.Pool) *active.Result {
+	return &active.Result{
+		Pool:         pool.Members,
+		Labels:       make(map[graph.UserID]label.Label),
+		OwnerLabeled: make(map[graph.UserID]bool),
+		Predicted:    make(map[graph.UserID]classify.Prediction),
+		Reason:       active.StopInterrupted,
+	}
 }
 
 // poolSeed derives the per-pool sampling RNG seed. It depends only on

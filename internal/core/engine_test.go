@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestRunOwnerEndToEnd(t *testing.T) {
 	study := studyWorld(t)
 	engine := New(DefaultConfig())
 	o := study.Owners[0]
-	run, err := engine.RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+	run, err := engine.RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestRunOwnerAgainstGroundTruth(t *testing.T) {
 	study := studyWorld(t)
 	engine := New(DefaultConfig())
 	o := study.Owners[1]
-	run, err := engine.RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+	run, err := engine.RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,18 +98,18 @@ func TestRunOwnerErrors(t *testing.T) {
 	study := studyWorld(t)
 	engine := New(DefaultConfig())
 	o := study.Owners[0]
-	if _, err := engine.RunOwner(nil, study.Profiles, o.ID, o, 80); err == nil {
+	if _, err := engine.RunOwner(context.Background(), nil, study.Profiles, o.ID, active.Infallible(o), 80); err == nil {
 		t.Fatal("nil graph accepted")
 	}
-	if _, err := engine.RunOwner(study.Graph, nil, o.ID, o, 80); err == nil {
+	if _, err := engine.RunOwner(context.Background(), study.Graph, nil, o.ID, active.Infallible(o), 80); err == nil {
 		t.Fatal("nil store accepted")
 	}
-	if _, err := engine.RunOwner(study.Graph, study.Profiles, 987654, o, 80); err == nil {
+	if _, err := engine.RunOwner(context.Background(), study.Graph, study.Profiles, 987654, active.Infallible(o), 80); err == nil {
 		t.Fatal("unknown owner accepted")
 	}
 	bad := DefaultConfig()
 	bad.Pool.Alpha = 0
-	if _, err := New(bad).RunOwner(study.Graph, study.Profiles, o.ID, o, 80); err == nil {
+	if _, err := New(bad).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), 80); err == nil {
 		t.Fatal("alpha 0 accepted")
 	}
 }
@@ -118,7 +119,7 @@ func TestConfidenceOverride(t *testing.T) {
 	o := study.Owners[0]
 	// Confidence 100 forces exhaustion: every stranger owner-labeled.
 	engine := New(DefaultConfig())
-	run, err := engine.RunOwner(study.Graph, study.Profiles, o.ID, o, 100)
+	run, err := engine.RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestConfidenceOverride(t *testing.T) {
 		t.Fatalf("confidence 100 queried %d of %d", run.QueriedCount(), len(run.Strangers))
 	}
 	// NaN keeps the engine default (80), which converges early.
-	run2, err := engine.RunOwner(study.Graph, study.Profiles, o.ID, o, math.NaN())
+	run2, err := engine.RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), math.NaN())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestVeryRiskyShareByNSG(t *testing.T) {
 	study := studyWorld(t)
 	engine := New(DefaultConfig())
 	o := study.Owners[0]
-	run, err := engine.RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+	run, err := engine.RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestNSPStrategyRuns(t *testing.T) {
 	cfg.Pool.Strategy = cluster.NSP
 	engine := New(cfg)
 	o := study.Owners[0]
-	run, err := engine.RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+	run, err := engine.RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,11 +184,11 @@ func TestNSPStrategyRuns(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	study := studyWorld(t)
 	o := study.Owners[0]
-	run1, err := New(DefaultConfig()).RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+	run1, err := New(DefaultConfig()).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
 	if err != nil {
 		t.Fatal(err)
 	}
-	run2, err := New(DefaultConfig()).RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+	run2, err := New(DefaultConfig()).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestOwnerLabelsTakePrecedence(t *testing.T) {
 	// owner's, not the classifier's.
 	study := studyWorld(t)
 	o := study.Owners[0]
-	run, err := New(DefaultConfig()).RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+	run, err := New(DefaultConfig()).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ var _ active.Annotator = staticAnnotator{}
 func TestUniformAnnotatorConvergesFast(t *testing.T) {
 	study := studyWorld(t)
 	o := study.Owners[0]
-	run, err := New(DefaultConfig()).RunOwner(study.Graph, study.Profiles, o.ID, staticAnnotator{label.NotRisky}, 80)
+	run, err := New(DefaultConfig()).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(staticAnnotator{label.NotRisky}), 80)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -37,7 +38,15 @@ import (
 // flag, in-flight sessions abort at their next classifier call, and
 // Wait reports the lowest-pool-index root cause so errors are as
 // deterministic as results.
-func (e *Engine) runPoolsParallel(store *profile.Store, owner graph.UserID, pools []cluster.Pool, ann active.Annotator, learn active.Config, exp float64, workers int) ([]PoolRun, error) {
+//
+// Interruptions (abandonment, ctx cancellation) are not failures:
+// the interrupted session stores its partial result, the shared
+// abandonment latch fails every later query fast, and the run's
+// Partial/Cause fields record the lowest-pool-index interrupt so the
+// degraded outcome is as deterministic as a successful one. When ctx
+// is canceled the gate is aborted, so sessions blocked waiting their
+// turn unblock promptly instead of waiting out other pools' compute.
+func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *profile.Store, owner graph.UserID, pools []cluster.Pool, chain func(string) active.FallibleAnnotator, k *checkpointer, learn active.Config, exp float64, workers int) error {
 	weights := make([][][]float64, len(pools))
 	build := parallel.NewGroup(workers)
 	for i := range pools {
@@ -55,24 +64,47 @@ func (e *Engine) runPoolsParallel(store *profile.Store, owner graph.UserID, pool
 		})
 	}
 	if err := build.Wait(); err != nil {
-		return nil, err
+		return err
 	}
 
 	gate := parallel.NewGate(len(pools))
 	limiter := parallel.NewLimiter(workers)
 	sessions := parallel.NewGroup(len(pools)) // one goroutine per pool; CPU bounded by limiter
 	runs := make([]PoolRun, len(pools))
+	causes := make([]error, len(pools))
+
+	// Bridge ctx cancellation to the gate so waiters wake immediately.
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			gate.Abort()
+		case <-watcherDone:
+		}
+	}()
 
 	// Progress reports completions as they happen; done counts and
 	// label totals stay monotone, but the completion order (unlike the
 	// results) is scheduler-dependent.
 	var progressMu sync.Mutex
 	poolsDone, labelsSoFar := 0, 0
+	progress := func(queried int) {
+		if e.cfg.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		poolsDone++
+		labelsSoFar += queried
+		e.cfg.Progress(poolsDone, len(pools), labelsSoFar)
+		progressMu.Unlock()
+	}
 
 	for i := range pools {
 		i := i
 		sessions.Go(i, func() error {
 			defer gate.Done(i)
+			poolID := pools[i].ID()
 			cfg := learn
 			cfg.Rand = rand.New(rand.NewSource(poolSeed(e.cfg.Seed, owner, i)))
 			cfg.Classifier = &limitedClassifier{
@@ -80,29 +112,43 @@ func (e *Engine) runPoolsParallel(store *profile.Store, owner graph.UserID, pool
 				limiter:  limiter,
 				canceled: sessions.Canceled,
 			}
-			sess, err := active.NewSession(pools[i].Members, weights[i], gatedAnnotator{gate: gate, slot: i, inner: ann}, cfg)
+			if k != nil {
+				cfg.AfterRound = func(r active.Round) error { return k.afterRound(poolID, r) }
+			}
+			ann := gatedAnnotator{gate: gate, slot: i, inner: chain(poolID)}
+			sess, err := active.NewSession(pools[i].Members, weights[i], ann, cfg)
 			if err != nil {
-				return fmt.Errorf("core: pool %s: %w", pools[i].ID(), err)
+				return fmt.Errorf("core: pool %s: %w", poolID, err)
 			}
-			res, err := sess.Run()
-			if err != nil {
-				return fmt.Errorf("core: pool %s: %w", pools[i].ID(), err)
+			res, err := sess.RunContext(ctx)
+			switch {
+			case err == nil:
+				if k != nil {
+					k.markDone(poolID)
+				}
+				runs[i] = PoolRun{Pool: pools[i], Result: res, Status: PoolComplete}
+			case isInterrupt(err) && res != nil:
+				causes[i] = err
+				runs[i] = PoolRun{Pool: pools[i], Result: res, Status: PoolPartial}
+			default:
+				return fmt.Errorf("core: pool %s: %w", poolID, err)
 			}
-			runs[i] = PoolRun{Pool: pools[i], Result: res}
-			if e.cfg.Progress != nil {
-				progressMu.Lock()
-				poolsDone++
-				labelsSoFar += res.QueriedCount()
-				e.cfg.Progress(poolsDone, len(pools), labelsSoFar)
-				progressMu.Unlock()
-			}
+			progress(res.QueriedCount())
 			return nil
 		})
 	}
 	if err := sessions.Wait(); err != nil {
-		return nil, err
+		return err
 	}
-	return runs, nil
+	run.Pools = runs
+	for _, cause := range causes {
+		if cause != nil {
+			run.Partial = true
+			run.Cause = cause
+			break
+		}
+	}
+	return nil
 }
 
 // sessionClassifier mirrors active.NewSession's default: a nil
@@ -120,19 +166,31 @@ func sessionClassifier(configured classify.Classifier) classify.Classifier {
 
 // gatedAnnotator routes one pool's owner queries through the rotation
 // gate: LabelStranger holds the pool's turn for exactly one question.
-// This is what makes the active.Annotator contract single-threaded —
+// This is what makes the annotator contract single-threaded —
 // implementations are never called concurrently, with or without
-// Workers — and what keeps the question order deterministic.
+// Workers — and what keeps the question order deterministic. The gate
+// sits above the replay cache on purpose: a query answered from a
+// resumed checkpoint still takes its turn in the rotation, so a
+// resumed run replays the exact query order of the original.
 type gatedAnnotator struct {
 	gate  *parallel.Gate
 	slot  int
-	inner active.Annotator
+	inner active.FallibleAnnotator
 }
 
-func (a gatedAnnotator) LabelStranger(s graph.UserID) label.Label {
-	a.gate.Acquire(a.slot)
+func (a gatedAnnotator) LabelStranger(ctx context.Context, s graph.UserID) (label.Label, error) {
+	if !a.gate.Acquire(a.slot) {
+		// Aborted: the run's context is gone.
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return 0, context.Canceled
+	}
 	defer a.gate.Release(a.slot)
-	return a.inner.LabelStranger(s)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return a.inner.LabelStranger(ctx, s)
 }
 
 // warmStarter mirrors the optional warm-start fast path the active

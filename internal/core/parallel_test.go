@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -118,14 +119,14 @@ func TestParallelMatchesSerial(t *testing.T) {
 	for _, o := range study.Owners {
 		cfg := DefaultConfig()
 		cfg.Workers = 1
-		serial, err := New(cfg).RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+		serial, err := New(cfg).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), 16} {
 			cfg := DefaultConfig()
 			cfg.Workers = workers
-			par, err := New(cfg).RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+			par, err := New(cfg).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
 			if err != nil {
 				t.Fatalf("workers=%d: %v", workers, err)
 			}
@@ -168,7 +169,7 @@ func TestAnnotatorSerializedDeterministicOrder(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Workers = workers
 		rec := &recordingAnnotator{inner: o}
-		if _, err := New(cfg).RunOwner(study.Graph, study.Profiles, o.ID, rec, o.Confidence); err != nil {
+		if _, err := New(cfg).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(rec), o.Confidence); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		if rec.racy.Load() {
@@ -223,7 +224,7 @@ func TestParallelStress(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			run, err := New(ecfg).RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+			run, err := New(ecfg).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
 			if err != nil {
 				errs[i] = err
 				return
@@ -266,7 +267,7 @@ func TestParallelErrorPropagation(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Workers = workers
 		cfg.Learn.Confidence = 100 // exhaustive: the victim is guaranteed to be queried
-		_, err := New(cfg).RunOwner(study.Graph, study.Profiles, o.ID, poisonAnnotator{inner: o, victim: victim}, math.NaN())
+		_, err := New(cfg).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(poisonAnnotator{inner: o, victim: victim}), math.NaN())
 		if err == nil {
 			t.Fatalf("workers=%d: invalid label not rejected", workers)
 		}
@@ -299,7 +300,7 @@ func TestParallelProgressMonotone(t *testing.T) {
 		}
 		lastDone, lastLabels = done, labels
 	}
-	run, err := New(cfg).RunOwner(study.Graph, study.Profiles, o.ID, o, o.Confidence)
+	run, err := New(cfg).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,7 +30,17 @@ type Config struct {
 	// APIBudgetPerTick caps how many pending strangers can be fully
 	// queried (mutual friends + profile) per tick.
 	APIBudgetPerTick int
-	// Seed drives interaction sampling.
+	// FailureProb is the per-query probability in [0,1] that an API
+	// resolve call fails transiently — the rate-limit / flaky-endpoint
+	// weather the paper's app crawled through for weeks. A failed
+	// stranger stays at the head of the queue; the failed attempt
+	// still consumes API budget.
+	FailureProb float64
+	// RetryBudgetPerTick caps how many failed resolve attempts may be
+	// retried within the same tick (on top of the regular budget).
+	// 0 means failures wait for the next tick.
+	RetryBudgetPerTick int
+	// Seed drives interaction sampling and failure draws.
 	Seed int64
 }
 
@@ -47,6 +57,8 @@ type TickReport struct {
 	Observed   int // interactions observed
 	Surfaced   int // previously unseen strangers queued
 	Resolved   int // strangers fully queried this tick
+	Failed     int // resolve attempts that failed transiently
+	Retried    int // failed attempts retried within this tick
 	PendingLen int // queue length after the tick
 }
 
@@ -67,6 +79,7 @@ type Crawler struct {
 	discovered   []graph.UserID
 	ticks        int
 	apiCalls     int
+	failures     int
 }
 
 // New prepares a crawl of owner's neighborhood over the hidden truth
@@ -85,6 +98,12 @@ func New(truth *graph.Graph, truthProfiles *profile.Store, owner graph.UserID, c
 	}
 	if cfg.APIBudgetPerTick < 1 {
 		return nil, fmt.Errorf("crawler: APIBudgetPerTick must be >= 1, got %d", cfg.APIBudgetPerTick)
+	}
+	if cfg.FailureProb < 0 || cfg.FailureProb > 1 {
+		return nil, fmt.Errorf("crawler: FailureProb must be in [0,1], got %g", cfg.FailureProb)
+	}
+	if cfg.RetryBudgetPerTick < 0 {
+		return nil, fmt.Errorf("crawler: RetryBudgetPerTick must be >= 0, got %d", cfg.RetryBudgetPerTick)
 	}
 	c := &Crawler{
 		truth:        truth,
@@ -143,8 +162,23 @@ func (c *Crawler) Tick() TickReport {
 			rep.Surfaced++
 		}
 	}
+	retries := c.cfg.RetryBudgetPerTick
 	for i := 0; i < c.cfg.APIBudgetPerTick && len(c.pending) > 0; i++ {
 		s := c.pending[0]
+		c.apiCalls++
+		if c.cfg.FailureProb > 0 && c.rng.Float64() < c.cfg.FailureProb {
+			// Transient API failure: the stranger stays queued. Spend a
+			// retry if the tick still has retry budget, otherwise the
+			// attempt is gone and the stranger waits for the next tick.
+			rep.Failed++
+			c.failures++
+			if retries > 0 {
+				retries--
+				rep.Retried++
+				i--
+			}
+			continue
+		}
 		c.pending = c.pending[1:]
 		c.resolve(s)
 		rep.Resolved++
@@ -156,7 +190,6 @@ func (c *Crawler) Tick() TickReport {
 // resolve performs the "query Facebook for its mutual friends/profile
 // information" step for one surfaced stranger.
 func (c *Crawler) resolve(s graph.UserID) {
-	c.apiCalls++
 	c.known.AddNode(s)
 	for _, m := range c.truth.MutualFriends(c.owner, s) {
 		// Mutual friends are by construction already known (they are
@@ -199,6 +232,7 @@ type Stats struct {
 	Discovered int
 	Pending    int
 	APICalls   int
+	Failures   int     // transient API failures encountered
 	Coverage   float64 // discovered / true stranger count
 }
 
@@ -210,6 +244,7 @@ func (c *Crawler) Stats() Stats {
 		Discovered: len(c.discovered),
 		Pending:    len(c.pending),
 		APICalls:   c.apiCalls,
+		Failures:   c.failures,
 	}
 	if trueStrangers > 0 {
 		st.Coverage = float64(st.Discovered) / float64(trueStrangers)

@@ -207,3 +207,96 @@ func TestCrawlDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestFailureConfigValidation(t *testing.T) {
+	g, store, owner := world(t)
+	bad := DefaultConfig()
+	bad.FailureProb = 1.5
+	if _, err := New(g, store, owner, bad); err == nil {
+		t.Fatal("FailureProb > 1 accepted")
+	}
+	bad = DefaultConfig()
+	bad.FailureProb = -0.1
+	if _, err := New(g, store, owner, bad); err == nil {
+		t.Fatal("negative FailureProb accepted")
+	}
+	bad = DefaultConfig()
+	bad.RetryBudgetPerTick = -1
+	if _, err := New(g, store, owner, bad); err == nil {
+		t.Fatal("negative RetryBudgetPerTick accepted")
+	}
+}
+
+func TestTransientFailuresSlowButDontStop(t *testing.T) {
+	g, store, owner := world(t)
+	cfg := Config{InteractionsPerTick: 100, APIBudgetPerTick: 50, Seed: 2,
+		FailureProb: 0.3, RetryBudgetPerTick: 10}
+	c, err := New(g, store, owner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(len(g.Strangers(owner)), 5000)
+	st := c.Stats()
+	if st.Coverage < 0.99 {
+		t.Fatalf("coverage %.2f under 30%% flakiness, want ≈ 1", st.Coverage)
+	}
+	if st.Failures == 0 {
+		t.Fatal("no failures recorded at FailureProb 0.3")
+	}
+	// Every failure consumed an API call that resolved nothing.
+	if st.APICalls != st.Discovered+st.Failures {
+		t.Fatalf("api calls %d != discovered %d + failures %d",
+			st.APICalls, st.Discovered, st.Failures)
+	}
+}
+
+func TestFailuresAreDeterministic(t *testing.T) {
+	g, store, owner := world(t)
+	cfg := DefaultConfig()
+	cfg.FailureProb = 0.4
+	cfg.RetryBudgetPerTick = 3
+	a, _ := New(g, store, owner, cfg)
+	b, _ := New(g, store, owner, cfg)
+	for i := 0; i < 40; i++ {
+		ra, rb := a.Tick(), b.Tick()
+		if ra != rb {
+			t.Fatalf("tick %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestRetryBudgetBoundsTickAttempts(t *testing.T) {
+	g, store, owner := world(t)
+	cfg := Config{InteractionsPerTick: 100, APIBudgetPerTick: 4, Seed: 3,
+		FailureProb: 1, RetryBudgetPerTick: 2}
+	c, err := New(g, store, owner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFullTick := false
+	for i := 0; i < 10; i++ {
+		rep := c.Tick()
+		if rep.Resolved != 0 {
+			t.Fatalf("tick %d resolved %d with FailureProb 1", i, rep.Resolved)
+		}
+		limit := cfg.APIBudgetPerTick + cfg.RetryBudgetPerTick
+		if rep.Failed > limit {
+			t.Fatalf("tick %d made %d attempts, budget+retries is %d", i, rep.Failed, limit)
+		}
+		if rep.PendingLen > 0 && rep.Failed == limit {
+			sawFullTick = true
+		}
+		if rep.Retried > cfg.RetryBudgetPerTick {
+			t.Fatalf("tick %d retried %d > retry budget %d", i, rep.Retried, cfg.RetryBudgetPerTick)
+		}
+	}
+	if !sawFullTick {
+		t.Fatal("never exhausted budget + retries despite guaranteed failures")
+	}
+	if len(c.Discovered()) != 0 {
+		t.Fatal("strangers resolved despite FailureProb 1")
+	}
+}

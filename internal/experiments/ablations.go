@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -45,7 +46,7 @@ func runVariant(e *Env, name string, useOwnerConfidence bool, mutate func(*core.
 		if !useOwnerConfidence {
 			confidence = math.NaN() // keep the variant's Learn.Confidence
 		}
-		run, err := engine.RunOwner(e.Study.Graph, e.Study.Profiles, o.ID, o, confidence)
+		run, err := engine.RunOwner(context.Background(), e.Study.Graph, e.Study.Profiles, o.ID, active.Infallible(o), confidence)
 		if err != nil {
 			return AblationResult{}, fmt.Errorf("experiments: variant %s owner %d: %w", name, o.ID, err)
 		}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"sightrisk/internal/active"
 	"sightrisk/internal/cluster"
 	"sightrisk/internal/core"
 	"sightrisk/internal/synthetic"
@@ -53,7 +55,7 @@ func Dynamics(e *Env, ownerIdx, steps, edgesPerStep int) ([]DynamicsRow, error) 
 	engine := core.New(e.Cfg)
 
 	run := func() (*core.OwnerRun, error) {
-		return engine.RunOwner(e.Study.Graph, e.Study.Profiles, owner.ID, owner, owner.Confidence)
+		return engine.RunOwner(context.Background(), e.Study.Graph, e.Study.Profiles, owner.ID, active.Infallible(owner), owner.Confidence)
 	}
 	groupOf := func(nsg *cluster.NSG) map[int64]int {
 		out := make(map[int64]int)

@@ -6,9 +6,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"sightrisk/internal/active"
 	"sightrisk/internal/cluster"
 	"sightrisk/internal/core"
 	"sightrisk/internal/synthetic"
@@ -19,6 +21,10 @@ import (
 type Env struct {
 	Study *synthetic.Study
 	Cfg   core.Config
+	// Wrap, when non-nil, decorates each owner's annotator before the
+	// run — the hook riskbench uses to inject faults (latency,
+	// flakiness, abandonment) without the experiments knowing.
+	Wrap func(active.FallibleAnnotator) active.FallibleAnnotator
 
 	mu      sync.Mutex
 	nppRuns []*core.OwnerRun
@@ -71,7 +77,11 @@ func (e *Env) runAll(strategy cluster.Strategy) ([]*core.OwnerRun, error) {
 	engine := core.New(cfg)
 	runs := make([]*core.OwnerRun, 0, len(e.Study.Owners))
 	for _, o := range e.Study.Owners {
-		run, err := engine.RunOwner(e.Study.Graph, e.Study.Profiles, o.ID, o, o.Confidence)
+		ann := active.Infallible(o)
+		if e.Wrap != nil {
+			ann = e.Wrap(ann)
+		}
+		run, err := engine.RunOwner(context.Background(), e.Study.Graph, e.Study.Profiles, o.ID, ann, o.Confidence)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: owner %d: %w", o.ID, err)
 		}

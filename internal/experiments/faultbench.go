@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sightrisk/internal/active"
+	"sightrisk/internal/core"
+	"sightrisk/internal/faults"
+)
+
+// FaultOverheadRow measures one fault scenario: how much robustness
+// machinery (retries, checkpoint recording) costs relative to the
+// clean pipeline, and what it absorbs.
+type FaultOverheadRow struct {
+	Scenario   string
+	Owners     int
+	MeanLabels float64 // owner labels per owner (must match baseline for transient-only faults)
+	Failures   int     // transient failures injected (= retry attempts spent recovering)
+	Queries    int     // total annotator attempts including retried ones
+	Partial    int     // owners that degraded to a partial run
+	Elapsed    time.Duration
+}
+
+// FaultOverhead reruns the full per-owner pipeline under increasing
+// annotator flakiness and reports the robustness overhead. Transient
+// failures are injected deterministically (seeded) and absorbed by
+// the retry policy, so every flaky scenario must converge to the
+// baseline's label counts — the rows make the cost of that guarantee
+// visible.
+func FaultOverhead(e *Env, probs []float64, retry active.RetryPolicy) ([]FaultOverheadRow, error) {
+	// Default policy: enough attempts that even a 20% flake rate has a
+	// negligible chance of exhausting retries anywhere in a study, and
+	// near-zero backoff so rows measure machinery, not sleeping.
+	if retry.MaxAttempts < 2 {
+		retry = active.RetryPolicy{MaxAttempts: 10, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+	}
+	scenarios := []struct {
+		name string
+		prob float64
+	}{{"baseline", 0}}
+	for _, p := range probs {
+		scenarios = append(scenarios, struct {
+			name string
+			prob float64
+		}{fmt.Sprintf("flaky-%g%%", p*100), p})
+	}
+
+	var rows []FaultOverheadRow
+	for _, sc := range scenarios {
+		cfg := e.Cfg
+		if sc.prob > 0 {
+			cfg.Retry = retry
+		}
+		engine := core.New(cfg)
+		row := FaultOverheadRow{Scenario: sc.name, Owners: len(e.Study.Owners)}
+		start := time.Now()
+		var labels float64
+		for _, o := range e.Study.Owners {
+			var ann active.FallibleAnnotator = active.Infallible(o)
+			var inj *faults.Injector
+			if sc.prob > 0 {
+				var err error
+				inj, err = faults.Wrap(ann, faults.Config{Seed: e.Cfg.Seed + int64(o.ID), FailProb: sc.prob})
+				if err != nil {
+					return nil, err
+				}
+				ann = inj
+			}
+			run, err := engine.RunOwner(context.Background(), e.Study.Graph, e.Study.Profiles, o.ID, ann, o.Confidence)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fault scenario %s owner %d: %w", sc.name, o.ID, err)
+			}
+			labels += float64(run.QueriedCount())
+			if run.Partial {
+				row.Partial++
+			}
+			if inj != nil {
+				st := inj.Stats()
+				row.Failures += st.Failures
+				row.Queries += st.Queries
+			}
+		}
+		row.Elapsed = time.Since(start)
+		if row.Owners > 0 {
+			row.MeanLabels = labels / float64(row.Owners)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sightrisk/internal/active"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+)
+
+func always(l label.Label) active.FallibleAnnotator {
+	return active.FallibleFunc(func(context.Context, graph.UserID) (label.Label, error) {
+		return l, nil
+	})
+}
+
+func TestWrapValidation(t *testing.T) {
+	if _, err := Wrap(nil, Config{}); err == nil {
+		t.Fatal("nil inner accepted")
+	}
+	if _, err := Wrap(always(label.Risky), Config{FailProb: 1.1}); err == nil {
+		t.Fatal("FailProb > 1 accepted")
+	}
+	if _, err := Wrap(always(label.Risky), Config{Latency: -time.Second}); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	if _, err := Wrap(always(label.Risky), Config{AbandonAfter: -1}); err == nil {
+		t.Fatal("negative AbandonAfter accepted")
+	}
+}
+
+func TestFailuresDeterministicAndTransient(t *testing.T) {
+	run := func() (failures []int, st Stats) {
+		inj, err := Wrap(always(label.Risky), Config{Seed: 42, FailProb: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 200; q++ {
+			_, err := inj.LabelStranger(context.Background(), graph.UserID(q))
+			if err != nil {
+				if !active.IsTransient(err) {
+					t.Fatalf("query %d: injected failure not transient: %v", q, err)
+				}
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("query %d: error does not wrap ErrInjected: %v", q, err)
+				}
+				failures = append(failures, q)
+			}
+		}
+		return failures, inj.Stats()
+	}
+	f1, st1 := run()
+	f2, st2 := run()
+	if len(f1) == 0 || len(f1) == 200 {
+		t.Fatalf("implausible failure count %d at prob 0.3", len(f1))
+	}
+	if fmt.Sprint(f1) != fmt.Sprint(f2) {
+		t.Fatal("same seed produced different failure patterns")
+	}
+	if st1 != st2 {
+		t.Fatalf("stats diverged: %+v vs %+v", st1, st2)
+	}
+	if st1.Queries != 200 || st1.Failures != len(f1) || st1.Answered != 200-len(f1) {
+		t.Fatalf("inconsistent stats: %+v", st1)
+	}
+}
+
+func TestScriptOverridesEverything(t *testing.T) {
+	boom := active.Transient(errors.New("scripted boom"))
+	inj, err := Wrap(always(label.NotRisky), Config{
+		Seed:     1,
+		FailProb: 1, // would fail every query if the script didn't win
+		Script:   []error{nil, boom, nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := []bool{false, true, false}
+	for q, want := range wantErr {
+		_, err := inj.LabelStranger(context.Background(), graph.UserID(q))
+		if (err != nil) != want {
+			t.Fatalf("scripted query %d: err=%v, want error=%v", q, err, want)
+		}
+	}
+	// Past the script, FailProb 1 takes over.
+	if _, err := inj.LabelStranger(context.Background(), 99); err == nil {
+		t.Fatal("query past script did not fail at FailProb 1")
+	}
+	st := inj.Stats()
+	if st.Scripted != 3 || st.Answered != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestAbandonAfterN(t *testing.T) {
+	inj, err := Wrap(always(label.VeryRisky), Config{AbandonAfter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 5; q++ {
+		if _, err := inj.LabelStranger(context.Background(), graph.UserID(q)); err != nil {
+			t.Fatalf("query %d failed before abandonment: %v", q, err)
+		}
+	}
+	for q := 5; q < 8; q++ {
+		_, err := inj.LabelStranger(context.Background(), graph.UserID(q))
+		if !errors.Is(err, active.ErrAbandoned) {
+			t.Fatalf("query %d after abandonment: %v, want ErrAbandoned", q, err)
+		}
+		if active.IsTransient(err) {
+			t.Fatal("ErrAbandoned classified transient")
+		}
+	}
+	st := inj.Stats()
+	if st.Answered != 5 || st.Abandons != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLatencyHonorsCancellation(t *testing.T) {
+	inj, err := Wrap(always(label.Risky), Config{Latency: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := inj.LabelStranger(ctx, 1)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query did not return after cancellation")
+	}
+	if st := inj.Stats(); st.Canceled != 1 {
+		t.Fatalf("Canceled counter %d, want 1", st.Canceled)
+	}
+}
+
+func TestLatencyDelaysAnswers(t *testing.T) {
+	inj, err := Wrap(always(label.Risky), Config{Latency: 5 * time.Millisecond, LatencyJitter: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for q := 0; q < 3; q++ {
+		if _, err := inj.LabelStranger(context.Background(), graph.UserID(q)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("3 queries at 5ms latency took only %v", elapsed)
+	}
+	if st := inj.Stats(); st.SleptFor < 15*time.Millisecond {
+		t.Fatalf("SleptFor %v, want >= 15ms", st.SleptFor)
+	}
+}

@@ -22,12 +22,19 @@ import "sync"
 // Usage per slot: any number of Acquire/Release pairs, then exactly
 // one Done. Calling Done with the slot's turn pending releases the
 // rotation to the next live slot.
+//
+// A gate can be aborted (Abort): every waiter wakes immediately and
+// every current or future Acquire returns false without entering the
+// critical section. The engine aborts the gate when the run's context
+// is canceled, so sessions blocked waiting for their turn unblock
+// promptly instead of waiting out other pools' compute.
 type Gate struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	n       int
 	turn    int
 	holding bool
+	aborted bool
 	done    []bool
 	live    int
 }
@@ -41,14 +48,31 @@ func NewGate(n int) *Gate {
 }
 
 // Acquire blocks until the rotation reaches slot and enters the
-// critical section. Must not be called after Done(slot).
-func (g *Gate) Acquire(slot int) {
+// critical section, returning true. Must not be called after
+// Done(slot). When the gate has been aborted, Acquire returns false
+// immediately (or as soon as the waiter wakes) and the caller must NOT
+// Release.
+func (g *Gate) Acquire(slot int) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for g.turn != slot || g.holding {
+	for (g.turn != slot || g.holding) && !g.aborted {
 		g.cond.Wait()
 	}
+	if g.aborted {
+		return false
+	}
 	g.holding = true
+	return true
+}
+
+// Abort wakes every waiter and makes all current and future Acquire
+// calls return false. Release and Done stay safe to call after Abort,
+// so in-flight critical sections unwind normally.
+func (g *Gate) Abort() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.aborted = true
+	g.cond.Broadcast()
 }
 
 // Release ends slot's critical section and advances the rotation to

@@ -270,3 +270,39 @@ func TestGateDoneWithoutAcquire(t *testing.T) {
 func TestGateZeroSlots(t *testing.T) {
 	NewGate(0) // must not panic
 }
+
+// TestGateAbortWakesWaiters: Abort must fail every pending and future
+// Acquire so canceled sessions stop at their next query boundary
+// instead of deadlocking in the rotation.
+func TestGateAbortWakesWaiters(t *testing.T) {
+	g := NewGate(3)
+	if !g.Acquire(0) {
+		t.Fatal("first Acquire refused")
+	}
+	denied := make(chan bool, 2)
+	for _, slot := range []int{1, 2} {
+		slot := slot
+		go func() { denied <- g.Acquire(slot) }() // blocks: slot 0 holds the gate
+	}
+	time.Sleep(10 * time.Millisecond) // let both park in Acquire
+	g.Abort()
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-denied:
+			if ok {
+				t.Fatal("Acquire granted after Abort")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Abort did not wake a blocked Acquire")
+		}
+	}
+	// The holder can still release, leave, and is refused re-entry.
+	g.Release(0)
+	if g.Acquire(0) {
+		t.Fatal("Acquire granted after Abort")
+	}
+	g.Done(0)
+	g.Done(1)
+	g.Done(2)
+	g.Abort() // idempotent
+}

@@ -24,8 +24,10 @@
 package sight
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"sightrisk/internal/active"
 	"sightrisk/internal/benefit"
@@ -72,7 +74,13 @@ const (
 	ItemHometown = string(profile.ItemHometown)
 )
 
-// Annotator answers owner risk queries for strangers.
+// Annotator answers owner risk queries for strangers. It is the
+// infallible contract: LabelStranger can neither fail nor be
+// interrupted mid-call. Annotators backed by real owners — interactive
+// prompts, remote frontends — should implement FallibleAnnotator
+// instead, which can report timeouts, transient failures and
+// abandonment; wrap an Annotator with Infallible where a
+// FallibleAnnotator is expected.
 //
 // Thread-safety contract: implementations never need to be safe for
 // concurrent use. Even with Options.Workers > 1 the engine serializes
@@ -93,6 +101,60 @@ type AnnotatorFunc func(s UserID) Label
 
 // LabelStranger implements Annotator.
 func (f AnnotatorFunc) LabelStranger(s UserID) Label { return f(s) }
+
+// FallibleAnnotator is the fault-aware annotator contract:
+// LabelStranger receives the run's context (cancellation plus any
+// per-query deadline from Options.Retry) and may return an error.
+// Transient errors (wrapped with Transient) are retried per
+// Options.Retry; ErrAbandoned and context errors degrade the run
+// gracefully into a partial Report; any other error aborts the run.
+// The serialization and determinism contract matches Annotator.
+type FallibleAnnotator = active.FallibleAnnotator
+
+// FallibleAnnotatorFunc adapts a function to FallibleAnnotator.
+type FallibleAnnotatorFunc = active.FallibleFunc
+
+// ErrAbandoned is returned by an annotator when the owner has walked
+// away for good. The engine stops asking questions and returns a
+// partial Report (see Report.Partial) instead of an error.
+var ErrAbandoned = active.ErrAbandoned
+
+// Infallible adapts a never-failing Annotator to the fallible
+// contract.
+func Infallible(a Annotator) FallibleAnnotator { return active.Infallible(annotatorBridge{a}) }
+
+// Transient marks err as retriable by the engine's retry policy
+// (timeouts, rate limits, dropped connections). A nil err returns nil.
+func Transient(err error) error { return active.Transient(err) }
+
+// IsTransient reports whether err is marked retriable. ErrAbandoned
+// and context errors are never transient.
+func IsTransient(err error) bool { return active.IsTransient(err) }
+
+// RetryPolicy configures retries, backoff and deadlines for fallible
+// annotators; see Options.Retry.
+type RetryPolicy = active.RetryPolicy
+
+// Checkpoint is the JSON-serializable state of an owner run — the
+// answers collected so far. Persist snapshots from an
+// Options.Checkpoint sink and pass one back via Options.Resume to
+// continue an interrupted run without re-asking the owner anything.
+type Checkpoint = core.Checkpoint
+
+// SaveCheckpoint atomically writes a checkpoint to path as JSON.
+func SaveCheckpoint(path string, c *Checkpoint) error { return core.SaveCheckpointFile(path, c) }
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpointFile(path) }
+
+// PoolStatus tells learned pools from interrupted ones in a report.
+type PoolStatus = core.PoolStatus
+
+// Pool completion states (see Report.PoolStatus).
+const (
+	PoolComplete = core.PoolComplete
+	PoolPartial  = core.PoolPartial
+)
 
 // Network is a social graph plus user profiles — everything the risk
 // engine consumes. Build it with AddFriendship / SetAttribute /
@@ -253,6 +315,24 @@ type Options struct {
 	// order, and annotator queries are serialized one at a time in a
 	// deterministic order (see Annotator).
 	Workers int
+	// Retry controls retries, exponential backoff and deadlines for
+	// transient FallibleAnnotator failures. The zero value performs a
+	// single attempt with no deadlines.
+	Retry RetryPolicy
+	// Checkpoint, when non-nil, receives a deep-copied snapshot of the
+	// run's answer log after every completed round (and once more at
+	// the end). Persist it (e.g. with SaveCheckpoint) to survive
+	// crashes; a returned error aborts the run.
+	Checkpoint func(*Checkpoint) error
+	// Resume replays a prior checkpoint's answers: questions already
+	// answered are never re-asked and the finished Report is
+	// byte-identical to an uninterrupted run's (at any Workers value).
+	// The checkpoint must match the run's owner and Seed.
+	Resume *Checkpoint
+	// AbandonGrace lets an in-flight owner query run this long past
+	// cancellation so the answer being produced can still land and be
+	// checkpointed. New questions are never asked after cancellation.
+	AbandonGrace time.Duration
 }
 
 // DefaultOptions returns the paper's experimental configuration.
@@ -267,6 +347,19 @@ func DefaultOptions() Options {
 		RMSEThreshold: 0.5,
 		Seed:          1,
 	}
+}
+
+// Validate checks the options and returns a descriptive error for
+// out-of-range fields (Alpha <= 0, Beta outside [0,1], PerRound < 1,
+// Confidence outside [0,100], RMSEThreshold <= 0, negative Workers,
+// bad retry policy, ...) instead of letting the pipeline silently
+// misbehave.
+func (o Options) Validate() error {
+	cfg, err := o.coreConfig()
+	if err != nil {
+		return err
+	}
+	return cfg.Validate()
 }
 
 func (o Options) coreConfig() (core.Config, error) {
@@ -311,6 +404,10 @@ func (o Options) coreConfig() (core.Config, error) {
 	cfg.Progress = o.Progress
 	cfg.Seed = o.Seed
 	cfg.Workers = o.Workers
+	cfg.Retry = o.Retry
+	cfg.Checkpoint = o.Checkpoint
+	cfg.Resume = o.Resume
+	cfg.AbandonGrace = o.AbandonGrace
 	return cfg, nil
 }
 
@@ -326,6 +423,10 @@ type StrangerRisk struct {
 	NetworkSimilarity float64
 	// Pool identifies the learning pool the stranger belonged to.
 	Pool string
+	// Fallback marks labels synthesized after an interruption (last
+	// predictions or majority/prior) rather than learned by a finished
+	// session. Always false in complete reports.
+	Fallback bool
 }
 
 // Report is the outcome of EstimateRisk.
@@ -343,6 +444,16 @@ type Report struct {
 	// fresh owner labels exactly matching the prior round's
 	// prediction (NaN without validation comparisons).
 	ExactMatchRate float64
+	// Partial reports graceful degradation: the owner abandoned the
+	// session or the run was canceled; finished pools keep learned
+	// labels and interrupted pools carry fallback labels (see
+	// StrangerRisk.Fallback and PoolStatus).
+	Partial bool
+	// Interrupt is the cause behind a partial report (ErrAbandoned or
+	// a context error); nil for complete reports.
+	Interrupt error
+	// PoolStatus maps each pool ID to its completion status.
+	PoolStatus map[string]PoolStatus
 }
 
 // Label returns the report's label for the stranger (0 when absent).
@@ -366,8 +477,26 @@ func (r *Report) CountByLabel() map[Label]int {
 
 // EstimateRisk runs the full pipeline for the owner: group the owner's
 // strangers into pools, run an active-learning session per pool
-// querying the annotator, and assemble the final risk report.
+// querying the annotator, and assemble the final risk report. It is
+// EstimateRiskContext with a background context and an infallible
+// annotator.
 func EstimateRisk(n *Network, owner UserID, ann Annotator, opts Options) (*Report, error) {
+	if ann == nil {
+		return nil, fmt.Errorf("sight: annotator must not be nil")
+	}
+	return EstimateRiskContext(context.Background(), n, owner, Infallible(ann), opts)
+}
+
+// EstimateRiskContext is the fault-tolerant entry point. ctx bounds
+// the run: cancellation aborts at the next query boundary, in serial
+// and parallel paths alike. Interruptions — ctx cancellation or the
+// annotator returning ErrAbandoned — do not fail the run: it returns
+// a partial Report (Partial true, Interrupt set) in which finished
+// pools keep their learned labels and interrupted pools carry
+// fallback labels. Only hard failures return an error. See
+// Options.Retry, Options.Checkpoint, Options.Resume and
+// Options.AbandonGrace for the rest of the fault-tolerance surface.
+func EstimateRiskContext(ctx context.Context, n *Network, owner UserID, ann FallibleAnnotator, opts Options) (*Report, error) {
 	if n == nil {
 		return nil, fmt.Errorf("sight: network must not be nil")
 	}
@@ -379,7 +508,7 @@ func EstimateRisk(n *Network, owner UserID, ann Annotator, opts Options) (*Repor
 		return nil, err
 	}
 	engine := core.New(cfg)
-	run, err := engine.RunOwner(n.g, n.profiles, owner, annotatorBridge{ann}, math.NaN())
+	run, err := engine.RunOwner(ctx, n.g, n.profiles, owner, ann, math.NaN())
 	if err != nil {
 		return nil, err
 	}
@@ -389,9 +518,13 @@ func EstimateRisk(n *Network, owner UserID, ann Annotator, opts Options) (*Repor
 		LabelsRequested: run.QueriedCount(),
 		Pools:           len(run.Pools),
 		MeanRounds:      run.MeanRoundsToStop(),
+		Partial:         run.Partial,
+		Interrupt:       run.Cause,
+		PoolStatus:      make(map[string]PoolStatus, len(run.Pools)),
 	}
 	rep.ExactMatchRate, _ = run.ExactMatchRate()
 	for _, pr := range run.Pools {
+		rep.PoolStatus[pr.Pool.ID()] = pr.Status
 		for _, m := range pr.Pool.Members {
 			rep.Strangers = append(rep.Strangers, StrangerRisk{
 				User:              m,
@@ -399,6 +532,7 @@ func EstimateRisk(n *Network, owner UserID, ann Annotator, opts Options) (*Repor
 				OwnerLabeled:      pr.Result.OwnerLabeled[m],
 				NetworkSimilarity: run.NSG.Score[m],
 				Pool:              pr.Pool.ID(),
+				Fallback:          pr.Fallback[m],
 			})
 		}
 	}
