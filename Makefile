@@ -1,0 +1,36 @@
+# Tier-1 verification flow (see ROADMAP.md): build + vet + tests, plus
+# a one-iteration fleet bench so the benchmark code compiles and runs
+# on every PR. `make race` adds the concurrency stress pass that covers
+# the multi-tenant scheduler.
+
+GO ?= go
+
+.PHONY: tier1 build vet test bench-smoke race bench fleet-bench
+
+tier1: build vet test bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Compile-and-run every fleet benchmark once — catches bit-rot in the
+# benchmark harness without paying for a real measurement.
+bench-smoke:
+	$(GO) test -run=NONE -bench=Fleet -benchtime=1x ./internal/fleet/
+
+race:
+	$(GO) test -race ./...
+
+# Full micro-benchmark sweep (slow; see README "Performance").
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# Fleet throughput trajectory: writes BENCH_fleet.json (see
+# EXPERIMENTS.md for methodology).
+fleet-bench:
+	$(GO) run ./cmd/riskbench -tenants 8 -scale medium

@@ -37,7 +37,12 @@ var (
 // benchEnvironment builds the shared study once; the expensive NPP and
 // NSP runs are additionally cached inside the Env, so benchmarks that
 // only aggregate cached runs measure aggregation, while benchmarks
-// that re-run the pipeline build private Envs.
+// that re-run the pipeline build private Envs. Note that every Env now
+// also carries a shared content-keyed weight-matrix cache
+// (cluster.WeightCache, installed by NewEnv): within one Env, repeat
+// pipeline runs reuse pool weight matrices, so such benchmarks measure
+// the steady state of a long-lived engine, not cold-start matrix
+// builds. Private Envs still start with a cold cache.
 func benchEnvironment(b *testing.B) *experiments.Env {
 	b.Helper()
 	benchOnce.Do(func() {

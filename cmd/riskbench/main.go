@@ -6,6 +6,14 @@
 //
 //	riskbench [-scale small|medium|full] [-seed N] [-only fig4,table1,...] [-workers N]
 //	          [-fault-prob P] [-fault-latency D] [-fault-abandon N] [-fault-seed N] [-fault-retries N]
+//	          [-tenants N] [-tenant-rtt D] [-bench-out FILE]
+//
+// With -tenants N the command switches to fleet-benchmark mode: it
+// replicates the study for N tenants, runs every owner through the
+// multi-tenant scheduler (internal/fleet) with a shared weight cache
+// and batched annotator transport, then re-runs the same jobs
+// sequentially, verifies the per-owner reports are byte-identical, and
+// writes throughput plus micro-benchmark numbers to BENCH_fleet.json.
 //
 // The full scale matches the paper's population (47 owners, mean 3,661
 // strangers each, ~172k stranger profiles) and takes a few minutes;
@@ -48,7 +56,18 @@ func main() {
 	faultAbandon := flag.Int("fault-abandon", 0, "owners abandon after this many answers per run (0 = never)")
 	faultSeed := flag.Int64("fault-seed", 7, "fault-injection seed")
 	faultRetries := flag.Int("fault-retries", 10, "retry attempts configured when -fault-prob is set")
+	tenants := flag.Int("tenants", 0, "fleet mode: run N tenant replicas through the multi-tenant scheduler and compare against sequential single-owner runs (skips the experiment steps)")
+	tenantRTT := flag.Duration("tenant-rtt", 20*time.Millisecond, "fleet mode: simulated annotator round-trip latency (the fleet batches questions across owners into one round-trip; the serial baseline pays it per question); 0 disables the transport")
+	benchOut := flag.String("bench-out", "BENCH_fleet.json", "fleet mode: where to write the throughput trajectory JSON")
 	flag.Parse()
+
+	if *tenants > 0 {
+		if err := runFleetBench(*scale, *seed, *tenants, *workers, *tenantRTT, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "riskbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	start := time.Now()
 	env, err := buildEnv(*scale, *seed, *workers)
@@ -258,7 +277,7 @@ func printAblations(env *experiments.Env) error {
 	return nil
 }
 
-func buildEnv(scale string, seed int64, workers int) (*experiments.Env, error) {
+func studyConfig(scale string, seed int64) (synthetic.StudyConfig, error) {
 	var cfg synthetic.StudyConfig
 	switch scale {
 	case "small":
@@ -270,9 +289,17 @@ func buildEnv(scale string, seed int64, workers int) (*experiments.Env, error) {
 	case "full":
 		cfg = synthetic.DefaultStudyConfig()
 	default:
-		return nil, fmt.Errorf("unknown scale %q", scale)
+		return cfg, fmt.Errorf("unknown scale %q", scale)
 	}
 	cfg.Seed = seed
+	return cfg, nil
+}
+
+func buildEnv(scale string, seed int64, workers int) (*experiments.Env, error) {
+	cfg, err := studyConfig(scale, seed)
+	if err != nil {
+		return nil, err
+	}
 	coreCfg := core.DefaultConfig()
 	coreCfg.Workers = workers
 	return experiments.NewEnv(cfg, coreCfg)

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"sightrisk/internal/profile"
+	"sightrisk/internal/similarity"
+)
+
+// WeightCache is a process-wide, content-keyed cache for the expensive
+// per-pool similarity artifacts: the PSContext frequency tables and the
+// exponentiated PS weight matrix. The key is a hash of everything the
+// artifacts depend on — exponent, attribute list, member ids, and every
+// member's attribute values — so two pools hit the same entry exactly
+// when PoolWeights would compute the same matrix for both. That makes
+// the cache safe to share across owners, tenants, and even graph churn:
+// dynamics experiments mutate edges, and edges are not part of the
+// weight computation.
+//
+// The multi-tenant fleet scheduler is the intended customer (N tenants
+// replaying the same study build each pool's weights once instead of N
+// times), but single-run pipelines benefit too whenever owners share
+// pool compositions.
+//
+// Returned matrices and contexts are shared and must be treated as
+// read-only; PoolWeights bakes the exponent in before insertion, and
+// the engine only ever reads the weights.
+type WeightCache struct {
+	mu      sync.RWMutex
+	entries map[[sha256.Size]byte]*weightEntry
+	hits    uint64
+	misses  uint64
+}
+
+type weightEntry struct {
+	ctx     *similarity.PSContext
+	weights [][]float64
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries int
+	Hits    uint64
+	Misses  uint64
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewWeightCache returns an empty cache, safe for concurrent use.
+func NewWeightCache() *WeightCache {
+	return &WeightCache{entries: make(map[[sha256.Size]byte]*weightEntry)}
+}
+
+// PoolWeights returns the pool's weight matrix, computing and caching
+// it on first sight of this (members, attribute values, attrs,
+// exponent) content. The returned matrix is shared: callers must not
+// modify it.
+func (c *WeightCache) PoolWeights(store *profile.Store, pool Pool, attrs []profile.Attribute, exponent float64) ([][]float64, error) {
+	e, err := c.entry(store, pool, attrs, exponent)
+	if err != nil {
+		return nil, err
+	}
+	return e.weights, nil
+}
+
+// Context returns the cached PSContext for the pool (built alongside
+// the weight matrix). Shared; read-only.
+func (c *WeightCache) Context(store *profile.Store, pool Pool, attrs []profile.Attribute, exponent float64) (*similarity.PSContext, error) {
+	e, err := c.entry(store, pool, attrs, exponent)
+	if err != nil {
+		return nil, err
+	}
+	return e.ctx, nil
+}
+
+func (c *WeightCache) entry(store *profile.Store, pool Pool, attrs []profile.Attribute, exponent float64) (*weightEntry, error) {
+	key := weightKey(store, pool, attrs, exponent)
+
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return e, nil
+	}
+
+	// Build outside the lock: matrix construction is the expensive part
+	// and must not serialize concurrent misses on different pools.
+	ctx := similarity.NewPSContext(store, pool.Members, attrs)
+	weights := ctx.Matrix(store.Profiles(pool.Members))
+	if len(weights) != len(pool.Members) {
+		return nil, fmt.Errorf("cluster: pool %s: %d profiles for %d members (missing profiles)", pool.ID(), len(weights), len(pool.Members))
+	}
+	if exponent != 1 {
+		for i := range weights {
+			for j := range weights[i] {
+				weights[i][j] = math.Pow(weights[i][j], exponent)
+			}
+		}
+	}
+	built := &weightEntry{ctx: ctx, weights: weights}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, raced := c.entries[key]; raced {
+		// Another goroutine built the same content first; keep one copy.
+		c.hits++
+		return prev, nil
+	}
+	c.misses++
+	c.entries[key] = built
+	return built, nil
+}
+
+// Stats returns current cache counters.
+func (c *WeightCache) Stats() CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+}
+
+// weightKey hashes the full content the weight matrix depends on. Every
+// variable-length field is length-prefixed so distinct contents can
+// never produce the same byte stream.
+func weightKey(store *profile.Store, pool Pool, attrs []profile.Attribute, exponent float64) [sha256.Size]byte {
+	if len(attrs) == 0 {
+		attrs = profile.ClusteringAttributes()
+	}
+	h := sha256.New()
+	var scratch [8]byte
+	writeUint := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	writeString := func(s string) {
+		writeUint(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeUint(math.Float64bits(exponent))
+	writeUint(uint64(len(attrs)))
+	for _, a := range attrs {
+		writeString(string(a))
+	}
+	writeUint(uint64(len(pool.Members)))
+	for _, m := range pool.Members {
+		writeUint(uint64(m))
+		p := store.Get(m)
+		if p == nil {
+			writeUint(^uint64(0)) // distinguish "no profile" from "no values"
+			continue
+		}
+		writeUint(uint64(len(attrs)))
+		for _, a := range attrs {
+			writeString(p.Attr(a))
+		}
+	}
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}

@@ -92,29 +92,9 @@ func BuildPools(g *graph.Graph, store *profile.Store, owner graph.UserID, strang
 	if err != nil {
 		return nil, nil, err
 	}
-	var pools []Pool
-	for gi, members := range nsg.Groups {
-		if len(members) == 0 {
-			continue
-		}
-		switch cfg.Strategy {
-		case NSP:
-			pools = append(pools, Pool{NSGIndex: gi + 1, Members: members})
-		case NPP:
-			clusters, err := Squeezer(store, members, cfg.Squeezer)
-			if err != nil {
-				return nil, nil, err
-			}
-			for ci, c := range clusters {
-				pools = append(pools, Pool{
-					NSGIndex:     gi + 1,
-					ClusterIndex: ci + 1,
-					Members:      c,
-				})
-			}
-		default:
-			return nil, nil, fmt.Errorf("cluster: unknown strategy %v", cfg.Strategy)
-		}
+	pools, err := poolsFromNSG(store, nsg, cfg)
+	if err != nil {
+		return nil, nil, err
 	}
 	return pools, nsg, nil
 }

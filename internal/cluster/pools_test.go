@@ -13,7 +13,7 @@ import (
 // testWorld builds an owner graph plus stranger profiles for pool
 // tests: friends 100..100+f-1, strangers with varying mutual-friend
 // counts and alternating profiles.
-func testWorld(t *testing.T, friends, strangers int) (*graph.Graph, *profile.Store, graph.UserID, []graph.UserID) {
+func testWorld(t testing.TB, friends, strangers int) (*graph.Graph, *profile.Store, graph.UserID, []graph.UserID) {
 	t.Helper()
 	g := graph.New()
 	store := profile.NewStore()

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+	"sightrisk/internal/similarity"
+)
+
+// BuildNSGSnapshot is BuildNSG over a frozen graph snapshot: the NS of
+// every stranger is computed with the allocation-free sorted-slice
+// intersection (one reused scratch buffer for the whole stranger set)
+// instead of per-call map walks. Scores and bucketing are bit-identical
+// to BuildNSG on the graph the snapshot was taken from — the same
+// integer counts feed the same float expressions — which the
+// snapshot/live equivalence property test pins down.
+//
+// The snapshot path always uses the paper's NS; ablations with a custom
+// NetworkMeasure stay on the *graph.Graph path (the engine gates on
+// PoolConfig.NetworkSim == nil before routing here).
+func BuildNSGSnapshot(s *graph.Snapshot, owner graph.UserID, strangers []graph.UserID, alpha int) (*NSG, error) {
+	if alpha < 1 {
+		return nil, fmt.Errorf("cluster: alpha must be >= 1, got %d", alpha)
+	}
+	out := &NSG{
+		Alpha:  alpha,
+		Groups: make([][]graph.UserID, alpha),
+		Score:  make(map[graph.UserID]float64, len(strangers)),
+	}
+	buf := make([]graph.UserID, 0, 64)
+	for _, st := range strangers {
+		var ns float64
+		ns, buf = similarity.NSInto(s, owner, st, buf)
+		out.Score[st] = ns
+		idx := int(math.Floor(ns * float64(alpha)))
+		if idx >= alpha { // NS exactly 1 lands in the top group
+			idx = alpha - 1
+		}
+		out.Groups[idx] = append(out.Groups[idx], st)
+	}
+	return out, nil
+}
+
+// BuildPoolsSnapshot is BuildPools over a frozen graph snapshot. It
+// requires cfg.NetworkSim == nil (the snapshot fast path implements the
+// paper's NS only); callers running a measure ablation must use
+// BuildPools on the mutable graph.
+func BuildPoolsSnapshot(s *graph.Snapshot, store *profile.Store, owner graph.UserID, strangers []graph.UserID, cfg PoolConfig) ([]Pool, *NSG, error) {
+	if cfg.NetworkSim != nil {
+		return nil, nil, fmt.Errorf("cluster: BuildPoolsSnapshot supports only the paper's NS; use BuildPools for custom measures")
+	}
+	nsg, err := BuildNSGSnapshot(s, owner, strangers, cfg.Alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+	pools, err := poolsFromNSG(store, nsg, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pools, nsg, nil
+}
+
+// poolsFromNSG refines the NSG buckets into pools per the configured
+// strategy — the shared back half of BuildPools and BuildPoolsSnapshot.
+func poolsFromNSG(store *profile.Store, nsg *NSG, cfg PoolConfig) ([]Pool, error) {
+	var pools []Pool
+	for gi, members := range nsg.Groups {
+		if len(members) == 0 {
+			continue
+		}
+		switch cfg.Strategy {
+		case NSP:
+			pools = append(pools, Pool{NSGIndex: gi + 1, Members: members})
+		case NPP:
+			clusters, err := Squeezer(store, members, cfg.Squeezer)
+			if err != nil {
+				return nil, err
+			}
+			for ci, c := range clusters {
+				pools = append(pools, Pool{
+					NSGIndex:     gi + 1,
+					ClusterIndex: ci + 1,
+					Members:      c,
+				})
+			}
+		default:
+			return nil, fmt.Errorf("cluster: unknown strategy %v", cfg.Strategy)
+		}
+	}
+	return pools, nil
+}

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+// randomOwnerWorld builds a seeded random graph around an owner with a
+// mix of friends and second-hop strangers.
+func randomOwnerWorld(seed int64, friends, extra, edges int) (*graph.Graph, graph.UserID) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	owner := graph.UserID(1)
+	n := friends + extra
+	ids := make([]graph.UserID, n)
+	for i := range ids {
+		ids[i] = graph.UserID(10 + i*3)
+		g.AddNode(ids[i])
+	}
+	for i := 0; i < friends; i++ {
+		_ = g.AddEdge(owner, ids[i])
+	}
+	for k := 0; k < edges; k++ {
+		a := ids[rng.Intn(n)]
+		b := ids[rng.Intn(n)]
+		if a != b {
+			_ = g.AddEdge(a, b)
+		}
+	}
+	return g, owner
+}
+
+// TestNSGSnapshotEquivalence: BuildNSGSnapshot buckets every stranger
+// exactly as BuildNSG does on the live graph — identical scores
+// (bit-for-bit), identical group membership and order — across seeded
+// random graphs. This is the NSG leg of the snapshot/live equivalence
+// property test.
+func TestNSGSnapshotEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g, owner := randomOwnerWorld(seed, 15, 60, 300)
+		strangers := g.Strangers(owner)
+		if len(strangers) == 0 {
+			t.Fatalf("seed %d: no strangers", seed)
+		}
+		s := g.Snapshot()
+		for _, alpha := range []int{1, 4, 10} {
+			want, err := BuildNSG(g, owner, strangers, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := BuildNSGSnapshot(s, owner, strangers, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Score, want.Score) {
+				t.Fatalf("seed %d alpha %d: Score maps differ", seed, alpha)
+			}
+			if !reflect.DeepEqual(got.Groups, want.Groups) {
+				t.Fatalf("seed %d alpha %d: Groups differ:\n got %v\nwant %v", seed, alpha, got.Groups, want.Groups)
+			}
+		}
+	}
+}
+
+// TestBuildPoolsSnapshotEquivalence: the full pool construction agrees
+// between the snapshot path and the live-graph path, for both
+// strategies.
+func TestBuildPoolsSnapshotEquivalence(t *testing.T) {
+	g, store, owner, strangers := testWorld(t, 12, 60)
+	s := g.Snapshot()
+	for _, strat := range []Strategy{NPP, NSP} {
+		cfg := DefaultPoolConfig()
+		cfg.Strategy = strat
+		wantPools, wantNSG, err := BuildPools(g, store, owner, strangers, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPools, gotNSG, err := BuildPoolsSnapshot(s, store, owner, strangers, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotPools, wantPools) {
+			t.Fatalf("%v: pools differ:\n got %v\nwant %v", strat, gotPools, wantPools)
+		}
+		if !reflect.DeepEqual(gotNSG.Score, wantNSG.Score) {
+			t.Fatalf("%v: NSG scores differ", strat)
+		}
+	}
+}
+
+// TestBuildPoolsSnapshotRejectsCustomMeasure: ablations with a custom
+// network measure must stay on the live-graph path.
+func TestBuildPoolsSnapshotRejectsCustomMeasure(t *testing.T) {
+	g, store, owner, strangers := testWorld(t, 6, 12)
+	cfg := DefaultPoolConfig()
+	cfg.NetworkSim = func(g *graph.Graph, a, b graph.UserID) float64 { return 0.5 }
+	if _, _, err := BuildPoolsSnapshot(g.Snapshot(), store, owner, strangers, cfg); err == nil {
+		t.Fatal("expected error for custom NetworkSim on snapshot path")
+	}
+}
+
+// TestWeightCacheMatchesPoolWeights: a cached matrix is exactly the
+// matrix PoolWeights computes, and repeated lookups hit.
+func TestWeightCacheMatchesPoolWeights(t *testing.T) {
+	g, store, owner, strangers := testWorld(t, 12, 60)
+	pools, _, err := BuildPools(g, store, owner, strangers, DefaultPoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewWeightCache()
+	for _, exp := range []float64{1, 4} {
+		for _, p := range pools {
+			want, err := PoolWeights(store, p, nil, exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cache.PoolWeights(store, p, nil, exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("pool %s exp %g: cached weights differ", p.ID(), exp)
+			}
+			again, err := cache.PoolWeights(store, p, nil, exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if &got[0][0] != &again[0][0] {
+				t.Fatalf("pool %s exp %g: second lookup did not return the shared matrix", p.ID(), exp)
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != uint64(2*len(pools)) {
+		t.Fatalf("misses = %d, want %d", st.Misses, 2*len(pools))
+	}
+	if st.Hits != uint64(2*len(pools)) {
+		t.Fatalf("hits = %d, want %d", st.Hits, 2*len(pools))
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", st.HitRate())
+	}
+}
+
+// TestWeightCacheKeyedByContent: same membership but different
+// attribute values, attrs, or exponent must land in different entries;
+// identical content in a differently-named pool must hit.
+func TestWeightCacheKeyedByContent(t *testing.T) {
+	store := profile.NewStore()
+	members := []graph.UserID{1, 2, 3}
+	for _, m := range members {
+		p := profile.NewProfile(m)
+		p.SetAttr(profile.AttrGender, "male")
+		p.SetAttr(profile.AttrLocale, "en_US")
+		store.Put(p)
+	}
+	cache := NewWeightCache()
+	pool := Pool{NSGIndex: 1, ClusterIndex: 1, Members: members}
+	if _, err := cache.PoolWeights(store, pool, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same content under a different pool label: hit.
+	renamed := Pool{NSGIndex: 9, ClusterIndex: 7, Members: members}
+	if _, err := cache.PoolWeights(store, renamed, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("after rename lookup: %+v, want 1 hit / 1 miss", st)
+	}
+
+	// Different exponent: miss.
+	if _, err := cache.PoolWeights(store, pool, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Different attrs: miss.
+	if _, err := cache.PoolWeights(store, pool, []profile.Attribute{profile.AttrGender}, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Mutated profile content: miss.
+	store.Get(2).SetAttr(profile.AttrLocale, "it_IT")
+	if _, err := cache.PoolWeights(store, pool, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Misses != 4 {
+		t.Fatalf("misses = %d, want 4 (exponent, attrs, content all keyed)", st.Misses)
+	}
+}
+
+// TestWeightCacheConcurrent hammers one cache from many goroutines —
+// run under -race this is the scheduler-sharing safety test.
+func TestWeightCacheConcurrent(t *testing.T) {
+	g, store, owner, strangers := testWorld(t, 12, 60)
+	pools, _, err := BuildPools(g, store, owner, strangers, DefaultPoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewWeightCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				for _, p := range pools {
+					if _, err := cache.PoolWeights(store, p, nil, 4); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := cache.Stats(); st.Entries != len(pools) {
+		t.Fatalf("entries = %d, want %d", st.Entries, len(pools))
+	}
+}
+
+// BenchmarkWeightCache contrasts a cold build against a cache hit.
+func BenchmarkWeightCache(b *testing.B) {
+	g, store, owner, strangers := testWorld(b, 12, 200)
+	pools, _, err := BuildPools(g, store, owner, strangers, DefaultPoolConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := pools[0]
+	for _, p := range pools {
+		if len(p.Members) > len(pool.Members) {
+			pool = p
+		}
+	}
+	b.Run("build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := PoolWeights(store, pool, nil, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		cache := NewWeightCache()
+		if _, err := cache.PoolWeights(store, pool, nil, 4); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.PoolWeights(store, pool, nil, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

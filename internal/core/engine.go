@@ -54,6 +54,24 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 runs the exact legacy serial path.
 	// Results are identical for every value — see RunOwner.
 	Workers int
+	// Snapshot, when non-nil, is a frozen CSR view of the run's graph:
+	// stranger enumeration and NSG construction route through its
+	// allocation-free sorted-slice walks instead of the mutable graph's
+	// map walks, with bit-identical results. The caller must take the
+	// snapshot from the same graph passed to RunOwner (the fleet
+	// scheduler shares one snapshot across every tenant's runs). When
+	// nil and the pool config uses the paper's NS, RunOwner freezes its
+	// own snapshot — one O(V+E log d) pass that the per-stranger NS
+	// computations repay. A custom Pool.NetworkSim keeps the legacy
+	// *graph.Graph path, snapshot or not.
+	Snapshot *graph.Snapshot
+	// Weights, when non-nil, is a shared content-keyed cache for the
+	// per-pool PS weight matrices. Pools whose membership, attribute
+	// values, attrs and exponent have been seen before — by any owner,
+	// tenant, or prior run sharing the cache — reuse the cached matrix
+	// instead of rebuilding the O(n²) computation. Matrices are read
+	// only; sharing is safe because the engine never mutates them.
+	Weights *cluster.WeightCache
 	// Retry controls how transient annotator failures are retried and
 	// which deadlines bound queries and the whole session. The zero
 	// value performs a single attempt with no deadlines.
@@ -284,8 +302,25 @@ func (e *Engine) RunOwner(ctx context.Context, g *graph.Graph, store *profile.St
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.Retry.SessionTimeout)
 		defer cancel()
 	}
-	strangers := g.Strangers(owner)
-	pools, nsg, err := cluster.BuildPools(g, store, owner, strangers, e.cfg.Pool)
+	var strangers []graph.UserID
+	var pools []cluster.Pool
+	var nsg *cluster.NSG
+	var err error
+	if e.cfg.Pool.NetworkSim == nil {
+		// Fast path: the paper's NS over a frozen snapshot. Bit-identical
+		// to the mutable-graph path (see the snapshot equivalence tests).
+		snap := e.cfg.Snapshot
+		if snap == nil {
+			snap = g.Snapshot()
+		}
+		strangers = snap.Strangers(owner)
+		pools, nsg, err = cluster.BuildPoolsSnapshot(snap, store, owner, strangers, e.cfg.Pool)
+	} else {
+		// Measure ablations supply graph-based measures; stay on the
+		// legacy path.
+		strangers = g.Strangers(owner)
+		pools, nsg, err = cluster.BuildPools(g, store, owner, strangers, e.cfg.Pool)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: owner %d: %w", owner, err)
 	}
@@ -345,6 +380,16 @@ func (e *Engine) RunOwner(ctx context.Context, g *graph.Graph, store *profile.St
 	return run, nil
 }
 
+// poolWeights builds (or, with a shared Weights cache configured,
+// fetches) the pool's PS weight matrix. Cached matrices are shared and
+// read-only — identical by content to a fresh build.
+func (e *Engine) poolWeights(store *profile.Store, pool cluster.Pool, exp float64) ([][]float64, error) {
+	if e.cfg.Weights != nil {
+		return e.cfg.Weights.PoolWeights(store, pool, e.cfg.PSAttributes, exp)
+	}
+	return cluster.PoolWeights(store, pool, e.cfg.PSAttributes, exp)
+}
+
 // runPoolsSerial is the legacy one-pool-at-a-time path (Workers == 1,
 // or a single pool). On interruption it stops asking questions: the
 // interrupted pool keeps its partial result and every remaining pool
@@ -360,7 +405,7 @@ func (e *Engine) runPoolsSerial(ctx context.Context, run *OwnerRun, store *profi
 			}
 			continue
 		}
-		weights, err := cluster.PoolWeights(store, pool, e.cfg.PSAttributes, exp)
+		weights, err := e.poolWeights(store, pool, exp)
 		if err != nil {
 			return fmt.Errorf("core: %w", err)
 		}

@@ -55,7 +55,7 @@ func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *pro
 			if build.Canceled() {
 				return parallel.ErrCanceled
 			}
-			w, err := cluster.PoolWeights(store, pools[i], e.cfg.PSAttributes, exp)
+			w, err := e.poolWeights(store, pools[i], exp)
 			if err != nil {
 				return fmt.Errorf("core: %w", err)
 			}

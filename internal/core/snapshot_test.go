@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"sightrisk/internal/active"
+	"sightrisk/internal/cluster"
+)
+
+// TestRunOwnerSnapshotAndCacheEquivalence: supplying a pre-frozen
+// Config.Snapshot and a shared Config.Weights cache changes nothing
+// about the result — runs are deeply identical to the default
+// configuration — and the cache actually hits when the same owner runs
+// again (the fleet scheduler's tenant-replica pattern).
+func TestRunOwnerSnapshotAndCacheEquivalence(t *testing.T) {
+	study := studyWorld(t)
+	o := study.Owners[0]
+
+	base := New(DefaultConfig())
+	want, err := base.RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Snapshot = study.Graph.Snapshot()
+	cfg.Weights = cluster.NewWeightCache()
+	engine := New(cfg)
+	got, err := engine.RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffOwnerRuns(got, want); d != "" {
+		t.Fatalf("snapshot+cache run differs from default run: %s", d)
+	}
+	first := cfg.Weights.Stats()
+	if first.Misses == 0 || first.Hits != 0 {
+		t.Fatalf("first run stats = %+v, want all misses", first)
+	}
+
+	// Second run over identical content: every pool's weights hit.
+	again, err := engine.RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffOwnerRuns(again, want); d != "" {
+		t.Fatalf("second cached run differs: %s", d)
+	}
+	second := cfg.Weights.Stats()
+	if second.Misses != first.Misses {
+		t.Fatalf("second run built new matrices: %+v -> %+v", first, second)
+	}
+	if second.Hits != first.Misses {
+		t.Fatalf("second run hits = %d, want %d", second.Hits, first.Misses)
+	}
+}
+
+// TestRunOwnerParallelWithCache: the cache is also safe and identical
+// under the parallel pool path.
+func TestRunOwnerParallelWithCache(t *testing.T) {
+	study := studyWorld(t)
+	o := study.Owners[1]
+
+	base := New(DefaultConfig())
+	want, err := base.RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	cfg.Snapshot = study.Graph.Snapshot()
+	cfg.Weights = cluster.NewWeightCache()
+	got, err := New(cfg).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, active.Infallible(o), o.Confidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffOwnerRuns(got, want); d != "" {
+		t.Fatalf("parallel snapshot+cache run differs from serial default run: %s", d)
+	}
+}

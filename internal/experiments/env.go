@@ -32,11 +32,19 @@ type Env struct {
 }
 
 // NewEnv generates the study population and prepares the engine
-// configuration.
+// configuration. Unless the caller brings their own, the Env installs
+// a shared content-keyed weight-matrix cache (cluster.WeightCache):
+// every experiment that re-runs the pipeline over the same owners then
+// reuses the pool weight matrices instead of rebuilding them — results
+// are unchanged (the cache is keyed by pool content, attributes and
+// exponent), only repeated work disappears.
 func NewEnv(studyCfg synthetic.StudyConfig, coreCfg core.Config) (*Env, error) {
 	study, err := synthetic.GenerateStudy(studyCfg)
 	if err != nil {
 		return nil, err
+	}
+	if coreCfg.Weights == nil {
+		coreCfg.Weights = cluster.NewWeightCache()
 	}
 	return &Env{Study: study, Cfg: coreCfg}, nil
 }

@@ -1,0 +1,226 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+)
+
+// Question is one owner-label query in a batched round-trip.
+type Question struct {
+	Tenant   string
+	Owner    graph.UserID
+	Stranger graph.UserID
+}
+
+// Transport answers label questions in batches: one LabelBatch call is
+// one round-trip to wherever the annotators live (a labeling service,
+// a user-facing prompt queue). The returned slice answers questions
+// positionally; an error fails every question in the batch.
+//
+// LabelBatch is never called concurrently with itself, and a batch
+// never carries two questions from the same owner (each owner job has
+// at most one question outstanding), so implementations may fan out
+// per owner internally without reordering concerns.
+type Transport interface {
+	LabelBatch(ctx context.Context, qs []Question) ([]label.Label, error)
+}
+
+// BatchStats reports how well the fleet amortized round-trips.
+type BatchStats struct {
+	Questions  int // questions answered through the transport
+	RoundTrips int // LabelBatch calls
+}
+
+// MeanBatchSize returns Questions / RoundTrips (0 when unused).
+func (s BatchStats) MeanBatchSize() float64 {
+	if s.RoundTrips == 0 {
+		return 0
+	}
+	return float64(s.Questions) / float64(s.RoundTrips)
+}
+
+// pendingQ is one enqueued question waiting for a round-trip.
+type pendingQ struct {
+	q    Question
+	done chan struct{}
+	lbl  label.Label
+	err  error
+}
+
+// batcher gathers label questions from concurrently running owner jobs
+// and flushes them through the Transport in batches. The flush rule
+// never deadlocks: a batch goes out when either
+//
+//   - every registered job is waiting (each running job has at most
+//     one outstanding question, so once pending + in-flight questions
+//     cover all registered jobs, nobody else can arrive), or
+//   - the batch reached maxBatch.
+//
+// Jobs register before their first question and deregister when they
+// finish; deregistration re-evaluates the rule so a shrinking fleet
+// still drains its tail.
+type batcher struct {
+	ctx       context.Context
+	transport Transport
+	maxBatch  int
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	pending    []*pendingQ
+	inFlight   int
+	registered int
+	closed     bool
+	aborted    error
+	questions  int
+	roundTrips int
+}
+
+func newBatcher(ctx context.Context, t Transport, maxBatch int) *batcher {
+	b := &batcher{ctx: ctx, transport: t, maxBatch: maxBatch}
+	b.cond = sync.NewCond(&b.mu)
+	go b.flushLoop()
+	return b
+}
+
+// register marks one more job as running (a potential question
+// source).
+func (b *batcher) register() {
+	b.mu.Lock()
+	b.registered++
+	b.mu.Unlock()
+}
+
+// deregister marks a job finished and wakes the flusher: with one
+// fewer potential asker, the pending batch may now be complete.
+func (b *batcher) deregister() {
+	b.mu.Lock()
+	b.registered--
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// ask enqueues a question and blocks until its round-trip completes.
+func (b *batcher) ask(q Question) (label.Label, error) {
+	b.mu.Lock()
+	if b.aborted != nil || b.closed {
+		err := b.aborted
+		b.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("fleet: transport closed")
+		}
+		return 0, err
+	}
+	pq := &pendingQ{q: q, done: make(chan struct{})}
+	b.pending = append(b.pending, pq)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	<-pq.done
+	return pq.lbl, pq.err
+}
+
+// ready reports (under mu) whether a batch should go out.
+func (b *batcher) ready() bool {
+	if len(b.pending) == 0 {
+		return false
+	}
+	return len(b.pending) >= b.maxBatch || len(b.pending)+b.inFlight >= b.registered
+}
+
+// flushLoop is the single flusher goroutine: it serializes round-trips
+// (LabelBatch is never concurrent with itself) and fulfills waiters.
+func (b *batcher) flushLoop() {
+	for {
+		b.mu.Lock()
+		for !b.ready() && !b.closed && b.aborted == nil {
+			b.cond.Wait()
+		}
+		if b.aborted != nil || (b.closed && len(b.pending) == 0) {
+			// Fail anything still pending and exit.
+			pend := b.pending
+			b.pending = nil
+			err := b.aborted
+			if err == nil {
+				err = fmt.Errorf("fleet: transport closed")
+			}
+			b.mu.Unlock()
+			for _, pq := range pend {
+				pq.err = err
+				close(pq.done)
+			}
+			return
+		}
+		batch := b.pending
+		if len(batch) > b.maxBatch {
+			batch = batch[:b.maxBatch]
+		}
+		b.pending = b.pending[len(batch):]
+		b.inFlight += len(batch)
+		b.questions += len(batch)
+		b.roundTrips++
+		b.mu.Unlock()
+
+		qs := make([]Question, len(batch))
+		for i, pq := range batch {
+			qs[i] = pq.q
+		}
+		labels, err := b.transport.LabelBatch(b.ctx, qs)
+		if err == nil && len(labels) != len(qs) {
+			err = fmt.Errorf("fleet: transport answered %d of %d questions", len(labels), len(qs))
+		}
+		for i, pq := range batch {
+			if err != nil {
+				pq.err = err
+			} else {
+				pq.lbl = labels[i]
+			}
+			close(pq.done)
+		}
+		b.mu.Lock()
+		b.inFlight -= len(batch)
+		b.mu.Unlock()
+	}
+}
+
+// close drains and stops the flusher; pending questions fail.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// abort fails all current and future questions with err.
+func (b *batcher) abort(err error) {
+	b.mu.Lock()
+	if b.aborted == nil {
+		b.aborted = err
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *batcher) stats() BatchStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BatchStats{Questions: b.questions, RoundTrips: b.roundTrips}
+}
+
+// annotator adapts the batcher to the engine's annotator interface for
+// one owner job.
+func (b *batcher) annotator(tenant string, owner graph.UserID) *batchAnnotator {
+	return &batchAnnotator{b: b, tenant: tenant, owner: owner}
+}
+
+type batchAnnotator struct {
+	b      *batcher
+	tenant string
+	owner  graph.UserID
+}
+
+func (a *batchAnnotator) LabelStranger(_ context.Context, s graph.UserID) (label.Label, error) {
+	return a.b.ask(Question{Tenant: a.tenant, Owner: a.owner, Stranger: s})
+}

@@ -1,0 +1,296 @@
+package graph
+
+import "sort"
+
+// Snapshot is an immutable, frozen view of a Graph in compressed
+// sparse row (CSR) form: node ids in ascending order, one sorted
+// adjacency slice per node, and a parallel slice of neighbor *indices*
+// for index-based traversals. It exists because the structural hot
+// paths of the risk pipeline — NS() over every stranger, Monte Carlo
+// propagation over every frontier node, NSG construction — pay map
+// iteration, per-call sorting and per-call allocation on the mutable
+// Graph. A Snapshot pays those costs once at build time; every read
+// afterwards is a lock-free slice walk or binary search.
+//
+// Snapshots are safe for unsynchronized concurrent use (they are never
+// mutated after construction) and are the unit of sharing in the
+// multi-tenant fleet scheduler: one frozen graph serves every tenant's
+// owner runs. A Snapshot does not observe later Graph mutations; take
+// a new one after churn.
+//
+// Every query is defined to return exactly what the corresponding
+// Graph method returned at freeze time — the snapshot/live equivalence
+// property tests pin this down — so routing a computation through a
+// Snapshot can never change results, only speed.
+type Snapshot struct {
+	ids     []UserID         // all node ids, ascending
+	index   map[UserID]int32 // id -> position in ids
+	offsets []int32          // CSR row offsets, len(ids)+1
+	adj     []UserID         // concatenated adjacency rows, each sorted ascending
+	adjIdx  []int32          // adj[k]'s position in ids (rows sorted, since id order == index order)
+	edges   int
+}
+
+// Snapshot freezes the graph's current structure into an immutable CSR
+// view. Cost: O(V + E log d) for the per-row sorts.
+func (g *Graph) Snapshot() *Snapshot {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := len(g.adj)
+	s := &Snapshot{
+		ids:     make([]UserID, 0, n),
+		index:   make(map[UserID]int32, n),
+		offsets: make([]int32, n+1),
+		adj:     make([]UserID, 0, 2*g.edgeCount),
+		adjIdx:  make([]int32, 0, 2*g.edgeCount),
+		edges:   g.edgeCount,
+	}
+	for id := range g.adj {
+		s.ids = append(s.ids, id)
+	}
+	sortIDs(s.ids)
+	for i, id := range s.ids {
+		s.index[id] = int32(i)
+	}
+	for i, id := range s.ids {
+		row := s.adj[len(s.adj):]
+		for nb := range g.adj[id] {
+			row = append(row, nb)
+		}
+		sortIDs(row)
+		s.adj = s.adj[:len(s.adj)+len(row)]
+		for _, nb := range row {
+			s.adjIdx = append(s.adjIdx, s.index[nb])
+		}
+		s.offsets[i+1] = int32(len(s.adj))
+	}
+	return s
+}
+
+// NumNodes returns the node count at freeze time.
+func (s *Snapshot) NumNodes() int { return len(s.ids) }
+
+// NumEdges returns the undirected edge count at freeze time.
+func (s *Snapshot) NumEdges() int { return s.edges }
+
+// Nodes returns all node ids in ascending order. The slice is shared;
+// callers must not modify it.
+func (s *Snapshot) Nodes() []UserID { return s.ids }
+
+// HasNode reports whether the node existed at freeze time.
+func (s *Snapshot) HasNode(id UserID) bool {
+	_, ok := s.index[id]
+	return ok
+}
+
+// IndexOf returns the dense index of id (its position in Nodes), or
+// false if the node is absent.
+func (s *Snapshot) IndexOf(id UserID) (int32, bool) {
+	i, ok := s.index[id]
+	return i, ok
+}
+
+// IDAt returns the node id at dense index i.
+func (s *Snapshot) IDAt(i int32) UserID { return s.ids[i] }
+
+// Degree returns the friend count of id, or 0 if absent.
+func (s *Snapshot) Degree(id UserID) int {
+	i, ok := s.index[id]
+	if !ok {
+		return 0
+	}
+	return int(s.offsets[i+1] - s.offsets[i])
+}
+
+// Friends returns id's friends in ascending order, or nil if absent.
+// The slice aliases the snapshot's backing array: zero allocation, and
+// callers must not modify it.
+func (s *Snapshot) Friends(id UserID) []UserID {
+	i, ok := s.index[id]
+	if !ok {
+		return nil
+	}
+	return s.adj[s.offsets[i]:s.offsets[i+1]]
+}
+
+// FriendIndexesAt returns, for the node at dense index i, the dense
+// indices of its friends in ascending order. Shared backing array;
+// do not modify.
+func (s *Snapshot) FriendIndexesAt(i int32) []int32 {
+	return s.adjIdx[s.offsets[i]:s.offsets[i+1]]
+}
+
+// HasEdge reports whether a and b were friends at freeze time, via
+// binary search on the smaller adjacency row.
+func (s *Snapshot) HasEdge(a, b UserID) bool {
+	ra, rb := s.Friends(a), s.Friends(b)
+	if len(rb) < len(ra) {
+		ra, b = rb, a
+	}
+	j := sort.Search(len(ra), func(k int) bool { return ra[k] >= b })
+	return j < len(ra) && ra[j] == b
+}
+
+// MutualFriends returns the users that are friends of both a and b, in
+// ascending order.
+func (s *Snapshot) MutualFriends(a, b UserID) []UserID {
+	return s.AppendMutualFriends(nil, a, b)
+}
+
+// AppendMutualFriends appends the mutual friends of a and b (ascending)
+// to dst and returns the extended slice. With a pre-grown dst this is
+// the allocation-free sorted-slice intersection the NS hot path runs
+// on; dst[:0] reuse across calls amortizes the buffer to zero
+// allocations.
+func (s *Snapshot) AppendMutualFriends(dst []UserID, a, b UserID) []UserID {
+	ra, rb := s.Friends(a), s.Friends(b)
+	i, j := 0, 0
+	for i < len(ra) && j < len(rb) {
+		switch {
+		case ra[i] < rb[j]:
+			i++
+		case ra[i] > rb[j]:
+			j++
+		default:
+			dst = append(dst, ra[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// CountMutualFriends returns |F(a) ∩ F(b)| without materializing the
+// intersection.
+func (s *Snapshot) CountMutualFriends(a, b UserID) int {
+	ra, rb := s.Friends(a), s.Friends(b)
+	i, j, n := 0, 0, 0
+	for i < len(ra) && j < len(rb) {
+		switch {
+		case ra[i] < rb[j]:
+			i++
+		case ra[i] > rb[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// InducedEdgesSorted returns the number of edges of the subgraph
+// induced by the given ascending-sorted node set. Nodes absent from
+// the snapshot contribute nothing. This is the allocation-free core
+// behind NS's mutual-community density: intersection outputs are
+// already sorted, so no scratch copy is needed.
+func (s *Snapshot) InducedEdgesSorted(sorted []UserID) int {
+	count := 0
+	for _, u := range sorted {
+		row := s.Friends(u)
+		i, j := 0, 0
+		for i < len(row) && j < len(sorted) {
+			switch {
+			case row[i] < sorted[j]:
+				i++
+			case row[i] > sorted[j]:
+				j++
+			default:
+				count++
+				i++
+				j++
+			}
+		}
+	}
+	return count / 2
+}
+
+// InducedEdges returns the number of edges of the subgraph induced by
+// the node set, matching Graph.InducedEdges (absent nodes ignored,
+// input order irrelevant).
+func (s *Snapshot) InducedEdges(nodes []UserID) int {
+	sorted := make([]UserID, 0, len(nodes))
+	for _, n := range nodes {
+		if s.HasNode(n) {
+			sorted = append(sorted, n)
+		}
+	}
+	sortIDs(sorted)
+	sorted = dedupSorted(sorted)
+	return s.InducedEdgesSorted(sorted)
+}
+
+// InducedDensity returns the edge density of the subgraph induced by
+// the node set, matching Graph.InducedDensity.
+func (s *Snapshot) InducedDensity(nodes []UserID) float64 {
+	n := 0
+	for _, id := range nodes {
+		if s.HasNode(id) {
+			n++
+		}
+	}
+	if n < 2 {
+		return 0
+	}
+	possible := float64(n) * float64(n-1) / 2
+	return float64(s.InducedEdges(nodes)) / possible
+}
+
+// inducedDensitySorted is InducedDensity for an ascending, de-duplicated
+// node set known to be present in the snapshot (e.g. a mutual-friend
+// intersection) — the zero-allocation variant the NS hot path uses.
+func (s *Snapshot) inducedDensitySorted(sorted []UserID) float64 {
+	if len(sorted) < 2 {
+		return 0
+	}
+	possible := float64(len(sorted)) * float64(len(sorted)-1) / 2
+	return float64(s.InducedEdgesSorted(sorted)) / possible
+}
+
+// DensityOfMutualSorted exposes inducedDensitySorted for callers that
+// hold a sorted present-node set (the similarity package's NS).
+func (s *Snapshot) DensityOfMutualSorted(sorted []UserID) float64 {
+	return s.inducedDensitySorted(sorted)
+}
+
+// Strangers returns the owner's second-hop contacts in ascending
+// order, matching Graph.Strangers.
+func (s *Snapshot) Strangers(owner UserID) []UserID {
+	oi, ok := s.index[owner]
+	if !ok {
+		return nil
+	}
+	mark := make([]bool, len(s.ids)) // true = owner, direct friend, or already seen
+	friends := s.FriendIndexesAt(oi)
+	mark[oi] = true
+	for _, fi := range friends {
+		mark[fi] = true
+	}
+	var out []UserID
+	for _, fi := range friends {
+		for _, ffi := range s.FriendIndexesAt(fi) {
+			if !mark[ffi] {
+				mark[ffi] = true
+				out = append(out, s.ids[ffi])
+			}
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// dedupSorted removes adjacent duplicates from an ascending slice in
+// place.
+func dedupSorted(ids []UserID) []UserID {
+	if len(ids) < 2 {
+		return ids
+	}
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

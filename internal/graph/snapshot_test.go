@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSparseGraph builds a seeded random graph with n nodes and ~m
+// edges, with ids spread out (non-contiguous) to exercise the index
+// mapping.
+func randomSparseGraph(seed int64, n, m int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	ids := make([]UserID, n)
+	for i := range ids {
+		ids[i] = UserID(i*7 + 3)
+		g.AddNode(ids[i])
+	}
+	for k := 0; k < m; k++ {
+		a := ids[rng.Intn(n)]
+		b := ids[rng.Intn(n)]
+		if a != b {
+			_ = g.AddEdge(a, b)
+		}
+	}
+	return g
+}
+
+func equalIDs(a, b []UserID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotEquivalence is the snapshot/live-graph property test:
+// every structural query the risk pipeline uses must return identical
+// results on a frozen Snapshot and on the mutable Graph it was taken
+// from, across seeded random graphs.
+func TestSnapshotEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g := randomSparseGraph(seed, 60, 240)
+		s := g.Snapshot()
+
+		if s.NumNodes() != g.NumNodes() {
+			t.Fatalf("seed %d: NumNodes %d != %d", seed, s.NumNodes(), g.NumNodes())
+		}
+		if s.NumEdges() != g.NumEdges() {
+			t.Fatalf("seed %d: NumEdges %d != %d", seed, s.NumEdges(), g.NumEdges())
+		}
+		if !equalIDs(s.Nodes(), g.Nodes()) {
+			t.Fatalf("seed %d: Nodes mismatch", seed)
+		}
+
+		nodes := g.Nodes()
+		probe := append(append([]UserID{}, nodes...), 99999) // absent id probes too
+		for _, a := range probe {
+			if s.HasNode(a) != g.HasNode(a) {
+				t.Fatalf("seed %d: HasNode(%d) mismatch", seed, a)
+			}
+			if s.Degree(a) != g.Degree(a) {
+				t.Fatalf("seed %d: Degree(%d) mismatch", seed, a)
+			}
+			if !equalIDs(s.Friends(a), g.Friends(a)) {
+				t.Fatalf("seed %d: Friends(%d) mismatch: %v vs %v", seed, a, s.Friends(a), g.Friends(a))
+			}
+			if !equalIDs(s.Strangers(a), g.Strangers(a)) {
+				t.Fatalf("seed %d: Strangers(%d) mismatch", seed, a)
+			}
+		}
+
+		rng := rand.New(rand.NewSource(seed + 1000))
+		for k := 0; k < 300; k++ {
+			a := nodes[rng.Intn(len(nodes))]
+			b := nodes[rng.Intn(len(nodes))]
+			if s.HasEdge(a, b) != g.HasEdge(a, b) {
+				t.Fatalf("seed %d: HasEdge(%d,%d) mismatch", seed, a, b)
+			}
+			sm, gm := s.MutualFriends(a, b), g.MutualFriends(a, b)
+			if !equalIDs(sm, gm) {
+				t.Fatalf("seed %d: MutualFriends(%d,%d) = %v, want %v", seed, a, b, sm, gm)
+			}
+			if got := s.CountMutualFriends(a, b); got != len(gm) {
+				t.Fatalf("seed %d: CountMutualFriends(%d,%d) = %d, want %d", seed, a, b, got, len(gm))
+			}
+			// Random node subsets for the induced-subgraph queries,
+			// including duplicates and absent ids.
+			sub := make([]UserID, 0, 12)
+			for j := 0; j < 10; j++ {
+				sub = append(sub, nodes[rng.Intn(len(nodes))])
+			}
+			sub = append(sub, 99999, sub[0])
+			if s.InducedEdges(sub) != g.InducedEdges(sub) {
+				t.Fatalf("seed %d: InducedEdges(%v) = %d, want %d", seed, sub, s.InducedEdges(sub), g.InducedEdges(sub))
+			}
+			if s.InducedDensity(sub) != g.InducedDensity(sub) {
+				t.Fatalf("seed %d: InducedDensity(%v) mismatch", seed, sub)
+			}
+		}
+	}
+}
+
+// TestSnapshotImmutableAfterMutation pins the freeze semantics: a
+// snapshot does not observe later graph mutations.
+func TestSnapshotImmutableAfterMutation(t *testing.T) {
+	g := New()
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(2, 3)
+	s := g.Snapshot()
+	_ = g.AddEdge(1, 3)
+	g.RemoveEdge(2, 3)
+	if s.HasEdge(1, 3) {
+		t.Fatal("snapshot observed edge added after freeze")
+	}
+	if !s.HasEdge(2, 3) {
+		t.Fatal("snapshot lost edge removed after freeze")
+	}
+	if s.NumEdges() != 2 {
+		t.Fatalf("snapshot edge count changed: %d", s.NumEdges())
+	}
+}
+
+// TestAppendMutualFriendsReuse verifies the allocation-free reuse
+// contract of the intersection buffer.
+func TestAppendMutualFriendsReuse(t *testing.T) {
+	g := randomSparseGraph(3, 40, 200)
+	s := g.Snapshot()
+	nodes := g.Nodes()
+	buf := make([]UserID, 0, 64)
+	for _, a := range nodes[:10] {
+		for _, b := range nodes[10:20] {
+			buf = s.AppendMutualFriends(buf[:0], a, b)
+			if !equalIDs(buf, g.MutualFriends(a, b)) {
+				t.Fatalf("AppendMutualFriends(%d,%d) mismatch", a, b)
+			}
+		}
+	}
+}
+
+// BenchmarkMutualFriends contrasts the mutable graph's map-walk-and-
+// sort against the snapshot's sorted-slice intersection.
+func BenchmarkMutualFriends(b *testing.B) {
+	g := randomSparseGraph(1, 500, 8000)
+	s := g.Snapshot()
+	nodes := g.Nodes()
+	b.Run("graph", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = g.MutualFriends(nodes[i%100], nodes[100+i%100])
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]UserID, 0, 256)
+		for i := 0; i < b.N; i++ {
+			buf = s.AppendMutualFriends(buf[:0], nodes[i%100], nodes[100+i%100])
+		}
+	})
+}

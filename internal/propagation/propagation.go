@@ -84,7 +84,118 @@ func (c Config) forward(u graph.UserID) float64 {
 // friends are authorized (risk 0 by definition — they received the
 // information legitimately); returned values cover the given targets
 // only.
+//
+// The simulation runs on a frozen graph.Snapshot: the hot loop used to
+// call g.Friends(u) — an allocation plus a sort — for every frontier
+// node in every hop of every one of the (default 500) rounds. The
+// snapshot path walks preindexed adjacency rows and flat []bool state
+// instead; BenchmarkMonteCarlo guards the allocs/op drop and
+// TestMonteCarloSnapshotEquivalence pins the results (and the RNG
+// stream) to the map-based implementation bit for bit.
 func MonteCarlo(g *graph.Graph, owner graph.UserID, targets []graph.UserID, cfg Config) (map[graph.UserID]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if !g.HasNode(owner) {
+		return nil, fmt.Errorf("propagation: owner %d not in graph", owner)
+	}
+	return MonteCarloSnapshot(g.Snapshot(), owner, targets, cfg)
+}
+
+// MonteCarloSnapshot is MonteCarlo over an already-frozen snapshot —
+// the entry point for callers that amortize one snapshot across many
+// simulations (the fleet scheduler, the contrast experiment's stranger
+// sweep).
+//
+// Results are identical to the map-based simulation on the graph the
+// snapshot was taken from: adjacency rows are walked in the same
+// ascending order and the RNG is consulted under exactly the same
+// conditions, so the two implementations consume the same random
+// stream.
+func MonteCarloSnapshot(s *graph.Snapshot, owner graph.UserID, targets []graph.UserID, cfg Config) (map[graph.UserID]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	oi, ok := s.IndexOf(owner)
+	if !ok {
+		return nil, fmt.Errorf("propagation: owner %d not in graph", owner)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := s.NumNodes()
+	friends := s.FriendIndexesAt(oi)
+
+	authorized := make([]bool, n)
+	authorized[oi] = true
+	for _, fi := range friends {
+		authorized[fi] = true
+	}
+	// uniform forwarding lets the hot loop skip the per-user callback
+	uniformP := -1.0
+	if cfg.ForwardFunc == nil {
+		uniformP = cfg.Forward
+	}
+
+	hits := make([]int, n)
+	reached := make([]bool, n)
+	touched := make([]int32, 0, n) // indices set in reached this round
+	var frontier, next []int32
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, ti := range touched {
+			reached[ti] = false
+		}
+		touched = touched[:0]
+		frontier = frontier[:0]
+		for _, fi := range friends {
+			reached[fi] = true
+			touched = append(touched, fi)
+			frontier = append(frontier, fi)
+		}
+		for hop := 0; hop < cfg.MaxHops && len(frontier) > 0; hop++ {
+			next = next[:0]
+			for _, ui := range frontier {
+				p := uniformP
+				if p < 0 {
+					p = cfg.forward(s.IDAt(ui))
+				}
+				if p <= 0 {
+					continue
+				}
+				for _, vi := range s.FriendIndexesAt(ui) {
+					if reached[vi] || vi == oi {
+						continue
+					}
+					if rng.Float64() < p {
+						reached[vi] = true
+						touched = append(touched, vi)
+						next = append(next, vi)
+					}
+				}
+			}
+			frontier, next = next, frontier
+		}
+		for _, ti := range touched {
+			if !authorized[ti] {
+				hits[ti]++
+			}
+		}
+	}
+	out := make(map[graph.UserID]float64, len(targets))
+	for _, t := range targets {
+		ti, present := s.IndexOf(t)
+		if !present || authorized[ti] {
+			out[t] = 0
+			continue
+		}
+		out[t] = float64(hits[ti]) / float64(cfg.Rounds)
+	}
+	return out, nil
+}
+
+// MonteCarloReference is the original map-based simulation, kept as
+// the oracle for the snapshot-equivalence test and as the baseline
+// side of BenchmarkMonteCarlo and the riskbench micro-benchmarks. Use
+// MonteCarlo (or MonteCarloSnapshot) in production code.
+func MonteCarloReference(g *graph.Graph, owner graph.UserID, targets []graph.UserID, cfg Config) (map[graph.UserID]float64, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

@@ -150,7 +150,98 @@ func (c *PSContext) PS(pa, pb *profile.Profile) float64 {
 
 // Matrix precomputes the symmetric PS matrix for a pool of profiles.
 // Entry (i,j) is PS(profiles[i], profiles[j]); the diagonal is 1.
+//
+// The O(n²·|attrs|) inner loop runs over precomputed per-profile value
+// codes and frequency counts — the attribute strings and frequency
+// maps are read exactly once per profile, not once per pair — so each
+// pair costs only integer compares and float arithmetic. The result is
+// bit-identical to evaluating PS pairwise (same counts, same operation
+// order); TestMatrixMatchesPairwisePS pins that down and
+// BenchmarkPSMatrix guards the speedup.
 func (c *PSContext) Matrix(profiles []*profile.Profile) [][]float64 {
+	n := len(profiles)
+	m := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range m {
+		m[i] = backing[i*n : (i+1)*n]
+	}
+	if n == 0 {
+		return m
+	}
+	nA := len(c.attrs)
+	if nA == 0 {
+		return m // PS of any pair is 0; leave zeros, diagonal below
+	}
+
+	// Index pass: one read of every (profile, attribute) pair. code is
+	// a dense id per distinct value (-1 for unset), cnt the pool
+	// frequency of that value.
+	codes := make([][]int32, nA) // codes[a][i]
+	counts := make([][]int, nA)  // counts[a][i] = freq of profile i's value
+	totals := make([]int, nA)    // pool profiles with the attribute set
+	for ai, a := range c.attrs {
+		codes[ai] = make([]int32, n)
+		counts[ai] = make([]int, n)
+		totals[ai] = c.total[a]
+		valueCode := make(map[string]int32, 16)
+		freq := c.freq[a]
+		for i, p := range profiles {
+			v := p.Attr(a)
+			if v == "" {
+				codes[ai][i] = -1
+				continue
+			}
+			code, ok := valueCode[v]
+			if !ok {
+				code = int32(len(valueCode))
+				valueCode[v] = code
+			}
+			codes[ai][i] = code
+			counts[ai][i] = freq[v]
+		}
+	}
+
+	const floor = 0.05
+	nAttrs := float64(nA)
+	for i := 0; i < n; i++ {
+		m[i][i] = 1
+		for j := i + 1; j < n; j++ {
+			sum := 0.0
+			for ai := 0; ai < nA; ai++ {
+				ci, cj := codes[ai][i], codes[ai][j]
+				switch {
+				case ci < 0 || cj < 0:
+					sum += floor
+				case ci == cj:
+					sum += 1
+				default:
+					total := totals[ai]
+					if total == 0 {
+						sum += floor
+						continue
+					}
+					rel := float64(counts[ai][i]+counts[ai][j]) / (2 * float64(total))
+					s := 0.5 * rel
+					if s < floor {
+						s = floor
+					}
+					sum += s
+				}
+			}
+			v := sum / nAttrs
+			m[i][j] = v
+			m[j][i] = v
+		}
+	}
+	return m
+}
+
+// MatrixReference is the pre-optimization Matrix: PS evaluated pair by
+// pair, re-reading attribute strings in the O(n²) inner loop. Kept as
+// the oracle for the equivalence test and as the baseline side of
+// BenchmarkPSMatrix and the riskbench micro-benchmarks. Use Matrix in
+// production code.
+func (c *PSContext) MatrixReference(profiles []*profile.Profile) [][]float64 {
 	n := len(profiles)
 	m := make([][]float64, n)
 	backing := make([]float64, n*n)

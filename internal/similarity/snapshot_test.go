@@ -1,0 +1,180 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+// randomSimGraph builds a seeded random graph with non-contiguous ids.
+func randomSimGraph(seed int64, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	ids := make([]graph.UserID, n)
+	for i := range ids {
+		ids[i] = graph.UserID(i*5 + 2)
+		g.AddNode(ids[i])
+	}
+	for k := 0; k < m; k++ {
+		a := ids[rng.Intn(n)]
+		b := ids[rng.Intn(n)]
+		if a != b {
+			_ = g.AddEdge(a, b)
+		}
+	}
+	return g
+}
+
+// TestSnapshotMeasureEquivalence: NS, Jaccard, and CommonNeighbors over
+// a frozen Snapshot return exactly — bit for bit — what their mutable-
+// graph twins return, across seeded random graphs and all node pairs.
+func TestSnapshotMeasureEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := randomSimGraph(seed, 40, 200)
+		s := g.Snapshot()
+		nodes := g.Nodes()
+		buf := make([]graph.UserID, 0, 64)
+		for _, a := range nodes {
+			for _, b := range nodes {
+				if got, want := NSSnapshot(s, a, b), NS(g, a, b); got != want {
+					t.Fatalf("seed %d: NSSnapshot(%d,%d) = %v, want %v", seed, a, b, got, want)
+				}
+				var got float64
+				got, buf = NSInto(s, a, b, buf)
+				if want := NS(g, a, b); got != want {
+					t.Fatalf("seed %d: NSInto(%d,%d) = %v, want %v", seed, a, b, got, want)
+				}
+				if got, want := JaccardSnapshot(s, a, b), Jaccard(g, a, b); got != want {
+					t.Fatalf("seed %d: JaccardSnapshot(%d,%d) = %v, want %v", seed, a, b, got, want)
+				}
+				if got, want := CommonNeighborsSnapshot(s, a, b), CommonNeighbors(g, a, b); got != want {
+					t.Fatalf("seed %d: CommonNeighborsSnapshot(%d,%d) = %d, want %d", seed, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// sparseRandomPool is randomPool with holes: some profiles are missing
+// some attributes, exercising the floor branch of the per-attribute
+// similarity in both Matrix implementations.
+func sparseRandomPool(seed int64, n int) (*profile.Store, []graph.UserID, []*profile.Profile) {
+	rng := rand.New(rand.NewSource(seed))
+	genders := []string{"male", "female"}
+	locales := []string{"en_US", "it_IT", "tr_TR", "pl_PL"}
+	store := profile.NewStore()
+	ids := make([]graph.UserID, 0, n)
+	var profiles []*profile.Profile
+	for i := 0; i < n; i++ {
+		p := profile.NewProfile(graph.UserID(i))
+		if rng.Intn(4) != 0 {
+			p.SetAttr(profile.AttrGender, genders[rng.Intn(len(genders))])
+		}
+		if rng.Intn(4) != 0 {
+			p.SetAttr(profile.AttrLocale, locales[rng.Intn(len(locales))])
+		}
+		if rng.Intn(4) != 0 {
+			p.SetAttr(profile.AttrLastName, locales[rng.Intn(len(locales))]+"-fam")
+		}
+		store.Put(p)
+		ids = append(ids, p.User)
+		profiles = append(profiles, p)
+	}
+	return store, ids, profiles
+}
+
+// TestMatrixMatchesPairwisePS pins the indexed Matrix to the pairwise
+// oracle on pools with missing attribute values (TestPropMatrixMatchesPS
+// covers fully-populated pools). Exact float equality is required: the
+// indexed path must evaluate the same expressions in the same order.
+func TestMatrixMatchesPairwisePS(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		store, ids, profiles := sparseRandomPool(seed, 30)
+		ctx := NewPSContext(store, ids, nil)
+		got := ctx.Matrix(profiles)
+		want := ctx.MatrixReference(profiles)
+		for i := range profiles {
+			for j := range profiles {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("seed %d: Matrix[%d][%d] = %v, want %v", seed, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixDisjointPools: the context pool and the matrix profiles may
+// differ (values absent from the frequency tables); both paths must
+// still agree.
+func TestMatrixDisjointPools(t *testing.T) {
+	store, ids, _ := sparseRandomPool(1, 20)
+	ctx := NewPSContext(store, ids, nil)
+	_, _, outsiders := sparseRandomPool(99, 12)
+	got := ctx.Matrix(outsiders)
+	want := ctx.MatrixReference(outsiders)
+	for i := range outsiders {
+		for j := range outsiders {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("Matrix[%d][%d] = %v, want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestMatrixEmptyInputs covers the degenerate shapes.
+func TestMatrixEmptyInputs(t *testing.T) {
+	store, ids, _ := sparseRandomPool(2, 5)
+	ctx := NewPSContext(store, ids, nil)
+	if m := ctx.Matrix(nil); len(m) != 0 {
+		t.Fatalf("Matrix(nil) = %v, want empty", m)
+	}
+	_, _, profiles := sparseRandomPool(3, 3)
+	m := ctx.Matrix(profiles)
+	for i := range m {
+		if m[i][i] != 1 {
+			t.Fatalf("diagonal[%d] = %v, want 1", i, m[i][i])
+		}
+	}
+}
+
+// BenchmarkPSMatrix guards the indexed-Matrix optimization: the indexed
+// path must beat the pairwise oracle on both ns/op and allocs/op.
+func BenchmarkPSMatrix(b *testing.B) {
+	store, ids, profiles := sparseRandomPool(1, 120)
+	ctx := NewPSContext(store, ids, nil)
+	b.Run("pairwise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = ctx.MatrixReference(profiles)
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = ctx.Matrix(profiles)
+		}
+	})
+}
+
+// BenchmarkNS contrasts NS on the mutable graph against the snapshot
+// fast path with a reused intersection buffer.
+func BenchmarkNS(b *testing.B) {
+	g := randomSimGraph(1, 400, 6000)
+	s := g.Snapshot()
+	nodes := g.Nodes()
+	b.Run("graph", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = NS(g, nodes[i%100], nodes[100+i%100])
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]graph.UserID, 0, 128)
+		for i := 0; i < b.N; i++ {
+			_, buf = NSInto(s, nodes[i%100], nodes[100+i%100], buf)
+		}
+	})
+}
