@@ -1,13 +1,14 @@
 # Tier-1 verification flow (see ROADMAP.md): build + vet + tests, plus
 # a one-iteration fleet bench so the benchmark code compiles and runs
-# on every PR. `make race` adds the concurrency stress pass that covers
-# the multi-tenant scheduler.
+# on every PR, and the determinism audit over the robustness matrix.
+# `make race` adds the concurrency stress pass that covers the
+# multi-tenant scheduler.
 
 GO ?= go
 
-.PHONY: tier1 build vet test bench-smoke race bench fleet-bench
+.PHONY: tier1 build vet test bench-smoke audit race bench fleet-bench
 
-tier1: build vet test bench-smoke
+tier1: build vet test bench-smoke audit
 
 build:
 	$(GO) build ./...
@@ -22,6 +23,12 @@ test:
 # benchmark harness without paying for a real measurement.
 bench-smoke:
 	$(GO) test -run=NONE -bench=Fleet -benchtime=1x ./internal/fleet/
+
+# Determinism audit: run the robustness matrix twice per topology with
+# the event auditor attached and fail on the first divergent event
+# (see README "Observability").
+audit:
+	$(GO) run ./cmd/riskbench -audit -workers 4
 
 race:
 	$(GO) test -race ./...

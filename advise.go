@@ -226,10 +226,10 @@ func TuneParameters(n *Network, owner UserID, priorLabels map[UserID]Label) (Tun
 // Apply copies the tuned parameters onto an Options value.
 func (t TunedParameters) Apply(opts Options) Options {
 	if t.Alpha > 0 {
-		opts.Alpha = t.Alpha
+		opts.Pooling.Alpha = t.Alpha
 	}
 	if t.Beta > 0 {
-		opts.Beta = t.Beta
+		opts.Pooling.Beta = t.Beta
 	}
 	return opts
 }

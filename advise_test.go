@@ -1,6 +1,7 @@
 package sight
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -51,7 +52,7 @@ func reportFixture(t *testing.T) (*Network, *Report) {
 		}
 		return NotRisky
 	})
-	rep, err := EstimateRisk(net, owner, ann, DefaultOptions())
+	rep, err := EstimateRisk(context.Background(), net, owner, ann, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,10 +160,10 @@ func TestTuneParametersFacade(t *testing.T) {
 
 	// Apply copies only the tuned knobs.
 	opts := tuned.Apply(DefaultOptions())
-	if opts.Alpha != tuned.Alpha || opts.Beta != tuned.Beta {
+	if opts.Pooling.Alpha != tuned.Alpha || opts.Pooling.Beta != tuned.Beta {
 		t.Fatal("Apply did not copy parameters")
 	}
-	if opts.PerRound != DefaultOptions().PerRound {
+	if opts.Learning.PerRound != DefaultOptions().Learning.PerRound {
 		t.Fatal("Apply clobbered unrelated options")
 	}
 
@@ -186,7 +187,7 @@ func TestTunedOptionsRunEndToEnd(t *testing.T) {
 	}
 	opts := tuned.Apply(DefaultOptions())
 	ann := AnnotatorFunc(func(UserID) Label { return Risky })
-	rep2, err := EstimateRisk(net, rep.Owner, ann, opts)
+	rep2, err := EstimateRisk(context.Background(), net, rep.Owner, ann, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,7 @@ import (
 	"sightrisk/internal/active"
 	"sightrisk/internal/core"
 	"sightrisk/internal/experiments"
+	"sightrisk/internal/obs"
 	"sightrisk/internal/synthetic"
 )
 
@@ -292,6 +293,47 @@ func BenchmarkEstimateRiskParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEstimateRiskObserver measures the cost of the observability
+// layer on the single-owner parallel pipeline: detached (the nil
+// observer, which must stay within noise of the pre-observability
+// engine), an in-memory ring with stage digests, and counters-only
+// metrics. The nil/ring delta is the number quoted in EXPERIMENTS.md.
+func BenchmarkEstimateRiskObserver(b *testing.B) {
+	env := freshEnv(b, 1, 400)
+	o := env.Study.Owners[0]
+	run := func(b *testing.B, mutate func(*core.Config)) {
+		cfg := env.Cfg
+		cfg.Workers = 4
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		engine := core.New(cfg)
+		// One warmup run so every variant measures against the same warm
+		// weight cache (the Env's cache is shared across sub-benchmarks).
+		if _, err := engine.RunOwner(context.Background(), env.Study.Graph, env.Study.Profiles, o.ID, active.Infallible(o), o.Confidence); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.RunOwner(context.Background(), env.Study.Graph, env.Study.Profiles, o.ID, active.Infallible(o), o.Confidence); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("observer=nil", func(b *testing.B) { run(b, nil) })
+	b.Run("observer=ring", func(b *testing.B) {
+		ring := obs.NewRing(1 << 15)
+		run(b, func(cfg *core.Config) {
+			cfg.Observer = ring
+			cfg.Trace.Digests = true
+		})
+	})
+	b.Run("observer=metrics", func(b *testing.B) {
+		m := &obs.Metrics{}
+		run(b, func(cfg *core.Config) { cfg.Metrics = m })
+	})
 }
 
 // BenchmarkAblationClassifiers compares the harmonic classifier to the

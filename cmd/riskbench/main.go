@@ -37,6 +37,7 @@ import (
 	"sightrisk/internal/core"
 	"sightrisk/internal/experiments"
 	"sightrisk/internal/faults"
+	"sightrisk/internal/obs"
 	"sightrisk/internal/parallel"
 	"sightrisk/internal/profile"
 	"sightrisk/internal/stats"
@@ -59,7 +60,18 @@ func main() {
 	tenants := flag.Int("tenants", 0, "fleet mode: run N tenant replicas through the multi-tenant scheduler and compare against sequential single-owner runs (skips the experiment steps)")
 	tenantRTT := flag.Duration("tenant-rtt", 20*time.Millisecond, "fleet mode: simulated annotator round-trip latency (the fleet batches questions across owners into one round-trip; the serial baseline pays it per question); 0 disables the transport")
 	benchOut := flag.String("bench-out", "BENCH_fleet.json", "fleet mode: where to write the throughput trajectory JSON")
+	traceOut := flag.String("trace-out", "", "write the structured run-event stream (JSONL, one event per line) to this file")
+	metricsOut := flag.String("metrics-out", "", "write the per-stage metrics snapshot (JSON) to this file at exit")
+	audit := flag.Bool("audit", false, "determinism-audit mode: run the robustness matrix twice per topology with the event auditor attached and report the first divergence (skips the experiment steps; non-zero exit on divergence)")
 	flag.Parse()
+
+	if *audit {
+		if err := runAudit(*seed, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "riskbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *tenants > 0 {
 		if err := runFleetBench(*scale, *seed, *tenants, *workers, *tenantRTT, *benchOut); err != nil {
@@ -75,6 +87,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "riskbench:", err)
 		os.Exit(1)
 	}
+	var metrics *obs.Metrics
+	if *metricsOut != "" {
+		metrics = &obs.Metrics{}
+		metrics.Publish("sightrisk")
+		env.Cfg.Metrics = metrics
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riskbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracer := obs.NewTracer(f)
+		env.Cfg.Observer = tracer
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "riskbench: trace:", err)
+			}
+		}()
+	}
+	defer func() {
+		if metrics == nil {
+			return
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riskbench:", err)
+			return
+		}
+		defer f.Close()
+		if err := metrics.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "riskbench: metrics:", err)
+		}
+	}()
 	if *faultProb > 0 || *faultLatency > 0 || *faultAbandon > 0 {
 		fcfg := faults.Config{
 			Seed:         *faultSeed,
@@ -202,6 +249,40 @@ func printRobustness(scale string, seed int64, workers int) error {
 			stats.Pct(r.ExactMatch), fmtNaN(r.MeanRounds, "%.2f"), fmtNaN(r.MeanLabels, "%.1f"))
 	}
 	fmt.Println(t)
+	return nil
+}
+
+// runAudit is -audit mode: the determinism auditor over the same
+// configuration printRobustness uses, two full runs per topology
+// diffed event by event. Exits non-zero when any topology diverges.
+func runAudit(seed int64, workers int) error {
+	cfg := synthetic.SmallStudyConfig()
+	cfg.Owners = 6
+	cfg.Seed = seed
+	coreCfg := core.DefaultConfig()
+	coreCfg.Workers = workers
+	verdicts, err := experiments.AuditRobustness(cfg, coreCfg)
+	if err != nil {
+		return err
+	}
+	diverged := false
+	for _, v := range verdicts {
+		status := "PASS"
+		if !v.Passed {
+			status = "DIVERGED"
+			diverged = true
+		}
+		fmt.Printf("audit %-12s %-8s (%d events per run)\n", v.Topology, status, v.Events)
+		if v.Detail != "" {
+			for _, line := range strings.Split(v.Detail, "\n") {
+				fmt.Println("  " + line)
+			}
+		}
+	}
+	if diverged {
+		return fmt.Errorf("determinism audit failed")
+	}
+	fmt.Println("determinism audit passed: both runs of every topology were bit-identical")
 	return nil
 }
 

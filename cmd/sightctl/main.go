@@ -178,9 +178,9 @@ func cmdRun(args []string) error {
 	opts.Seed = *seed
 	switch *strategy {
 	case "npp":
-		opts.Strategy = sight.PoolNPP
+		opts.Pooling.Strategy = sight.PoolNPP
 	case "nsp":
-		opts.Strategy = sight.PoolNSP
+		opts.Pooling.Strategy = sight.PoolNSP
 	default:
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
@@ -202,7 +202,7 @@ func cmdRun(args []string) error {
 		if !ok {
 			return fmt.Errorf("owner %d not in dataset", id)
 		}
-		opts.Confidence = rec.Confidence
+		opts.Learning.Confidence = rec.Confidence
 		var ann sight.Annotator = dataset.StoredAnnotator{Labels: rec.Labels, Fallback: label.Risky}
 		if *interactive {
 			theta := make(benefit.Theta, len(rec.Theta))
@@ -214,7 +214,7 @@ func cmdRun(args []string) error {
 			}
 			ann = prompt.New(os.Stdin, os.Stdout, ds.Graph, store, id, theta)
 		}
-		opts.Checkpoint, opts.Resume = nil, nil
+		opts.Checkpointing.Sink, opts.Checkpointing.Resume = nil, nil
 		if *checkpoint != "" {
 			path := *checkpoint
 			if _, statErr := os.Stat(path); statErr == nil {
@@ -222,17 +222,17 @@ func cmdRun(args []string) error {
 				if err != nil {
 					return err
 				}
-				opts.Resume = cp
+				opts.Checkpointing.Resume = cp
 				fmt.Printf("resuming owner %d from %s (%d pools checkpointed)\n", id, path, len(cp.Pools))
 			}
 			// The sink persists after every round, so the file always
 			// holds the latest completed state — nothing extra to do on
 			// a signal.
-			opts.Checkpoint = func(c *sight.Checkpoint) error {
+			opts.Checkpointing.Sink = func(c *sight.Checkpoint) error {
 				return sight.SaveCheckpoint(path, c)
 			}
 		}
-		rep, err := sight.EstimateRiskContext(ctx, net, id, sight.Infallible(ann), opts)
+		rep, err := sight.EstimateRisk(ctx, net, id, ann, opts)
 		if err != nil {
 			return err
 		}

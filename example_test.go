@@ -1,6 +1,7 @@
 package sight_test
 
 import (
+	"context"
 	"fmt"
 
 	"sightrisk"
@@ -40,7 +41,7 @@ func ExampleEstimateRisk() {
 		return sight.NotRisky
 	})
 
-	report, err := sight.EstimateRisk(net, owner, judge, sight.DefaultOptions())
+	report, err := sight.EstimateRisk(context.Background(), net, owner, judge, sight.DefaultOptions())
 	if err != nil {
 		panic(err)
 	}

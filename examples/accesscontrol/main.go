@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -37,8 +38,8 @@ func main() {
 	net := sight.WrapNetwork(study.Graph, study.Profiles)
 
 	opts := sight.DefaultOptions()
-	opts.Confidence = owner.Confidence
-	report, err := sight.EstimateRisk(net, owner.ID, owner, opts)
+	opts.Learning.Confidence = owner.Confidence
+	report, err := sight.EstimateRisk(context.Background(), net, owner.ID, owner, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -78,7 +79,7 @@ func main() {
 	fmt.Println("attitude    labels asked  rounds  not risky  risky  very risky")
 	for _, att := range attitudes {
 		opts := sight.DefaultOptions()
-		report, err := sight.EstimateRisk(net, ownerID, att.ann, opts)
+		report, err := sight.EstimateRisk(context.Background(), net, ownerID, att.ann, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

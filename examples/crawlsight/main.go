@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 	fmt.Println("tick   discovered  coverage  labels asked  not/risky/very")
 
 	opts := sight.DefaultOptions()
-	opts.Confidence = owner.Confidence
+	opts.Learning.Confidence = owner.Confidence
 	for phase := 1; phase <= 6; phase++ {
 		c.RunUntil(phase*80, 200)
 		st := c.Stats()
@@ -51,7 +52,7 @@ func main() {
 		// snapshot grows — only coverage changes.
 		knownGraph, knownProfiles := c.Known()
 		net := sight.WrapNetwork(knownGraph, knownProfiles)
-		report, err := sight.EstimateRisk(net, owner.ID, owner, opts)
+		report, err := sight.EstimateRisk(context.Background(), net, owner.ID, owner, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -44,8 +45,8 @@ func main() {
 	net := sight.WrapNetwork(study.Graph, study.Profiles)
 
 	opts := sight.DefaultOptions()
-	opts.Confidence = owner.Confidence
-	report, err := sight.EstimateRisk(net, owner.ID, owner, opts)
+	opts.Learning.Confidence = owner.Confidence
+	report, err := sight.EstimateRisk(context.Background(), net, owner.ID, owner, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -82,7 +83,7 @@ func main() {
 		}
 	})
 
-	report, err := sight.EstimateRisk(net, alice, alicesJudgment, sight.DefaultOptions())
+	report, err := sight.EstimateRisk(context.Background(), net, alice, alicesJudgment, sight.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

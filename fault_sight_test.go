@@ -27,18 +27,18 @@ func TestOptionsValidate(t *testing.T) {
 		t.Fatalf("default options rejected: %v", err)
 	}
 	mutations := map[string]func(*Options){
-		"alpha":          func(o *Options) { o.Alpha = 0 },
-		"beta":           func(o *Options) { o.Beta = -1 },
-		"strategy":       func(o *Options) { o.Strategy = PoolStrategy(99) },
-		"per round":      func(o *Options) { o.PerRound = 0 },
-		"confidence":     func(o *Options) { o.Confidence = 150 },
-		"stable rounds":  func(o *Options) { o.StableRounds = 0 },
-		"rmse threshold": func(o *Options) { o.RMSEThreshold = 0 },
-		"sampler":        func(o *Options) { o.Sampler = "psychic" },
-		"stopper":        func(o *Options) { o.Stopper = "never" },
+		"alpha":          func(o *Options) { o.Pooling.Alpha = 0 },
+		"beta":           func(o *Options) { o.Pooling.Beta = -1 },
+		"strategy":       func(o *Options) { o.Pooling.Strategy = PoolStrategy(99) },
+		"per round":      func(o *Options) { o.Learning.PerRound = 0 },
+		"confidence":     func(o *Options) { o.Learning.Confidence = 150 },
+		"stable rounds":  func(o *Options) { o.Learning.StableRounds = 0 },
+		"rmse threshold": func(o *Options) { o.Learning.RMSEThreshold = 0 },
+		"sampler":        func(o *Options) { o.Learning.Sampler = "psychic" },
+		"stopper":        func(o *Options) { o.Learning.Stopper = "never" },
 		"workers":        func(o *Options) { o.Workers = -2 },
 		"retry jitter":   func(o *Options) { o.Retry.Jitter = 7 },
-		"abandon grace":  func(o *Options) { o.AbandonGrace = -time.Second },
+		"abandon grace":  func(o *Options) { o.Checkpointing.AbandonGrace = -time.Second },
 	}
 	for name, mutate := range mutations {
 		opts := DefaultOptions()
@@ -48,7 +48,7 @@ func TestOptionsValidate(t *testing.T) {
 		}
 		// EstimateRisk itself refuses them too.
 		net, owner := demoNetwork(t, 4, 30)
-		if _, err := EstimateRisk(net, owner, AnnotatorFunc(riskByID), opts); err == nil {
+		if _, err := EstimateRisk(context.Background(), net, owner, AnnotatorFunc(riskByID), opts); err == nil {
 			t.Errorf("%s: EstimateRisk accepted bad options", name)
 		}
 	}
@@ -122,7 +122,7 @@ func TestEstimateRiskContextAbandonment(t *testing.T) {
 func TestCheckpointPublicRoundtripResume(t *testing.T) {
 	net, owner := demoNetwork(t, 5, 80)
 	opts := DefaultOptions()
-	clean, err := EstimateRisk(net, owner, AnnotatorFunc(riskByID), opts)
+	clean, err := EstimateRisk(context.Background(), net, owner, AnnotatorFunc(riskByID), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestCheckpointPublicRoundtripResume(t *testing.T) {
 		return riskByID(s), nil
 	})
 	iopts := opts
-	iopts.Checkpoint = func(c *Checkpoint) error { return SaveCheckpoint(path, c) }
+	iopts.Checkpointing.Sink = func(c *Checkpoint) error { return SaveCheckpoint(path, c) }
 	rep, err := EstimateRiskContext(context.Background(), net, owner, abandoning, iopts)
 	if err != nil {
 		t.Fatal(err)
@@ -155,7 +155,7 @@ func TestCheckpointPublicRoundtripResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	ropts := opts
-	ropts.Resume = cp
+	ropts.Checkpointing.Resume = cp
 	reasked := 0
 	resumeAnn := FallibleAnnotatorFunc(func(_ context.Context, s UserID) (Label, error) {
 		reasked++

@@ -1,6 +1,7 @@
 package sight
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -37,7 +38,7 @@ func TestInteractiveFlowEndToEnd(t *testing.T) {
 	var out strings.Builder
 	ann := prompt.New(strings.NewReader(script.String()), &out, study.Graph, study.Profiles, owner.ID, nil)
 
-	rep, err := EstimateRisk(net, owner.ID, ann, DefaultOptions())
+	rep, err := EstimateRisk(context.Background(), net, owner.ID, ann, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,16 +87,16 @@ func TestDatasetRoundTripThroughEngine(t *testing.T) {
 	}
 
 	opts := DefaultOptions()
-	opts.Confidence = owner.Confidence
+	opts.Learning.Confidence = owner.Confidence
 
 	liveNet := WrapNetwork(study.Graph, study.Profiles)
-	liveRep, err := EstimateRisk(liveNet, owner.ID, owner, opts)
+	liveRep, err := EstimateRisk(context.Background(), liveNet, owner.ID, owner, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	storedNet := WrapNetwork(back.Graph, back.ProfileStore())
 	storedAnn := dataset.StoredAnnotator{Labels: rec.Labels, Fallback: label.Risky}
-	storedRep, err := EstimateRisk(storedNet, owner.ID, storedAnn, opts)
+	storedRep, err := EstimateRisk(context.Background(), storedNet, owner.ID, storedAnn, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,8 +134,8 @@ func TestCrawlerSnapshotThroughEngine(t *testing.T) {
 	net := WrapNetwork(knownGraph, knownProfiles)
 
 	opts := DefaultOptions()
-	opts.Confidence = owner.Confidence
-	rep, err := EstimateRisk(net, owner.ID, owner, opts)
+	opts.Learning.Confidence = owner.Confidence
+	rep, err := EstimateRisk(context.Background(), net, owner.ID, owner, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestCrawlerSnapshotThroughEngine(t *testing.T) {
 func TestReportJSONRoundTrip(t *testing.T) {
 	net, owner := demoNetwork(t, 4, 30)
 	ann := AnnotatorFunc(func(UserID) Label { return Risky })
-	rep, err := EstimateRisk(net, owner, ann, DefaultOptions())
+	rep, err := EstimateRisk(context.Background(), net, owner, ann, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@ import (
 	"sightrisk/internal/classify"
 	"sightrisk/internal/graph"
 	"sightrisk/internal/label"
+	"sightrisk/internal/obs"
 )
 
 // Annotator supplies owner risk judgments. Implementations may be a
@@ -98,6 +99,18 @@ type Config struct {
 	// error (a failed checkpoint write should stop the run, not
 	// silently lose durability).
 	AfterRound func(Round) error
+	// Observe, when non-nil, receives the session's structured events:
+	// one KindQuery per owner label collected and one KindRound per
+	// completed round. The engine decorates the hook with tenant, owner
+	// and pool attribution before forwarding to its Observer; events
+	// are emitted from the session goroutine in session order. Nil
+	// costs nothing on the query/round hot path.
+	Observe func(obs.Event)
+	// Digests, when true, attaches an order-sensitive FNV-64a digest of
+	// each round's predictions (label + expected value per member, in
+	// member order) to the round events — the determinism auditor's
+	// per-round fingerprint of classifier output and tie-breaks.
+	Digests bool
 }
 
 // DefaultConfig returns the paper's experimental setting: 3 labels per
@@ -317,9 +330,24 @@ func (s *Session) RunContext(ctx context.Context) (*Result, error) {
 			res.OwnerLabeled[m] = true
 			res.Predicted[m] = clampedPrediction(l)
 			tr.Queried = append(tr.Queried, m)
+			if s.cfg.Observe != nil {
+				s.cfg.Observe(obs.Event{Kind: obs.KindQuery, Round: 1, User: int64(m), Label: int(l)})
+			}
 		}
 		res.Reason = StopTrivial
 		res.Rounds = []Round{tr}
+		if s.cfg.Observe != nil {
+			var dig obs.Digest
+			if s.cfg.Digests {
+				d := obs.NewDigest()
+				for _, m := range s.members {
+					p := res.Predicted[m]
+					d = d.Int(int64(p.Label)).Float(p.Expected)
+				}
+				dig = d
+			}
+			s.cfg.Observe(obs.Event{Kind: obs.KindRound, Round: 1, N: -1, Value: -1, Digest: dig})
+		}
 		if s.cfg.AfterRound != nil {
 			if err := s.cfg.AfterRound(tr); err != nil {
 				return nil, err
@@ -391,6 +419,9 @@ func (s *Session) RunContext(ctx context.Context) (*Result, error) {
 			}
 			labeled[idx] = l
 			tr.Queried = append(tr.Queried, m)
+			if s.cfg.Observe != nil {
+				s.cfg.Observe(obs.Event{Kind: obs.KindQuery, Round: round, User: int64(m), Label: int(l)})
+			}
 			if prev != nil {
 				d := float64(l - prev[idx].Label)
 				sqErr += d * d
@@ -443,6 +474,13 @@ func (s *Session) RunContext(ctx context.Context) (*Result, error) {
 		}
 		prev = preds
 		res.Rounds = append(res.Rounds, tr)
+		if s.cfg.Observe != nil {
+			rmse := tr.RMSE
+			if math.IsNaN(rmse) {
+				rmse = -1 // JSON cannot carry NaN; -1 marks "no validation"
+			}
+			s.cfg.Observe(obs.Event{Kind: obs.KindRound, Round: round, N: tr.Unstabilized, Value: rmse, Digest: s.predsDigest(preds)})
+		}
 		if s.cfg.AfterRound != nil {
 			if err := s.cfg.AfterRound(tr); err != nil {
 				return nil, err
@@ -481,6 +519,21 @@ func (s *Session) RunContext(ctx context.Context) (*Result, error) {
 		res.Labels[m] = prev[i].Label
 	}
 	return res, nil
+}
+
+// predsDigest folds a prediction pass into an order-sensitive
+// fingerprint (label plus expected-value bits per member, in member
+// order); zero when digests are disabled. ULP-level differences in the
+// harmonic solution — the raw material of tie-break flips — change it.
+func (s *Session) predsDigest(preds []classify.Prediction) obs.Digest {
+	if !s.cfg.Digests {
+		return 0
+	}
+	d := obs.NewDigest()
+	for _, p := range preds {
+		d = d.Int(int64(p.Label)).Float(p.Expected)
+	}
+	return d
 }
 
 func clampedPrediction(l label.Label) classify.Prediction {

@@ -80,6 +80,14 @@ func (p RetryPolicy) enabled() bool {
 // through immediately. A policy that is effectively disabled returns
 // the annotator unchanged.
 func WithRetry(inner FallibleAnnotator, p RetryPolicy) FallibleAnnotator {
+	return WithRetryHook(inner, p, nil)
+}
+
+// WithRetryHook is WithRetry with an observation hook: onRetry, when
+// non-nil, fires once per re-attempt decision (after a transient
+// failure, before the backoff sleep). The engine's metrics layer counts
+// annotator retries through it.
+func WithRetryHook(inner FallibleAnnotator, p RetryPolicy, onRetry func()) FallibleAnnotator {
 	if !p.enabled() {
 		return inner
 	}
@@ -87,14 +95,15 @@ func WithRetry(inner FallibleAnnotator, p RetryPolicy) FallibleAnnotator {
 	if sleep == nil {
 		sleep = timerSleep
 	}
-	return &retrier{inner: inner, p: p, sleep: sleep, rng: rand.New(rand.NewSource(p.Seed))}
+	return &retrier{inner: inner, p: p, sleep: sleep, rng: rand.New(rand.NewSource(p.Seed)), onRetry: onRetry}
 }
 
 type retrier struct {
-	inner FallibleAnnotator
-	p     RetryPolicy
-	sleep func(context.Context, time.Duration) error
-	rng   *rand.Rand
+	inner   FallibleAnnotator
+	p       RetryPolicy
+	sleep   func(context.Context, time.Duration) error
+	rng     *rand.Rand
+	onRetry func()
 }
 
 func (r *retrier) LabelStranger(ctx context.Context, s graph.UserID) (label.Label, error) {
@@ -130,6 +139,9 @@ func (r *retrier) LabelStranger(ctx context.Context, s graph.UserID) (label.Labe
 		retriable := IsTransient(err) || errors.Is(err, context.DeadlineExceeded)
 		if !retriable || attempt >= attempts {
 			return 0, err
+		}
+		if r.onRetry != nil {
+			r.onRetry()
 		}
 		if serr := r.sleep(ctx, r.jittered(delay)); serr != nil {
 			return 0, serr

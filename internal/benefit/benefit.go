@@ -66,9 +66,17 @@ func (t Theta) Validate() error {
 // Normalized returns a copy scaled so coefficients sum to 1 (unchanged
 // when the sum is 0).
 func (t Theta) Normalized() Theta {
+	// Sum in sorted key order: float addition is not associative, so a
+	// map-order sum would make normalized coefficients differ at the ULP
+	// level between runs.
+	keys := make([]profile.Item, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	sum := 0.0
-	for _, v := range t {
-		sum += v
+	for _, k := range keys {
+		sum += t[k]
 	}
 	out := make(Theta, len(t))
 	for k, v := range t {

@@ -55,6 +55,12 @@ type Harmonic struct {
 	// MinWeight drops edges below this weight, sparsifying the graph
 	// (0 keeps everything).
 	MinWeight float64
+	// Iterations, when non-nil, is invoked after every solve with the
+	// number of Jacobi iterations executed — the engine's observability
+	// layer counts solver work through it. The hook may be called from
+	// concurrent sessions sharing this instance, so it must be
+	// thread-safe (the engine's hook only touches atomics).
+	Iterations func(iters int)
 }
 
 // NewHarmonic returns a Harmonic classifier with default settings.
@@ -128,7 +134,9 @@ func (h *Harmonic) PredictFrom(weights [][]float64, labeled map[int]label.Label,
 		f[i] = [3]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
 	}
 
+	iters := 0
 	for iter := 0; iter < maxIter; iter++ {
+		iters++
 		maxDelta := 0.0
 		for i := 0; i < n; i++ {
 			if _, ok := labeled[i]; ok {
@@ -167,6 +175,9 @@ func (h *Harmonic) PredictFrom(weights [][]float64, labeled map[int]label.Label,
 		if maxDelta < tol {
 			break
 		}
+	}
+	if h.Iterations != nil {
+		h.Iterations(iters)
 	}
 
 	return decisions(f, labeled), nil

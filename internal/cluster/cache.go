@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 
+	"sightrisk/internal/obs"
 	"sightrisk/internal/profile"
 	"sightrisk/internal/similarity"
 )
@@ -34,6 +35,16 @@ type WeightCache struct {
 	entries map[[sha256.Size]byte]*weightEntry
 	hits    uint64
 	misses  uint64
+	metrics *obs.Metrics
+}
+
+// SetMetrics mirrors hit/miss counts into m (in addition to the
+// cache's own Stats). The engine wires its configured Metrics in here
+// automatically; passing nil detaches.
+func (c *WeightCache) SetMetrics(m *obs.Metrics) {
+	c.mu.Lock()
+	c.metrics = m
+	c.mu.Unlock()
 }
 
 type weightEntry struct {
@@ -93,6 +104,9 @@ func (c *WeightCache) entry(store *profile.Store, pool Pool, attrs []profile.Att
 	if ok {
 		c.mu.Lock()
 		c.hits++
+		if c.metrics != nil {
+			c.metrics.CacheHits.Add(1)
+		}
 		c.mu.Unlock()
 		return e, nil
 	}
@@ -118,9 +132,15 @@ func (c *WeightCache) entry(store *profile.Store, pool Pool, attrs []profile.Att
 	if prev, raced := c.entries[key]; raced {
 		// Another goroutine built the same content first; keep one copy.
 		c.hits++
+		if c.metrics != nil {
+			c.metrics.CacheHits.Add(1)
+		}
 		return prev, nil
 	}
 	c.misses++
+	if c.metrics != nil {
+		c.metrics.CacheMisses.Add(1)
+	}
 	c.entries[key] = built
 	return built, nil
 }

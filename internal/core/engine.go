@@ -17,6 +17,7 @@ import (
 	"sightrisk/internal/cluster"
 	"sightrisk/internal/graph"
 	"sightrisk/internal/label"
+	"sightrisk/internal/obs"
 	"sightrisk/internal/parallel"
 	"sightrisk/internal/profile"
 	"sightrisk/internal/stats"
@@ -93,6 +94,22 @@ type Config struct {
 	// never started after cancellation regardless. 0 means in-flight
 	// queries are canceled immediately with the run.
 	AbandonGrace time.Duration
+	// Observer, when non-nil, receives the structured event stream of
+	// the run: run/pool boundaries, every owner query, every learning
+	// round. The stream is identical for every Workers value on complete
+	// runs — the parallel path buffers per-pool events and flushes them
+	// in pool order. Nil costs nothing (no events are built).
+	Observer obs.Observer
+	// Trace tunes what the Observer stream carries (e.g. order-sensitive
+	// stage digests for the determinism auditor).
+	Trace obs.TraceConfig
+	// Metrics, when non-nil, accumulates lock-free per-stage counters
+	// across runs (pool builds, rounds, queries, solver iterations,
+	// cache hits, retries). Shared safely by concurrent engines.
+	Metrics *obs.Metrics
+	// Tenant stamps every emitted event with a tenant identity; the
+	// fleet scheduler sets it so multi-tenant streams stay attributable.
+	Tenant string
 }
 
 // DefaultConfig returns the paper's experimental configuration.
@@ -331,6 +348,28 @@ func (e *Engine) RunOwner(ctx context.Context, g *graph.Graph, store *profile.St
 		learn.Confidence = confidence
 	}
 
+	if m := e.cfg.Metrics; m != nil {
+		m.Runs.Add(1)
+		m.NSBuilds.Add(uint64(len(strangers)))
+		m.PoolsBuilt.Add(uint64(len(pools)))
+		if e.cfg.Pool.Strategy == cluster.NPP {
+			m.SqueezerPasses.Add(uint64(nonEmptyGroups(nsg)))
+		}
+		for _, p := range pools {
+			m.PoolSizes.Observe(len(p.Members))
+		}
+		if e.cfg.Weights != nil {
+			e.cfg.Weights.SetMetrics(m)
+		}
+	}
+	if sink := e.cfg.Observer; sink != nil {
+		sink.Observe(obs.Event{Kind: obs.KindRunStart, Tenant: e.cfg.Tenant, Owner: int64(owner), N: len(strangers)})
+		if e.cfg.Trace.Digests {
+			sink.Observe(obs.Event{Kind: obs.KindNSG, Tenant: e.cfg.Tenant, Owner: int64(owner), N: nonEmptyGroups(nsg), Digest: nsgDigest(nsg)})
+			sink.Observe(obs.Event{Kind: obs.KindPools, Tenant: e.cfg.Tenant, Owner: int64(owner), N: len(pools), Digest: poolsDigest(pools)})
+		}
+	}
+
 	// Assemble the fault-tolerance middleware around the caller's
 	// annotator, innermost first: retries for transient failures, the
 	// abandonment grace window, then the shared abandonment latch. The
@@ -342,7 +381,11 @@ func (e *Engine) RunOwner(ctx context.Context, g *graph.Graph, store *profile.St
 	if e.cfg.Checkpoint != nil {
 		k = newCheckpointer(owner, e.cfg.Seed, e.cfg.Checkpoint)
 	}
-	base := active.WithRetry(ann, e.cfg.Retry)
+	var onRetry func()
+	if m := e.cfg.Metrics; m != nil {
+		onRetry = func() { m.Retries.Add(1) }
+	}
+	base := active.WithRetryHook(ann, e.cfg.Retry, onRetry)
 	if e.cfg.AbandonGrace > 0 {
 		base = graceAnnotator{grace: e.cfg.AbandonGrace, inner: base}
 	}
@@ -377,7 +420,83 @@ func (e *Engine) RunOwner(ctx context.Context, g *graph.Graph, store *profile.St
 	if err := k.flush(); err != nil {
 		return nil, err
 	}
+	if sink := e.cfg.Observer; sink != nil {
+		ev := obs.Event{Kind: obs.KindRunEnd, Tenant: e.cfg.Tenant, Owner: int64(owner), N: run.QueriedCount()}
+		if run.Partial {
+			ev.Note = "partial"
+		}
+		sink.Observe(ev)
+	}
 	return run, nil
+}
+
+// nonEmptyGroups counts the NSG groups that actually hold strangers —
+// the number of Squeezer passes NPP pooling performs.
+func nonEmptyGroups(nsg *cluster.NSG) int {
+	n := 0
+	for _, g := range nsg.Groups {
+		if len(g) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// nsgDigest fingerprints NSG membership: group index, size, and member
+// ids in stored order. Any assignment or ordering difference between
+// two runs changes it.
+func nsgDigest(nsg *cluster.NSG) obs.Digest {
+	d := obs.NewDigest()
+	for gi, g := range nsg.Groups {
+		d = d.Int(int64(gi)).Int(int64(len(g)))
+		for _, m := range g {
+			d = d.Int(int64(m))
+		}
+	}
+	return d
+}
+
+// poolsDigest fingerprints the pool partition: pool ids, sizes and
+// member order — the inputs every downstream stage depends on.
+func poolsDigest(pools []cluster.Pool) obs.Digest {
+	d := obs.NewDigest()
+	for _, p := range pools {
+		d = d.Str(p.ID()).Int(int64(len(p.Members)))
+		for _, m := range p.Members {
+			d = d.Int(int64(m))
+		}
+	}
+	return d
+}
+
+// poolObserve adapts sink into the active session's per-event hook,
+// stamping tenant/owner/pool identity onto every event. A nil sink
+// yields a nil hook so the session skips event construction entirely.
+func (e *Engine) poolObserve(sink obs.Observer, owner graph.UserID, poolID string) func(obs.Event) {
+	if sink == nil {
+		return nil
+	}
+	tenant := e.cfg.Tenant
+	return func(ev obs.Event) {
+		ev.Tenant = tenant
+		ev.Owner = int64(owner)
+		ev.Pool = poolID
+		sink.Observe(ev)
+	}
+}
+
+// newClassifier builds a fresh per-pool harmonic classifier, wired into
+// the metrics' solver counters when configured.
+func (e *Engine) newClassifier() *classify.Harmonic {
+	h := classify.NewHarmonic()
+	if m := e.cfg.Metrics; m != nil {
+		h.Iterations = func(iters int) {
+			m.HarmonicSolves.Add(1)
+			m.HarmonicIters.Add(uint64(iters))
+			m.SolveIters.Observe(iters)
+		}
+	}
+	return h
 }
 
 // poolWeights builds (or, with a shared Weights cache configured,
@@ -397,23 +516,43 @@ func (e *Engine) poolWeights(store *profile.Store, pool cluster.Pool, exp float6
 // complete.
 func (e *Engine) runPoolsSerial(ctx context.Context, run *OwnerRun, store *profile.Store, owner graph.UserID, pools []cluster.Pool, chain func(string) active.FallibleAnnotator, k *checkpointer, learn active.Config, exp float64) error {
 	labelsTotal := 0
+	sink := e.cfg.Observer
 	for pi, pool := range pools {
+		poolID := pool.ID()
 		if run.Partial {
 			run.Pools = append(run.Pools, PoolRun{Pool: pool, Result: emptyInterruptedResult(pool), Status: PoolPartial})
+			if sink != nil {
+				sink.Observe(obs.Event{Kind: obs.KindPoolStart, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(pool.Members)})
+				sink.Observe(obs.Event{Kind: obs.KindPoolEnd, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, Note: "interrupted"})
+			}
 			if e.cfg.Progress != nil {
 				e.cfg.Progress(pi+1, len(pools), labelsTotal)
 			}
 			continue
 		}
+		if sink != nil {
+			sink.Observe(obs.Event{Kind: obs.KindPoolStart, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(pool.Members)})
+		}
+		var wstart time.Time
+		if sink != nil {
+			wstart = time.Now()
+		}
 		weights, err := e.poolWeights(store, pool, exp)
 		if err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
-		poolID := pool.ID()
+		if sink != nil {
+			sink.Observe(obs.Event{Kind: obs.KindPoolWeights, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(pool.Members), Dur: time.Since(wstart)})
+		}
 		cfg := learn
 		cfg.Rand = rand.New(rand.NewSource(poolSeed(e.cfg.Seed, owner, pi)))
 		if k != nil {
 			cfg.AfterRound = func(r active.Round) error { return k.afterRound(poolID, r) }
+		}
+		cfg.Observe = e.poolObserve(sink, owner, poolID)
+		cfg.Digests = e.cfg.Trace.Digests
+		if cfg.Classifier == nil {
+			cfg.Classifier = e.newClassifier()
 		}
 		sess, err := active.NewSession(pool.Members, weights, chain(poolID), cfg)
 		if err != nil {
@@ -432,6 +571,15 @@ func (e *Engine) runPoolsSerial(ctx context.Context, run *OwnerRun, store *profi
 			run.Pools = append(run.Pools, PoolRun{Pool: pool, Result: res, Status: PoolPartial})
 		default:
 			return fmt.Errorf("core: pool %s: %w", poolID, err)
+		}
+		if sink != nil {
+			ev := obs.Event{Kind: obs.KindPoolEnd, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(res.Rounds), Note: string(res.Reason)}
+			sink.Observe(ev)
+		}
+		if m := e.cfg.Metrics; m != nil {
+			m.Rounds.Add(uint64(len(res.Rounds)))
+			m.RoundsPerPool.Observe(len(res.Rounds))
+			m.Queries.Add(uint64(res.QueriedCount()))
 		}
 		// Satellite fix: accumulate the owner-label total instead of
 		// rescanning every finished pool via run.QueriedCount().

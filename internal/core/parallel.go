@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"sightrisk/internal/active"
 	"sightrisk/internal/classify"
 	"sightrisk/internal/cluster"
 	"sightrisk/internal/graph"
 	"sightrisk/internal/label"
+	"sightrisk/internal/obs"
 	"sightrisk/internal/parallel"
 	"sightrisk/internal/profile"
 )
@@ -47,7 +49,12 @@ import (
 // is canceled the gate is aborted, so sessions blocked waiting their
 // turn unblock promptly instead of waiting out other pools' compute.
 func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *profile.Store, owner graph.UserID, pools []cluster.Pool, chain func(string) active.FallibleAnnotator, k *checkpointer, learn active.Config, exp float64, workers int) error {
+	sink := e.cfg.Observer
 	weights := make([][][]float64, len(pools))
+	var durs []time.Duration
+	if sink != nil {
+		durs = make([]time.Duration, len(pools))
+	}
 	build := parallel.NewGroup(workers)
 	for i := range pools {
 		i := i
@@ -55,9 +62,16 @@ func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *pro
 			if build.Canceled() {
 				return parallel.ErrCanceled
 			}
+			var start time.Time
+			if durs != nil {
+				start = time.Now()
+			}
 			w, err := e.poolWeights(store, pools[i], exp)
 			if err != nil {
 				return fmt.Errorf("core: %w", err)
+			}
+			if durs != nil {
+				durs[i] = time.Since(start)
 			}
 			weights[i] = w
 			return nil
@@ -65,6 +79,17 @@ func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *pro
 	}
 	if err := build.Wait(); err != nil {
 		return err
+	}
+
+	// Each pool's events go into a private buffer, flushed to the real
+	// sink in pool order after every session finished — so the observed
+	// stream is identical to the serial path's, for any Workers value.
+	var bufs []*obs.Buffer
+	if sink != nil {
+		bufs = make([]*obs.Buffer, len(pools))
+		for i := range bufs {
+			bufs[i] = &obs.Buffer{}
+		}
 	}
 
 	gate := parallel.NewGate(len(pools))
@@ -108,12 +133,18 @@ func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *pro
 			cfg := learn
 			cfg.Rand = rand.New(rand.NewSource(poolSeed(e.cfg.Seed, owner, i)))
 			cfg.Classifier = &limitedClassifier{
-				inner:    sessionClassifier(learn.Classifier),
+				inner:    e.parallelClassifier(learn.Classifier),
 				limiter:  limiter,
 				canceled: sessions.Canceled,
 			}
 			if k != nil {
 				cfg.AfterRound = func(r active.Round) error { return k.afterRound(poolID, r) }
+			}
+			if bufs != nil {
+				bufs[i].Observe(obs.Event{Kind: obs.KindPoolStart, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(pools[i].Members)})
+				bufs[i].Observe(obs.Event{Kind: obs.KindPoolWeights, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(pools[i].Members), Dur: durs[i]})
+				cfg.Observe = e.poolObserve(bufs[i], owner, poolID)
+				cfg.Digests = e.cfg.Trace.Digests
 			}
 			ann := gatedAnnotator{gate: gate, slot: i, inner: chain(poolID)}
 			sess, err := active.NewSession(pools[i].Members, weights[i], ann, cfg)
@@ -133,12 +164,27 @@ func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *pro
 			default:
 				return fmt.Errorf("core: pool %s: %w", poolID, err)
 			}
+			if bufs != nil {
+				bufs[i].Observe(obs.Event{Kind: obs.KindPoolEnd, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(res.Rounds), Note: string(res.Reason)})
+			}
+			if m := e.cfg.Metrics; m != nil {
+				m.Rounds.Add(uint64(len(res.Rounds)))
+				m.RoundsPerPool.Observe(len(res.Rounds))
+				m.Queries.Add(uint64(res.QueriedCount()))
+			}
 			progress(res.QueriedCount())
 			return nil
 		})
 	}
 	if err := sessions.Wait(); err != nil {
 		return err
+	}
+	if bufs != nil {
+		// Flush per-pool buffers in pool order: the merged stream now
+		// reads exactly like the serial path's.
+		for _, b := range bufs {
+			b.FlushTo(sink)
+		}
 	}
 	run.Pools = runs
 	for _, cause := range causes {
@@ -151,17 +197,18 @@ func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *pro
 	return nil
 }
 
-// sessionClassifier mirrors active.NewSession's default: a nil
+// parallelClassifier mirrors active.NewSession's default: a nil
 // configured classifier means each session gets its own Harmonic
-// instance (so the warm-start scratch state is never shared). A
-// non-nil classifier is shared across concurrent sessions and must be
+// instance (so the warm-start scratch state is never shared), wired to
+// the engine's solver metrics like the serial path. A non-nil
+// classifier is shared across concurrent sessions and must be
 // stateless across Predict calls — true of every classifier in this
 // module (Harmonic, Majority, KNN keep no per-call state).
-func sessionClassifier(configured classify.Classifier) classify.Classifier {
+func (e *Engine) parallelClassifier(configured classify.Classifier) classify.Classifier {
 	if configured != nil {
 		return configured
 	}
-	return classify.NewHarmonic()
+	return e.newClassifier()
 }
 
 // gatedAnnotator routes one pool's owner queries through the rotation

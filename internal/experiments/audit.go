@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sightrisk/internal/core"
+	"sightrisk/internal/obs"
+	"sightrisk/internal/synthetic"
+)
+
+// AuditVerdict is the determinism auditor's outcome for one topology
+// of the robustness matrix.
+type AuditVerdict struct {
+	// Topology names the audited generator variant.
+	Topology string
+	// Passed reports that both runs were identical end to end: owner
+	// fingerprints, the full event trail (with stage digests), and the
+	// headline row.
+	Passed bool
+	// Events is the number of audited events per run.
+	Events int
+	// Detail localizes the divergence when Passed is false: the first
+	// owner whose study fingerprint differs (the source), and the first
+	// divergent pipeline event (the symptom).
+	Detail string
+}
+
+// AuditRobustness is the determinism audit: it executes the whole
+// robustness pipeline twice per topology — study generation, pooling,
+// every learning session, headline aggregation — with the event-trail
+// auditor attached and stage digests enabled, and diffs the two runs.
+//
+// Divergences are localized on two levels. The event trail pinpoints
+// the first pipeline event (query, round digest, pool digest) where the
+// runs disagree — the symptom, attributed to an exact owner, pool and
+// round. The per-owner study fingerprints (synthetic.Owner.Fingerprint)
+// say whether the divergence was born even earlier, in study
+// construction — the source. This is the harness that localized the
+// scale-free robustness flake to map-iteration-order float summation in
+// the synthetic owners' cut-point placement.
+func AuditRobustness(studyCfg synthetic.StudyConfig, coreCfg core.Config) ([]AuditVerdict, error) {
+	var out []AuditVerdict
+	for _, topo := range []synthetic.Topology{synthetic.Communities, synthetic.SmallWorld, synthetic.ScaleFree} {
+		cfg := studyCfg
+		cfg.Ego.Topology = topo
+		runA, err := auditedRun(cfg, coreCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: audit %s run A: %w", topo, err)
+		}
+		runB, err := auditedRun(cfg, coreCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: audit %s run B: %w", topo, err)
+		}
+
+		var detail []string
+		for i := range runA.study.Owners {
+			fa, fb := runA.study.Owners[i].Fingerprint(), runB.study.Owners[i].Fingerprint()
+			if fa != fb {
+				detail = append(detail, fmt.Sprintf("study build diverged at owner %d: fingerprint %016x vs %016x",
+					runA.study.Owners[i].ID, fa, fb))
+				break
+			}
+		}
+		if d, diverged := obs.FirstDivergence(runA.trail, runB.trail); diverged {
+			detail = append(detail, d.String())
+		} else if !rowsEqual(runA.row, runB.row) {
+			detail = append(detail, fmt.Sprintf("headline rows differ with identical event trails: %+v vs %+v", runA.row, runB.row))
+		}
+		out = append(out, AuditVerdict{
+			Topology: topo.String(),
+			Passed:   len(detail) == 0,
+			Events:   len(runA.trail),
+			Detail:   strings.Join(detail, "\n"),
+		})
+	}
+	return out, nil
+}
+
+// rowsEqual compares two rows bit-exactly, treating NaN as equal to
+// itself (a row with no validation comparisons must not read as a
+// divergence).
+func rowsEqual(a, b RobustnessRow) bool {
+	feq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.Topology == b.Topology &&
+		a.MaxOccupiedGroup == b.MaxOccupiedGroup &&
+		feq(a.Group1Share, b.Group1Share) &&
+		feq(a.ExactMatch, b.ExactMatch) &&
+		feq(a.MeanRounds, b.MeanRounds) &&
+		feq(a.MeanLabels, b.MeanLabels)
+}
+
+// auditedRun is one full robustness-row computation with the auditor
+// recording every event and stage digest.
+type auditedResult struct {
+	study *synthetic.Study
+	trail []obs.Record
+	row   RobustnessRow
+}
+
+func auditedRun(studyCfg synthetic.StudyConfig, coreCfg core.Config) (*auditedResult, error) {
+	env, err := NewEnv(studyCfg, coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	aud := obs.NewAuditor()
+	env.Cfg.Observer = aud
+	env.Cfg.Trace.Digests = true
+	fig4, err := Fig4(env)
+	if err != nil {
+		return nil, err
+	}
+	h, err := ComputeHeadline(env)
+	if err != nil {
+		return nil, err
+	}
+	row := RobustnessRow{
+		Topology:    studyCfg.Ego.Topology.String(),
+		Group1Share: fig4[0].Share,
+		ExactMatch:  h.ExactMatchRate,
+		MeanRounds:  h.MeanRounds,
+		MeanLabels:  h.MeanLabels,
+	}
+	for _, r := range fig4 {
+		if r.Count > 0 && r.Group > row.MaxOccupiedGroup {
+			row.MaxOccupiedGroup = r.Group
+		}
+	}
+	return &auditedResult{study: env.Study, trail: aud.Trail(), row: row}, nil
+}

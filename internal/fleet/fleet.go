@@ -51,6 +51,7 @@ import (
 	"sightrisk/internal/cluster"
 	"sightrisk/internal/core"
 	"sightrisk/internal/graph"
+	"sightrisk/internal/obs"
 	"sightrisk/internal/parallel"
 	"sightrisk/internal/profile"
 )
@@ -371,6 +372,10 @@ func dispatchAll(ctx context.Context, cfg Config, tenants []Tenant, jobs [][]*jo
 					if cfg.onDispatch != nil {
 						cfg.onDispatch(ti, j.index, true)
 					}
+					obs.Emit(cfg.Engine.Observer, obs.Event{Kind: obs.KindSkip, Tenant: tenants[ti].ID, Owner: int64(j.owner), N: j.cost, Note: string(SkipCost)})
+					if m := cfg.Engine.Metrics; m != nil {
+						m.FleetSkipped.Add(1)
+					}
 					heads[ti]++
 					remaining--
 					continue
@@ -385,6 +390,10 @@ func dispatchAll(ctx context.Context, cfg Config, tenants []Tenant, jobs [][]*jo
 				tr.CostDispatched += j.cost
 				if cfg.onDispatch != nil {
 					cfg.onDispatch(ti, j.index, false)
+				}
+				obs.Emit(cfg.Engine.Observer, obs.Event{Kind: obs.KindDispatch, Tenant: tenants[ti].ID, Owner: int64(j.owner), N: j.cost})
+				if m := cfg.Engine.Metrics; m != nil {
+					m.FleetDispatched.Add(1)
 				}
 				select {
 				case dispatch <- j:
@@ -411,6 +420,10 @@ type runner struct {
 	res     *Result
 	batch   *batcher
 	mu      sync.Mutex
+	// flushMu serializes per-job event-buffer flushes into the shared
+	// observer, keeping every owner run's events contiguous in the
+	// stream (worker goroutines would otherwise interleave them).
+	flushMu sync.Mutex
 }
 
 func (r *runner) queries(tenant int) int {
@@ -441,6 +454,10 @@ func (r *runner) run(ctx context.Context, j *job) {
 	}
 	if max := t.Budget.MaxQueries; max > 0 && r.queries(j.tenant) >= max {
 		tr.Skipped[j.index] = SkipQueries
+		obs.Emit(r.cfg.Observer, obs.Event{Kind: obs.KindSkip, Tenant: t.ID, Owner: int64(j.owner), N: j.cost, Note: string(SkipQueries)})
+		if m := r.cfg.Metrics; m != nil {
+			m.FleetSkipped.Add(1)
+		}
 		return
 	}
 	ann := j.ann
@@ -457,6 +474,19 @@ func (r *runner) run(ctx context.Context, j *job) {
 	}
 	ecfg := r.cfg
 	ecfg.Snapshot = t.Snapshot
+	ecfg.Tenant = t.ID
+	if base := r.cfg.Observer; base != nil {
+		// Buffer the whole owner run and flush it as one contiguous
+		// block, so concurrent jobs never interleave their events and
+		// every event carries its tenant/owner attribution intact.
+		buf := &obs.Buffer{}
+		ecfg.Observer = buf
+		defer func() {
+			r.flushMu.Lock()
+			buf.FlushTo(base)
+			r.flushMu.Unlock()
+		}()
+	}
 	run, err := core.New(ecfg).RunOwner(ctx, t.Graph, t.Store, j.owner, ann, j.confidence)
 	if err != nil {
 		tr.Errs[j.index] = err

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Record is one entry in an Auditor's trail: the canonicalized event
+// plus the running hash chain up to and including it. Two runs whose
+// chains agree at index i agree on every event up to i — so the first
+// index where chains differ is exactly the first divergent event.
+type Record struct {
+	// Index is the 0-based position in the trail.
+	Index int `json:"index"`
+	// Event is the canonical event (Seq/Time/Dur zeroed).
+	Event Event `json:"event"`
+	// Chain is the FNV-64a hash of every canonical event up to here.
+	Chain Digest `json:"chain"`
+}
+
+// Auditor is the determinism auditor's collecting sink: it
+// canonicalizes every event, folds it into a running hash chain and
+// keeps the full trail. Run the same pipeline twice with two Auditors
+// and hand both trails to FirstDivergence to pinpoint where — pool,
+// round, query or stage digest — the two runs first disagreed.
+// Safe for concurrent use.
+type Auditor struct {
+	mu    sync.Mutex
+	chain Digest
+	trail []Record
+}
+
+// NewAuditor returns an empty auditor.
+func NewAuditor() *Auditor { return &Auditor{chain: NewDigest()} }
+
+// Observe implements Observer.
+func (a *Auditor) Observe(ev Event) {
+	ev = ev.Canonical()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.chain = hashEvent(a.chain, ev)
+	a.trail = append(a.trail, Record{Index: len(a.trail), Event: ev, Chain: a.chain})
+}
+
+// Trail returns the recorded trail (shared slice; read-only).
+func (a *Auditor) Trail() []Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.trail
+}
+
+// Chain returns the running hash over the whole trail so far. Two runs
+// are event-identical iff their trail lengths and final chains match.
+func (a *Auditor) Chain() Digest {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.chain
+}
+
+// hashEvent folds one canonical event into the chain.
+func hashEvent(d Digest, ev Event) Digest {
+	return d.
+		Uint(uint64(ev.Kind)).
+		Str(ev.Tenant).
+		Int(ev.Owner).
+		Str(ev.Pool).
+		Int(int64(ev.Round)).
+		Int(ev.User).
+		Int(int64(ev.Label)).
+		Int(int64(ev.N)).
+		Float(ev.Value).
+		Uint(uint64(ev.Digest)).
+		Str(ev.Note)
+}
+
+// Divergence describes where two trails first disagree.
+type Divergence struct {
+	// Index is the 0-based position of the first differing record.
+	Index int
+	// A and B are the records at Index; one is nil when the shorter
+	// trail is a strict prefix of the longer.
+	A, B *Record
+}
+
+// String renders a one-line human explanation.
+func (d Divergence) String() string {
+	describe := func(r *Record) string {
+		if r == nil {
+			return "<trail ended>"
+		}
+		ev := r.Event
+		s := ev.Kind.String()
+		if ev.Tenant != "" {
+			s += fmt.Sprintf(" tenant=%s", ev.Tenant)
+		}
+		if ev.Owner != 0 {
+			s += fmt.Sprintf(" owner=%d", ev.Owner)
+		}
+		if ev.Pool != "" {
+			s += fmt.Sprintf(" pool=%s", ev.Pool)
+		}
+		if ev.Round != 0 {
+			s += fmt.Sprintf(" round=%d", ev.Round)
+		}
+		if ev.User != 0 {
+			s += fmt.Sprintf(" user=%d label=%d", ev.User, ev.Label)
+		}
+		if ev.Digest != 0 {
+			s += fmt.Sprintf(" digest=%016x", uint64(ev.Digest))
+		}
+		if ev.Value != 0 {
+			s += fmt.Sprintf(" value=%g", ev.Value)
+		}
+		if ev.N != 0 {
+			s += fmt.Sprintf(" n=%d", ev.N)
+		}
+		if ev.Note != "" {
+			s += fmt.Sprintf(" note=%q", ev.Note)
+		}
+		return s
+	}
+	return fmt.Sprintf("first divergence at event %d:\n  run A: %s\n  run B: %s",
+		d.Index, describe(d.A), describe(d.B))
+}
+
+// FirstDivergence compares two trails and returns the first position
+// where they disagree (diverged == true), or diverged == false when
+// the trails are identical in length and content.
+func FirstDivergence(a, b []Record) (Divergence, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Chain != b[i].Chain || a[i].Event != b[i].Event {
+			return Divergence{Index: i, A: &a[i], B: &b[i]}, true
+		}
+	}
+	if len(a) != len(b) {
+		d := Divergence{Index: n}
+		if len(a) > n {
+			d.A = &a[n]
+		}
+		if len(b) > n {
+			d.B = &b[n]
+		}
+		return d, true
+	}
+	return Divergence{Index: -1}, false
+}

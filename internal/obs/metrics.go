@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Metrics accumulates lock-free per-stage counters and histograms for
+// the whole pipeline: stranger NS builds, Squeezer passes,
+// harmonic-solver iterations, annotator retries, weight-cache
+// hits/misses and fleet scheduler decisions. One Metrics value is
+// typically shared by every engine (and the fleet) in a process; all
+// fields are independent atomics, so concurrent runs update them
+// without contention or locks.
+//
+// The zero value is ready to use. Export a snapshot via Publish
+// (expvar) or WriteJSON (riskbench -metrics-out).
+type Metrics struct {
+	// Runs counts completed RunOwner invocations (including partial
+	// runs).
+	Runs atomic.Uint64
+	// NSBuilds counts per-stranger network-similarity computations.
+	NSBuilds atomic.Uint64
+	// SqueezerPasses counts Squeezer invocations (one per non-empty NSG
+	// group under NPP pooling).
+	SqueezerPasses atomic.Uint64
+	// PoolsBuilt counts learning pools constructed.
+	PoolsBuilt atomic.Uint64
+	// Rounds counts completed learning rounds.
+	Rounds atomic.Uint64
+	// Queries counts owner labels collected.
+	Queries atomic.Uint64
+	// Retries counts annotator re-attempts after transient failures.
+	Retries atomic.Uint64
+	// HarmonicSolves counts classifier solves; HarmonicIters sums their
+	// Jacobi iteration counts.
+	HarmonicSolves atomic.Uint64
+	HarmonicIters  atomic.Uint64
+	// CacheHits / CacheMisses count shared weight-cache lookups.
+	CacheHits   atomic.Uint64
+	CacheMisses atomic.Uint64
+	// FleetDispatched / FleetSkipped count fleet scheduler decisions.
+	FleetDispatched atomic.Uint64
+	FleetSkipped    atomic.Uint64
+
+	// PoolSizes, RoundsPerPool and SolveIters are power-of-two-bucket
+	// histograms of pool membership counts, session lengths and solver
+	// iteration counts.
+	PoolSizes     Histogram
+	RoundsPerPool Histogram
+	SolveIters    Histogram
+}
+
+// histBuckets covers 0, 1, 2-3, 4-7, ... up to >= 2^15 — plenty for
+// pool sizes, round counts and solver iterations.
+const histBuckets = 17
+
+// Histogram is a lock-free power-of-two-bucket histogram: value v
+// lands in bucket bits.Len(v), so bucket b (for b >= 1) covers
+// [2^(b-1), 2^b). The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value (negatives count as 0).
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	idx := bits.Len(uint(v))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+}
+
+// Bucket is one non-empty histogram bucket covering [Lo, Hi].
+type Bucket struct {
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot returns the non-empty buckets, lowest first.
+func (h *Histogram) Snapshot() []Bucket {
+	var out []Bucket
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		lo, hi := 0, 0
+		if i > 0 {
+			lo = 1 << (i - 1)
+			hi = 1<<i - 1
+		}
+		if i == histBuckets-1 {
+			hi = int(^uint(0) >> 1)
+		}
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}
+
+// MetricsSnapshot is a point-in-time JSON-friendly copy of a Metrics.
+type MetricsSnapshot struct {
+	Runs            uint64   `json:"runs"`
+	NSBuilds        uint64   `json:"ns_builds"`
+	SqueezerPasses  uint64   `json:"squeezer_passes"`
+	PoolsBuilt      uint64   `json:"pools_built"`
+	Rounds          uint64   `json:"rounds"`
+	Queries         uint64   `json:"queries"`
+	Retries         uint64   `json:"retries"`
+	HarmonicSolves  uint64   `json:"harmonic_solves"`
+	HarmonicIters   uint64   `json:"harmonic_iters"`
+	CacheHits       uint64   `json:"cache_hits"`
+	CacheMisses     uint64   `json:"cache_misses"`
+	FleetDispatched uint64   `json:"fleet_dispatched"`
+	FleetSkipped    uint64   `json:"fleet_skipped"`
+	PoolSizes       []Bucket `json:"pool_sizes,omitempty"`
+	RoundsPerPool   []Bucket `json:"rounds_per_pool,omitempty"`
+	SolveIters      []Bucket `json:"solve_iters,omitempty"`
+}
+
+// Snapshot loads every counter once and returns the copy.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Runs:            m.Runs.Load(),
+		NSBuilds:        m.NSBuilds.Load(),
+		SqueezerPasses:  m.SqueezerPasses.Load(),
+		PoolsBuilt:      m.PoolsBuilt.Load(),
+		Rounds:          m.Rounds.Load(),
+		Queries:         m.Queries.Load(),
+		Retries:         m.Retries.Load(),
+		HarmonicSolves:  m.HarmonicSolves.Load(),
+		HarmonicIters:   m.HarmonicIters.Load(),
+		CacheHits:       m.CacheHits.Load(),
+		CacheMisses:     m.CacheMisses.Load(),
+		FleetDispatched: m.FleetDispatched.Load(),
+		FleetSkipped:    m.FleetSkipped.Load(),
+		PoolSizes:       m.PoolSizes.Snapshot(),
+		RoundsPerPool:   m.RoundsPerPool.Snapshot(),
+		SolveIters:      m.SolveIters.Snapshot(),
+	}
+}
+
+// WriteJSON writes an indented snapshot to w.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
+}
+
+// Publish registers the metrics under name in the process-wide expvar
+// registry, so any embedding server's /debug/vars endpoint exposes
+// them. Publishing an already-taken name is a no-op (expvar forbids
+// re-registration).
+func (m *Metrics) Publish(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceConfig tunes event emission. The zero value is the cheap
+// default: events carry counts and measurements but no digests.
+type TraceConfig struct {
+	// Digests, when true, makes producers attach order-sensitive FNV-64a
+	// digests of their intermediates (NSG membership, pool ordering,
+	// per-round predictions) to the trace — the determinism auditor's
+	// input. Off by default because human-facing traces don't need the
+	// extra hashing work.
+	Digests bool
+}
+
+// Tracer is the JSONL terminal sink: every observed event is stamped
+// with a sequence number and timestamp and encoded as one JSON line.
+// Safe for concurrent use; events from concurrent producers are
+// serialized under one lock, so lines never interleave.
+type Tracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	seq uint64
+	err error
+	now func() time.Time
+}
+
+// NewTracer returns a tracer writing JSONL to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{enc: json.NewEncoder(w), now: time.Now}
+}
+
+// Observe implements Observer. Encoding errors are sticky: the first
+// one is kept (see Err) and later events are dropped rather than
+// written to a broken sink.
+func (t *Tracer) Observe(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev.Seq = t.seq
+	if ev.Time.IsZero() {
+		ev.Time = t.now()
+	}
+	if t.err == nil {
+		t.err = t.enc.Encode(ev)
+	}
+}
+
+// Err returns the first write error, or nil.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Ring is the in-memory terminal sink: a fixed-capacity ring buffer
+// keeping the most recent events. Safe for concurrent use.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // events currently held
+	seq     uint64
+	dropped uint64
+	now     func() time.Time
+}
+
+// NewRing returns a ring holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity), now: time.Now}
+}
+
+// Observe implements Observer, evicting the oldest event when full.
+func (r *Ring) Observe(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	ev.Seq = r.seq
+	if ev.Time.IsZero() {
+		ev.Time = r.now()
+	}
+	if r.n == len(r.buf) {
+		r.buf[r.start] = ev
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+		return
+	}
+	r.buf[(r.start+r.n)%len(r.buf)] = ev
+	r.n++
+}
+
+// Events returns the held events oldest-first (a copy).
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Dropped returns how many events were evicted to make room.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

@@ -8,6 +8,7 @@ import (
 	"sightrisk/internal/benefit"
 	"sightrisk/internal/graph"
 	"sightrisk/internal/label"
+	"sightrisk/internal/obs"
 	"sightrisk/internal/profile"
 	"sightrisk/internal/similarity"
 )
@@ -121,9 +122,16 @@ func drawAttitude(rng *rand.Rand, ownerGender string, genderDominant bool) Attit
 // shift every stranger's score by a predictable amount the annotator's
 // internal scale absorbs.
 func expectedBenefitOffset(a Attitude) float64 {
+	// Summed in fixed item order: float addition is not associative, so
+	// ranging over the map directly would give the offset — and through
+	// it the T1/T2 cut points — ULP-level noise between runs of the same
+	// seed. Strangers whose score lands inside that noise band then flip
+	// labels run to run (the scale-free robustness flake).
 	off := 0.0
-	for item, shift := range a.BenefitShift {
-		off += shift * (itemMean(item) - 0.5)
+	for _, item := range profile.Items() {
+		if shift, ok := a.BenefitShift[item]; ok {
+			off += shift * (itemMean(item) - 0.5)
+		}
 	}
 	return off
 }
@@ -254,6 +262,37 @@ func (o *Owner) LabelStranger(s graph.UserID) label.Label {
 // Benefit returns B(o,s) under the owner's θ weights.
 func (o *Owner) Benefit(s graph.UserID) float64 {
 	return benefit.Score(o.Theta, o.store.Get(s))
+}
+
+// Fingerprint digests everything that determines the owner's labeling
+// behavior — attitude weights, cut points (bit-exact), noise, θ and
+// confidence — into one order-stable FNV-64a value. Two study builds
+// whose owners fingerprint identically answer every query identically,
+// so the determinism audit compares fingerprints before running the
+// pipeline: a divergence in study construction is then caught at its
+// source instead of surfacing rounds later as a flipped label.
+func (o *Owner) Fingerprint() uint64 {
+	a := o.Attitude
+	d := obs.NewDigest().
+		Int(int64(o.ID)).
+		Float(a.WNS).Float(a.WGender).Str(a.RiskyGender).
+		Float(a.WLocale).Float(a.WLastName).
+		Float(a.NoiseScale).Float(a.T1).Float(a.T2).
+		Uint(a.NoiseSeed).Float(o.Confidence)
+	for _, item := range profile.Items() { // fixed order: digest must not see map order
+		if shift, ok := a.BenefitShift[item]; ok {
+			d = d.Str(string(item)).Float(shift)
+		}
+	}
+	items := make([]profile.Item, 0, len(o.Theta))
+	for item := range o.Theta {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, item := range items {
+		d = d.Str(string(item)).Float(o.Theta[item])
+	}
+	return uint64(d)
 }
 
 // drawTheta samples an owner θ vector around the paper's Table III

@@ -3,6 +3,7 @@ package synthetic
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"sightrisk/internal/graph"
 )
@@ -123,7 +124,15 @@ func wireFriends(rng *rand.Rand, g *graph.Graph, friends []graph.UserID, communi
 					}
 				}
 			}
+			// Insert edges in sorted order: ranging over the chosen map
+			// would vary the adjacency insertion order (and so neighbor
+			// iteration order) between runs of the same seed.
+			picked := make([]int, 0, len(chosen))
 			for j := range chosen {
+				picked = append(picked, j)
+			}
+			sort.Ints(picked)
+			for _, j := range picked {
 				if err := g.AddEdge(friends[i], friends[j]); err != nil {
 					return err
 				}

@@ -2,6 +2,7 @@ package synthetic
 
 import (
 	"math/rand"
+	"sort"
 
 	"sightrisk/internal/profile"
 )
@@ -99,11 +100,7 @@ func genderMean(item profile.Item) float64 {
 	if len(rates) == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, r := range rates {
-		sum += r
-	}
-	return sum / float64(len(rates))
+	return sortedMean(rates)
 }
 
 func itemMean(item profile.Item) float64 {
@@ -111,9 +108,23 @@ func itemMean(item profile.Item) float64 {
 	if len(rates) == 0 {
 		return 0.5
 	}
+	return sortedMean(rates)
+}
+
+// sortedMean averages the map values in sorted key order. Float
+// addition is not associative, so a map-order sum varies at the ULP
+// level between runs; that noise reaches visibilityProb, where a
+// uniform draw landing inside the band flips a visibility bit and the
+// whole downstream pipeline with it.
+func sortedMean(rates map[string]float64) float64 {
+	keys := make([]string, 0, len(rates))
+	for k := range rates {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	sum := 0.0
-	for _, r := range rates {
-		sum += r
+	for _, k := range keys {
+		sum += rates[k]
 	}
 	return sum / float64(len(rates))
 }

@@ -1,6 +1,7 @@
 package sight
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"testing"
@@ -92,14 +93,14 @@ func TestWorkersDeterminismProperty(t *testing.T) {
 			ann := attitude(net)
 			serialOpts := DefaultOptions()
 			serialOpts.Workers = 1
-			serial, err := EstimateRisk(net, owner, ann, serialOpts)
+			serial, err := EstimateRisk(context.Background(), net, owner, ann, serialOpts)
 			if err != nil {
 				t.Fatalf("%s f=%d n=%d: %v", name, shape.friends, shape.strangers, err)
 			}
 			for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
 				opts := DefaultOptions()
 				opts.Workers = workers
-				rep, err := EstimateRisk(net, owner, ann, opts)
+				rep, err := EstimateRisk(context.Background(), net, owner, ann, opts)
 				if err != nil {
 					t.Fatalf("%s f=%d n=%d workers=%d: %v", name, shape.friends, shape.strangers, workers, err)
 				}

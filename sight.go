@@ -16,16 +16,20 @@
 //	net.AddFriendship(alice, bob)            // build the social graph
 //	net.SetAttribute(bob, sight.AttrGender, "male")
 //	...
-//	report, err := sight.EstimateRisk(net, alice, annotator, sight.DefaultOptions())
+//	report, err := sight.EstimateRisk(ctx, net, alice, annotator, sight.DefaultOptions())
 //
 // The annotator is anything that can answer "how risky is stranger s?"
 // with one of NotRisky, Risky or VeryRisky — an interactive prompt, a
-// stored questionnaire, or a model.
+// stored questionnaire, or a model. EstimateRisk accepts both the
+// infallible Annotator and the fault-aware FallibleAnnotator contracts
+// (see AsFallible).
 package sight
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"time"
 
@@ -35,6 +39,7 @@ import (
 	"sightrisk/internal/core"
 	"sightrisk/internal/graph"
 	"sightrisk/internal/label"
+	"sightrisk/internal/obs"
 	"sightrisk/internal/profile"
 	"sightrisk/internal/similarity"
 )
@@ -269,15 +274,39 @@ const (
 	PoolNSP
 )
 
-// Options tunes the risk-estimation pipeline. The zero value is not
-// valid; start from DefaultOptions.
-type Options struct {
+// Observer receives the structured event stream of a run: run, pool
+// and round boundaries, every owner query, and (with
+// TraceConfig.Digests) order-sensitive stage digests. Attach one via
+// Options.Observability. Implementations must be safe for concurrent
+// use; the engine guarantees the delivered stream is identical for
+// every Options.Workers value on complete runs.
+type Observer = obs.Observer
+
+// Event is one record of the observability stream.
+type Event = obs.Event
+
+// TraceConfig tunes what the Observer stream carries.
+type TraceConfig = obs.TraceConfig
+
+// NewTracer returns an Observer writing one JSON event per line to w.
+// Writes are serialized internally; check the tracer's error (if w can
+// fail) by keeping the concrete *obs value — the stream is best-effort
+// from the engine's point of view and never fails a run.
+func NewTracer(w io.Writer) Observer { return obs.NewTracer(w) }
+
+// PoolingOptions groups the stranger-pooling knobs (paper Section IV).
+type PoolingOptions struct {
 	// Alpha is the number of network similarity groups (paper: 10).
 	Alpha int
 	// Beta is Squeezer's new-cluster threshold (paper: 0.4).
 	Beta float64
 	// Strategy selects NPP (default) or NSP pooling.
 	Strategy PoolStrategy
+}
+
+// LearningOptions groups the per-pool active-learning knobs (paper
+// Section V).
+type LearningOptions struct {
 	// PerRound is the number of owner labels requested per round
 	// (paper: 3).
 	PerRound int
@@ -299,6 +328,52 @@ type Options struct {
 	// Stopper names the stopping criterion: "combined" (the paper's,
 	// default), "max-confidence" or "overall-uncertainty".
 	Stopper string
+}
+
+// CheckpointingOptions groups the durability knobs.
+type CheckpointingOptions struct {
+	// Sink, when non-nil, receives a deep-copied snapshot of the run's
+	// answer log after every completed round (and once more at the
+	// end). Persist it (e.g. with SaveCheckpoint) to survive crashes; a
+	// returned error aborts the run.
+	Sink func(*Checkpoint) error
+	// Resume replays a prior checkpoint's answers: questions already
+	// answered are never re-asked and the finished Report is
+	// byte-identical to an uninterrupted run's (at any Workers value).
+	// The checkpoint must match the run's owner and Seed.
+	Resume *Checkpoint
+	// AbandonGrace lets an in-flight owner query run this long past
+	// cancellation so the answer being produced can still land and be
+	// checkpointed. New questions are never asked after cancellation.
+	AbandonGrace time.Duration
+}
+
+// ObservabilityOptions groups the tracing knobs.
+type ObservabilityOptions struct {
+	// Observer, when non-nil, receives the run's structured event
+	// stream (see NewTracer for a JSONL sink). A nil observer costs
+	// nothing: no events are constructed.
+	Observer Observer
+	// Trace tunes the stream, e.g. Trace.Digests attaches
+	// order-sensitive stage digests for determinism audits.
+	Trace TraceConfig
+}
+
+// Options tunes the risk-estimation pipeline, grouped by pipeline
+// stage. The zero value is not valid; start from DefaultOptions.
+type Options struct {
+	// Pooling controls how strangers are grouped into learning pools.
+	Pooling PoolingOptions
+	// Learning controls the per-pool active-learning sessions.
+	Learning LearningOptions
+	// Retry controls retries, exponential backoff and deadlines for
+	// transient FallibleAnnotator failures. The zero value performs a
+	// single attempt with no deadlines.
+	Retry RetryPolicy
+	// Checkpointing controls run durability and resumption.
+	Checkpointing CheckpointingOptions
+	// Observability attaches the structured event stream.
+	Observability ObservabilityOptions
 	// Progress, when non-nil, is invoked after each pool's learning
 	// session with (pools done, pools total, labels collected so far).
 	// With Workers != 1 it is called from the pipeline's worker
@@ -315,71 +390,90 @@ type Options struct {
 	// order, and annotator queries are serialized one at a time in a
 	// deterministic order (see Annotator).
 	Workers int
-	// Retry controls retries, exponential backoff and deadlines for
-	// transient FallibleAnnotator failures. The zero value performs a
-	// single attempt with no deadlines.
-	Retry RetryPolicy
-	// Checkpoint, when non-nil, receives a deep-copied snapshot of the
-	// run's answer log after every completed round (and once more at
-	// the end). Persist it (e.g. with SaveCheckpoint) to survive
-	// crashes; a returned error aborts the run.
-	Checkpoint func(*Checkpoint) error
-	// Resume replays a prior checkpoint's answers: questions already
-	// answered are never re-asked and the finished Report is
-	// byte-identical to an uninterrupted run's (at any Workers value).
-	// The checkpoint must match the run's owner and Seed.
-	Resume *Checkpoint
-	// AbandonGrace lets an in-flight owner query run this long past
-	// cancellation so the answer being produced can still land and be
-	// checkpointed. New questions are never asked after cancellation.
-	AbandonGrace time.Duration
 }
 
 // DefaultOptions returns the paper's experimental configuration.
 func DefaultOptions() Options {
 	return Options{
-		Alpha:         10,
-		Beta:          0.4,
-		Strategy:      PoolNPP,
-		PerRound:      3,
-		Confidence:    80,
-		StableRounds:  2,
-		RMSEThreshold: 0.5,
-		Seed:          1,
+		Pooling:  PoolingOptions{Alpha: 10, Beta: 0.4, Strategy: PoolNPP},
+		Learning: LearningOptions{PerRound: 3, Confidence: 80, StableRounds: 2, RMSEThreshold: 0.5},
+		Seed:     1,
 	}
 }
 
-// Validate checks the options and returns a descriptive error for
-// out-of-range fields (Alpha <= 0, Beta outside [0,1], PerRound < 1,
-// Confidence outside [0,100], RMSEThreshold <= 0, negative Workers,
-// bad retry policy, ...) instead of letting the pipeline silently
-// misbehave.
+// Validate checks the options and reports every violation at once
+// (joined with errors.Join), so a misconfigured caller fixes one round
+// trip instead of playing whack-a-mole. Nil means the options are
+// usable.
 func (o Options) Validate() error {
-	cfg, err := o.coreConfig()
-	if err != nil {
-		return err
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf("sight: "+format, args...)) }
+	if o.Pooling.Alpha <= 0 {
+		fail("Pooling.Alpha must be > 0, got %d", o.Pooling.Alpha)
 	}
-	return cfg.Validate()
+	if o.Pooling.Beta < 0 || o.Pooling.Beta > 1 {
+		fail("Pooling.Beta must be in [0,1], got %g", o.Pooling.Beta)
+	}
+	switch o.Pooling.Strategy {
+	case PoolNPP, PoolNSP:
+	default:
+		fail("unknown pool strategy %d", int(o.Pooling.Strategy))
+	}
+	if o.Learning.PerRound < 1 {
+		fail("Learning.PerRound must be >= 1, got %d", o.Learning.PerRound)
+	}
+	if o.Learning.Confidence < 0 || o.Learning.Confidence > 100 {
+		fail("Learning.Confidence must be in [0,100], got %g", o.Learning.Confidence)
+	}
+	if o.Learning.StableRounds < 1 {
+		fail("Learning.StableRounds must be >= 1, got %d", o.Learning.StableRounds)
+	}
+	if o.Learning.RMSEThreshold <= 0 {
+		fail("Learning.RMSEThreshold must be > 0, got %g", o.Learning.RMSEThreshold)
+	}
+	if o.Learning.MaxRounds < 0 {
+		fail("Learning.MaxRounds must be >= 0, got %d", o.Learning.MaxRounds)
+	}
+	switch o.Learning.Sampler {
+	case "", "random", "uncertainty", "density", "uncertainty-density":
+	default:
+		fail("unknown sampler %q", o.Learning.Sampler)
+	}
+	switch o.Learning.Stopper {
+	case "", "combined", "max-confidence", "overall-uncertainty":
+	default:
+		fail("unknown stopper %q", o.Learning.Stopper)
+	}
+	if o.Workers < 0 {
+		fail("Workers must be >= 0, got %d", o.Workers)
+	}
+	if o.Checkpointing.AbandonGrace < 0 {
+		fail("Checkpointing.AbandonGrace must be >= 0, got %v", o.Checkpointing.AbandonGrace)
+	}
+	if err := o.Retry.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 func (o Options) coreConfig() (core.Config, error) {
 	cfg := core.DefaultConfig()
-	cfg.Pool.Alpha = o.Alpha
-	cfg.Pool.Squeezer.Beta = o.Beta
-	switch o.Strategy {
+	cfg.Pool.Alpha = o.Pooling.Alpha
+	cfg.Pool.Squeezer.Beta = o.Pooling.Beta
+	switch o.Pooling.Strategy {
 	case PoolNPP:
 		cfg.Pool.Strategy = cluster.NPP
 	case PoolNSP:
 		cfg.Pool.Strategy = cluster.NSP
 	default:
-		return core.Config{}, fmt.Errorf("sight: unknown pool strategy %d", int(o.Strategy))
+		return core.Config{}, fmt.Errorf("sight: unknown pool strategy %d", int(o.Pooling.Strategy))
 	}
-	cfg.Learn.PerRound = o.PerRound
-	cfg.Learn.Confidence = o.Confidence
-	cfg.Learn.StableRounds = o.StableRounds
-	cfg.Learn.RMSEThreshold = o.RMSEThreshold
-	cfg.Learn.MaxRounds = o.MaxRounds
-	switch o.Sampler {
+	cfg.Learn.PerRound = o.Learning.PerRound
+	cfg.Learn.Confidence = o.Learning.Confidence
+	cfg.Learn.StableRounds = o.Learning.StableRounds
+	cfg.Learn.RMSEThreshold = o.Learning.RMSEThreshold
+	cfg.Learn.MaxRounds = o.Learning.MaxRounds
+	switch o.Learning.Sampler {
 	case "", "random":
 		// engine default
 	case "uncertainty":
@@ -389,9 +483,9 @@ func (o Options) coreConfig() (core.Config, error) {
 	case "uncertainty-density":
 		cfg.Learn.Sampler = active.UncertaintyDensitySampler{}
 	default:
-		return core.Config{}, fmt.Errorf("sight: unknown sampler %q", o.Sampler)
+		return core.Config{}, fmt.Errorf("sight: unknown sampler %q", o.Learning.Sampler)
 	}
-	switch o.Stopper {
+	switch o.Learning.Stopper {
 	case "", "combined":
 		// engine default built from RMSEThreshold and StableRounds
 	case "max-confidence":
@@ -399,15 +493,17 @@ func (o Options) coreConfig() (core.Config, error) {
 	case "overall-uncertainty":
 		cfg.Learn.Stopper = active.OverallUncertaintyStopper{Threshold: 0.4}
 	default:
-		return core.Config{}, fmt.Errorf("sight: unknown stopper %q", o.Stopper)
+		return core.Config{}, fmt.Errorf("sight: unknown stopper %q", o.Learning.Stopper)
 	}
 	cfg.Progress = o.Progress
 	cfg.Seed = o.Seed
 	cfg.Workers = o.Workers
 	cfg.Retry = o.Retry
-	cfg.Checkpoint = o.Checkpoint
-	cfg.Resume = o.Resume
-	cfg.AbandonGrace = o.AbandonGrace
+	cfg.Checkpoint = o.Checkpointing.Sink
+	cfg.Resume = o.Checkpointing.Resume
+	cfg.AbandonGrace = o.Checkpointing.AbandonGrace
+	cfg.Observer = o.Observability.Observer
+	cfg.Trace = o.Observability.Trace
 	return cfg, nil
 }
 
@@ -475,40 +571,62 @@ func (r *Report) CountByLabel() map[Label]int {
 	return out
 }
 
-// EstimateRisk runs the full pipeline for the owner: group the owner's
-// strangers into pools, run an active-learning session per pool
-// querying the annotator, and assemble the final risk report. It is
-// EstimateRiskContext with a background context and an infallible
-// annotator.
-func EstimateRisk(n *Network, owner UserID, ann Annotator, opts Options) (*Report, error) {
-	if ann == nil {
+// AnyAnnotator documents EstimateRisk's annotator parameter: any value
+// implementing either Annotator (infallible) or FallibleAnnotator
+// (fault-aware). See AsFallible for the exact adaptation rules.
+type AnyAnnotator = any
+
+// AsFallible adapts an annotator of either public contract to the
+// fault-aware one the engine runs on. A FallibleAnnotator passes
+// through unchanged (and wins when a value implements both contracts);
+// an Annotator is wrapped with Infallible. Anything else — including
+// nil — is an error naming the offending type.
+func AsFallible(ann AnyAnnotator) (FallibleAnnotator, error) {
+	switch a := ann.(type) {
+	case nil:
 		return nil, fmt.Errorf("sight: annotator must not be nil")
+	case FallibleAnnotator:
+		return a, nil
+	case Annotator:
+		return Infallible(a), nil
+	default:
+		return nil, fmt.Errorf("sight: %T implements neither sight.Annotator nor sight.FallibleAnnotator", ann)
 	}
-	return EstimateRiskContext(context.Background(), n, owner, Infallible(ann), opts)
 }
 
-// EstimateRiskContext is the fault-tolerant entry point. ctx bounds
-// the run: cancellation aborts at the next query boundary, in serial
-// and parallel paths alike. Interruptions — ctx cancellation or the
-// annotator returning ErrAbandoned — do not fail the run: it returns
-// a partial Report (Partial true, Interrupt set) in which finished
-// pools keep their learned labels and interrupted pools carry
-// fallback labels. Only hard failures return an error. See
-// Options.Retry, Options.Checkpoint, Options.Resume and
-// Options.AbandonGrace for the rest of the fault-tolerance surface.
-func EstimateRiskContext(ctx context.Context, n *Network, owner UserID, ann FallibleAnnotator, opts Options) (*Report, error) {
+// EstimateRisk runs the full pipeline for the owner: group the owner's
+// strangers into pools, run an active-learning session per pool
+// querying the annotator, and assemble the final risk report.
+//
+// ctx bounds the run: cancellation aborts at the next query boundary,
+// in serial and parallel paths alike (nil means context.Background()).
+// Interruptions — ctx cancellation or the annotator returning
+// ErrAbandoned — do not fail the run: it returns a partial Report
+// (Partial true, Interrupt set) in which finished pools keep their
+// learned labels and interrupted pools carry fallback labels. Only
+// hard failures return an error. See Options.Retry and
+// Options.Checkpointing for the rest of the fault-tolerance surface,
+// and Options.Observability for the structured event stream.
+//
+// ann accepts both annotator contracts — Annotator and
+// FallibleAnnotator — adapted per AsFallible.
+func EstimateRisk(ctx context.Context, n *Network, owner UserID, ann AnyAnnotator, opts Options) (*Report, error) {
 	if n == nil {
 		return nil, fmt.Errorf("sight: network must not be nil")
 	}
-	if ann == nil {
-		return nil, fmt.Errorf("sight: annotator must not be nil")
+	fallible, err := AsFallible(ann)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	cfg, err := opts.coreConfig()
 	if err != nil {
 		return nil, err
 	}
 	engine := core.New(cfg)
-	run, err := engine.RunOwner(ctx, n.g, n.profiles, owner, ann, math.NaN())
+	run, err := engine.RunOwner(ctx, n.g, n.profiles, owner, fallible, math.NaN())
 	if err != nil {
 		return nil, err
 	}
@@ -537,6 +655,31 @@ func EstimateRiskContext(ctx context.Context, n *Network, owner UserID, ann Fall
 		}
 	}
 	return rep, nil
+}
+
+// EstimateRiskContext runs the pipeline with a fallible annotator.
+//
+// Deprecated: EstimateRisk is now context-first and accepts both
+// annotator contracts directly; call it instead.
+func EstimateRiskContext(ctx context.Context, n *Network, owner UserID, ann FallibleAnnotator, opts Options) (*Report, error) {
+	if ann == nil {
+		// Preserve the historical error rather than AsFallible's
+		// nil-interface message.
+		return nil, fmt.Errorf("sight: annotator must not be nil")
+	}
+	return EstimateRisk(ctx, n, owner, ann, opts)
+}
+
+// EstimateRiskInfallible runs the pipeline with an infallible
+// annotator and a background context — the signature EstimateRisk had
+// before it became context-first.
+//
+// Deprecated: call EstimateRisk with a context.
+func EstimateRiskInfallible(n *Network, owner UserID, ann Annotator, opts Options) (*Report, error) {
+	if ann == nil {
+		return nil, fmt.Errorf("sight: annotator must not be nil")
+	}
+	return EstimateRisk(context.Background(), n, owner, ann, opts)
 }
 
 // annotatorBridge adapts the public Annotator to the internal one.

@@ -1,6 +1,7 @@
 package sight
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -125,7 +126,7 @@ func TestEstimateRiskEndToEnd(t *testing.T) {
 		}
 		return NotRisky
 	})
-	rep, err := EstimateRisk(net, owner, ann, DefaultOptions())
+	rep, err := EstimateRisk(context.Background(), net, owner, ann, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,28 +172,28 @@ func TestEstimateRiskEndToEnd(t *testing.T) {
 func TestEstimateRiskValidation(t *testing.T) {
 	net, owner := demoNetwork(t, 3, 5)
 	ann := AnnotatorFunc(func(UserID) Label { return Risky })
-	if _, err := EstimateRisk(nil, owner, ann, DefaultOptions()); err == nil {
+	if _, err := EstimateRisk(context.Background(), nil, owner, ann, DefaultOptions()); err == nil {
 		t.Fatal("nil network accepted")
 	}
-	if _, err := EstimateRisk(net, owner, nil, DefaultOptions()); err == nil {
+	if _, err := EstimateRisk(context.Background(), net, owner, nil, DefaultOptions()); err == nil {
 		t.Fatal("nil annotator accepted")
 	}
 	opts := DefaultOptions()
-	opts.Strategy = PoolStrategy(7)
-	if _, err := EstimateRisk(net, owner, ann, opts); err == nil {
+	opts.Pooling.Strategy = PoolStrategy(7)
+	if _, err := EstimateRisk(context.Background(), net, owner, ann, opts); err == nil {
 		t.Fatal("bad strategy accepted")
 	}
 	opts = DefaultOptions()
-	opts.Alpha = 0
-	if _, err := EstimateRisk(net, owner, ann, opts); err == nil {
+	opts.Pooling.Alpha = 0
+	if _, err := EstimateRisk(context.Background(), net, owner, ann, opts); err == nil {
 		t.Fatal("alpha 0 accepted")
 	}
 	opts = DefaultOptions()
-	opts.PerRound = 0
-	if _, err := EstimateRisk(net, owner, ann, opts); err == nil {
+	opts.Learning.PerRound = 0
+	if _, err := EstimateRisk(context.Background(), net, owner, ann, opts); err == nil {
 		t.Fatal("per-round 0 accepted")
 	}
-	if _, err := EstimateRisk(net, 999999, ann, DefaultOptions()); err == nil {
+	if _, err := EstimateRisk(context.Background(), net, 999999, ann, DefaultOptions()); err == nil {
 		t.Fatal("unknown owner accepted")
 	}
 }
@@ -201,8 +202,8 @@ func TestNSPStrategyOption(t *testing.T) {
 	net, owner := demoNetwork(t, 5, 40)
 	ann := AnnotatorFunc(func(UserID) Label { return Risky })
 	opts := DefaultOptions()
-	opts.Strategy = PoolNSP
-	rep, err := EstimateRisk(net, owner, ann, opts)
+	opts.Pooling.Strategy = PoolNSP
+	rep, err := EstimateRisk(context.Background(), net, owner, ann, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,11 +226,11 @@ func TestOptionsSeedDeterminism(t *testing.T) {
 		}
 		return NotRisky
 	})
-	a, err := EstimateRisk(net, owner, ann, DefaultOptions())
+	a, err := EstimateRisk(context.Background(), net, owner, ann, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EstimateRisk(net, owner, ann, DefaultOptions())
+	b, err := EstimateRisk(context.Background(), net, owner, ann, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestMeanRoundsNaNForTrivialNetworks(t *testing.T) {
 		t.Fatal(err)
 	}
 	net.SetAttribute(3, AttrGender, "male")
-	rep, err := EstimateRisk(net, owner, AnnotatorFunc(func(UserID) Label { return NotRisky }), DefaultOptions())
+	rep, err := EstimateRisk(context.Background(), net, owner, AnnotatorFunc(func(UserID) Label { return NotRisky }), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,8 +281,8 @@ func TestSamplerAndStopperOptions(t *testing.T) {
 	})
 	for _, sampler := range []string{"random", "uncertainty", "density", "uncertainty-density"} {
 		opts := DefaultOptions()
-		opts.Sampler = sampler
-		rep, err := EstimateRisk(net, owner, ann, opts)
+		opts.Learning.Sampler = sampler
+		rep, err := EstimateRisk(context.Background(), net, owner, ann, opts)
 		if err != nil {
 			t.Fatalf("sampler %s: %v", sampler, err)
 		}
@@ -291,19 +292,19 @@ func TestSamplerAndStopperOptions(t *testing.T) {
 	}
 	for _, stopper := range []string{"combined", "max-confidence", "overall-uncertainty"} {
 		opts := DefaultOptions()
-		opts.Stopper = stopper
-		if _, err := EstimateRisk(net, owner, ann, opts); err != nil {
+		opts.Learning.Stopper = stopper
+		if _, err := EstimateRisk(context.Background(), net, owner, ann, opts); err != nil {
 			t.Fatalf("stopper %s: %v", stopper, err)
 		}
 	}
 	opts := DefaultOptions()
-	opts.Sampler = "nope"
-	if _, err := EstimateRisk(net, owner, ann, opts); err == nil {
+	opts.Learning.Sampler = "nope"
+	if _, err := EstimateRisk(context.Background(), net, owner, ann, opts); err == nil {
 		t.Fatal("unknown sampler accepted")
 	}
 	opts = DefaultOptions()
-	opts.Stopper = "nope"
-	if _, err := EstimateRisk(net, owner, ann, opts); err == nil {
+	opts.Learning.Stopper = "nope"
+	if _, err := EstimateRisk(context.Background(), net, owner, ann, opts); err == nil {
 		t.Fatal("unknown stopper accepted")
 	}
 }
@@ -324,7 +325,7 @@ func TestProgressCallback(t *testing.T) {
 		}
 		lastDone, lastTotal, lastLabels = done, total, labels
 	}
-	rep, err := EstimateRisk(net, owner, ann, opts)
+	rep, err := EstimateRisk(context.Background(), net, owner, ann, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
