@@ -1,14 +1,15 @@
 # Tier-1 verification flow (see ROADMAP.md): build + vet + tests, plus
 # a one-iteration fleet bench so the benchmark code compiles and runs
-# on every PR, and the determinism audit over the robustness matrix.
-# `make race` adds the concurrency stress pass that covers the
-# multi-tenant scheduler.
+# on every PR, the determinism audit over the robustness matrix, the
+# godoc-coverage check and a sightd serving smoke test. `make race`
+# adds the concurrency stress pass that covers the multi-tenant
+# scheduler and the serving layer.
 
 GO ?= go
 
-.PHONY: tier1 build vet test bench-smoke audit race bench fleet-bench
+.PHONY: tier1 build vet test bench-smoke audit docs serve-smoke race bench fleet-bench serve-bench
 
-tier1: build vet test bench-smoke audit
+tier1: build vet test bench-smoke audit docs serve-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +31,21 @@ bench-smoke:
 audit:
 	$(GO) run ./cmd/riskbench -audit -workers 4
 
+# Documentation checks: vet plus godoc coverage of the public surface
+# (every exported identifier in the root package, client/ and the
+# serving stack must carry a doc comment — see cmd/doccheck).
+docs:
+	$(GO) vet ./...
+	$(GO) run ./cmd/doccheck
+
+# Serving smoke test: stand up an in-process sightd, run every owner
+# of the small study through the HTTP API on both annotator paths, and
+# fail unless the served reports are byte-identical to in-process
+# serial runs. Doubles as the BENCH_serve methodology at small scale;
+# the throwaway JSON keeps tier-1 from dirtying the checked-in numbers.
+serve-smoke:
+	$(GO) run ./cmd/riskbench -serve-rtt -serve-out /tmp/BENCH_serve_smoke.json
+
 race:
 	$(GO) test -race ./...
 
@@ -41,3 +57,8 @@ bench:
 # EXPERIMENTS.md for methodology).
 fleet-bench:
 	$(GO) run ./cmd/riskbench -tenants 8 -scale medium
+
+# Serving-layer round trips: writes BENCH_serve.json (see
+# EXPERIMENTS.md for methodology).
+serve-bench:
+	$(GO) run ./cmd/riskbench -serve-rtt

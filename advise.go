@@ -133,10 +133,14 @@ func TriageFriendRequest(rep *Report, stranger UserID) (FriendRequestAdvice, err
 // how badly the item's friends-of-friends audience collides with the
 // owner's risk labels.
 type SettingsSuggestion struct {
-	Item           string
-	RiskyReach     int
+	// Item is the profile item (see the Item* constants).
+	Item string
+	// RiskyReach counts risky strangers the item is visible to.
+	RiskyReach int
+	// VeryRiskyReach counts very-risky strangers the item is visible to.
 	VeryRiskyReach int
-	Suggestion     string
+	// Suggestion is the recommended audience change, human-readable.
+	Suggestion string
 }
 
 // SuggestPrivacySettings ranks the owner's profile items by exposure

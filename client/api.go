@@ -1,0 +1,401 @@
+// Package client is the typed Go client for sightd, the HTTP serving
+// layer over the risk-estimation fleet (cmd/sightd, internal/server).
+// It also defines the wire types of the /v1 API — both sides of the
+// protocol import this package, so client and server cannot drift.
+//
+// The protocol mirrors the paper's deployment shape: the Sight system
+// was a live Facebook application answering owner queries, and the
+// serving layer carries the same interaction over HTTP/JSON — submit
+// an estimate job, surface the active-learning loop's owner questions
+// via long-poll, post the owner's answers back, download the final
+// risk report. See docs/API.md for the full endpoint reference.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"sightrisk"
+)
+
+// Annotator modes accepted by EstimateRequest.Annotator.
+const (
+	// AnnotatorStored answers owner questions server-side from the
+	// referenced dataset's stored labels — no wire loop.
+	AnnotatorStored = "stored"
+	// AnnotatorRemote surfaces owner questions over the wire: the
+	// client long-polls GET /v1/estimates/{id}/questions and posts
+	// answers to POST /v1/estimates/{id}/answers.
+	AnnotatorRemote = "remote"
+)
+
+// Job statuses reported by EstimateStatus.Status.
+const (
+	// StatusQueued: accepted, waiting for a shared worker slot.
+	StatusQueued = "queued"
+	// StatusRunning: the pipeline is executing (and, for remote
+	// annotators, may be waiting on an answer).
+	StatusRunning = "running"
+	// StatusDone: finished; EstimateStatus.Report is set. A report can
+	// be partial (Report.Partial) after a deadline or cancellation.
+	StatusDone = "done"
+	// StatusFailed: a hard failure; EstimateStatus.Error is set.
+	StatusFailed = "failed"
+)
+
+// APIError is the structured error envelope every non-2xx response
+// carries (under the "error" key).
+type APIError struct {
+	// Code is a stable machine-readable identifier: "bad_request",
+	// "not_found", "over_budget", "conflict", "draining", "internal";
+	// a failed job's EstimateStatus.Error also uses "canceled" (the job
+	// was canceled or timed out before it started running).
+	Code string `json:"code"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// RetryAfter, when non-zero, suggests how many seconds to wait
+	// before retrying (also carried in the Retry-After header of 429
+	// and 503 responses).
+	RetryAfter int `json:"retry_after,omitempty"`
+	// Status is the HTTP status code (filled by the client, not sent
+	// on the wire).
+	Status int `json:"-"`
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("sightd: %s (%s)", e.Message, e.Code)
+}
+
+// errorEnvelope is the wire shape of an error response.
+type errorEnvelope struct {
+	Error *APIError `json:"error"`
+}
+
+// NetworkPayload carries an inline social network for jobs that do
+// not reference a server-side dataset. Users appear implicitly via
+// Edges and explicitly via Users (for isolated nodes).
+type NetworkPayload struct {
+	// Users lists user ids (optional; edge endpoints are added
+	// implicitly).
+	Users []int64 `json:"users,omitempty"`
+	// Edges lists undirected friendships.
+	Edges [][2]int64 `json:"edges"`
+	// Attributes maps user id → attribute name → value (see the
+	// sight.Attr* constants).
+	Attributes map[int64]map[string]string `json:"attributes,omitempty"`
+	// Visibility maps user id → benefit item → visible-to-non-friends
+	// (see the sight.Item* constants).
+	Visibility map[int64]map[string]bool `json:"visibility,omitempty"`
+}
+
+// OptionsPayload selects pipeline options for a job. Nil fields keep
+// the server's defaults (the paper's configuration); it is a strict
+// subset of sight.Options — worker counts and fault-tolerance plumbing
+// belong to the server, not the wire.
+type OptionsPayload struct {
+	// Seed drives stranger sampling (default 1).
+	Seed *int64 `json:"seed,omitempty"`
+	// Alpha is the number of network-similarity groups (paper: 10).
+	Alpha *int `json:"alpha,omitempty"`
+	// Beta is Squeezer's new-cluster threshold (paper: 0.4).
+	Beta *float64 `json:"beta,omitempty"`
+	// Strategy selects pooling: "npp" (default) or "nsp".
+	Strategy *string `json:"strategy,omitempty"`
+	// PerRound is the owner labels requested per round (paper: 3).
+	PerRound *int `json:"per_round,omitempty"`
+	// Confidence is the owner's confidence in [0,100] (paper mean ≈78).
+	Confidence *float64 `json:"confidence,omitempty"`
+	// StableRounds is the stopping rule's stability requirement
+	// (paper: 2).
+	StableRounds *int `json:"stable_rounds,omitempty"`
+	// RMSEThreshold is the stopping rule's accuracy bar (paper: 0.5).
+	RMSEThreshold *float64 `json:"rmse_threshold,omitempty"`
+	// MaxRounds caps each pool's session (0 = until exhaustion).
+	MaxRounds *int `json:"max_rounds,omitempty"`
+	// Sampler names the query-selection strategy ("random",
+	// "uncertainty", "density", "uncertainty-density").
+	Sampler *string `json:"sampler,omitempty"`
+	// Stopper names the stopping criterion ("combined",
+	// "max-confidence", "overall-uncertainty").
+	Stopper *string `json:"stopper,omitempty"`
+}
+
+// EstimateRequest is the body of POST /v1/estimates.
+type EstimateRequest struct {
+	// Tenant attributes the job for admission control and budgets
+	// ("" is the default tenant).
+	Tenant string `json:"tenant,omitempty"`
+	// Dataset references a dataset preloaded on the server. Exactly
+	// one of Dataset and Network must be set.
+	Dataset string `json:"dataset,omitempty"`
+	// Network carries an inline graph/profile payload.
+	Network *NetworkPayload `json:"network,omitempty"`
+	// Owner is the user the estimate is for.
+	Owner int64 `json:"owner"`
+	// Annotator selects where owner answers come from:
+	// AnnotatorStored (requires Dataset) or AnnotatorRemote (the
+	// default).
+	Annotator string `json:"annotator,omitempty"`
+	// Options tunes the pipeline; nil keeps the paper's defaults.
+	Options *OptionsPayload `json:"options,omitempty"`
+	// TimeoutMillis bounds the whole job; on expiry the run degrades
+	// gracefully into a partial report (Report.Partial), exactly like
+	// the library's context cancellation. 0 means no deadline.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// Question is one pending owner query, surfaced by
+// GET /v1/estimates/{id}/questions. Seq identifies the question within
+// its job (1-based, strictly increasing).
+type Question struct {
+	// Seq orders the question within its job.
+	Seq int `json:"seq"`
+	// Stranger is the user the owner is asked to label.
+	Stranger int64 `json:"stranger"`
+}
+
+// QuestionsResponse is the body of GET /v1/estimates/{id}/questions.
+// Questions is empty when the long-poll timed out with nothing
+// pending, or when the job no longer asks (check Status).
+type QuestionsResponse struct {
+	// Status is the job's status at response time (Status* constants).
+	Status string `json:"status"`
+	// Questions are the currently pending owner questions.
+	Questions []Question `json:"questions"`
+}
+
+// Answer is one owner answer for POST /v1/estimates/{id}/answers.
+// Label uses the wire encoding of sight labels: 1 = not risky,
+// 2 = risky, 3 = very risky.
+type Answer struct {
+	// Stranger names the user the answer is for.
+	Stranger int64 `json:"stranger"`
+	// Label is the owner's risk judgment in the wire encoding.
+	Label int `json:"label"`
+}
+
+// AnswersRequest is the body of POST /v1/estimates/{id}/answers.
+type AnswersRequest struct {
+	// Answers may cover any subset of the pending questions.
+	Answers []Answer `json:"answers"`
+}
+
+// AnswersResponse reports how many answers matched pending questions.
+type AnswersResponse struct {
+	// Accepted counts answers that matched a pending question; the rest
+	// were ignored (duplicates are routine under long-poll redelivery).
+	Accepted int `json:"accepted"`
+}
+
+// StrangerRisk is one stranger's entry in a wire report; it mirrors
+// sight.StrangerRisk field for field.
+type StrangerRisk struct {
+	// User identifies the stranger.
+	User int64 `json:"user"`
+	// Label is the final risk label (1 not risky, 2 risky, 3 very
+	// risky) — the owner's own where collected, the classifier's
+	// prediction otherwise.
+	Label int `json:"label"`
+	// OwnerLabeled marks direct owner judgments.
+	OwnerLabeled bool `json:"owner_labeled,omitempty"`
+	// NetworkSimilarity is NS(owner, User) ∈ [0,1].
+	NetworkSimilarity float64 `json:"ns"`
+	// Pool identifies the learning pool the stranger belonged to.
+	Pool string `json:"pool"`
+	// Fallback marks labels synthesized after an interruption.
+	Fallback bool `json:"fallback,omitempty"`
+}
+
+// Report is the wire form of sight.Report. Mean statistics that can
+// be NaN (no non-trivial pools, no validation comparisons) travel as
+// nulls, since JSON has no NaN.
+type Report struct {
+	// Owner is the user the estimate was run for.
+	Owner int64 `json:"owner"`
+	// Strangers holds one entry per stranger, in deterministic order.
+	Strangers []StrangerRisk `json:"strangers"`
+	// LabelsRequested is the owner effort spent (direct labels).
+	LabelsRequested int `json:"labels_requested"`
+	// Pools is the number of learning pools.
+	Pools int `json:"pools"`
+	// MeanRounds is the mean session length over non-trivial pools
+	// (null when all pools were trivial).
+	MeanRounds *float64 `json:"mean_rounds"`
+	// ExactMatchRate is the validation accuracy (null without
+	// validation comparisons).
+	ExactMatchRate *float64 `json:"exact_match_rate"`
+	// Partial reports graceful degradation (deadline, cancellation,
+	// owner abandonment); Interrupt carries the cause as text.
+	Partial bool `json:"partial,omitempty"`
+	// Interrupt is the cause behind a partial report ("" otherwise).
+	Interrupt string `json:"interrupt,omitempty"`
+	// PoolStatus maps pool id → "complete" | "partial".
+	PoolStatus map[string]string `json:"pool_status"`
+}
+
+// EstimateStatus is the body of GET /v1/estimates/{id} (and, without
+// Report, of the 202 response to POST /v1/estimates).
+type EstimateStatus struct {
+	// ID is the server-assigned job id, the path segment of every
+	// per-job endpoint.
+	ID string `json:"id"`
+	// Status is one of the Status* constants.
+	Status string `json:"status"`
+	// Tenant echoes the submitting tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Owner echoes the owner the estimate is for.
+	Owner int64 `json:"owner"`
+	// Queries is the owner-label spend so far (live while running).
+	Queries int `json:"queries"`
+	// Report is set once Status is StatusDone.
+	Report *Report `json:"report,omitempty"`
+	// Error is set once Status is StatusFailed.
+	Error *APIError `json:"error,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	// Status is "ok", or "draining" during shutdown.
+	Status string `json:"status"`
+	// Draining is true after shutdown began: the server answers reads
+	// but rejects new estimates.
+	Draining bool `json:"draining"`
+	// Jobs counts jobs by status.
+	Jobs map[string]int `json:"jobs"`
+}
+
+// FromReport converts a library report into its wire form — the exact
+// encoding the server produces, so callers can compare a served run
+// against an in-process one byte for byte (the end-to-end tests and
+// riskbench -serve-rtt do).
+func FromReport(r *sight.Report) *Report {
+	out := &Report{
+		Owner:           int64(r.Owner),
+		LabelsRequested: r.LabelsRequested,
+		Pools:           r.Pools,
+		MeanRounds:      nanToNil(r.MeanRounds),
+		ExactMatchRate:  nanToNil(r.ExactMatchRate),
+		Partial:         r.Partial,
+		PoolStatus:      make(map[string]string, len(r.PoolStatus)),
+	}
+	if r.Interrupt != nil {
+		out.Interrupt = r.Interrupt.Error()
+	}
+	for id, st := range r.PoolStatus {
+		out.PoolStatus[id] = string(st)
+	}
+	out.Strangers = make([]StrangerRisk, len(r.Strangers))
+	for i, sr := range r.Strangers {
+		out.Strangers[i] = StrangerRisk{
+			User:              int64(sr.User),
+			Label:             int(sr.Label),
+			OwnerLabeled:      sr.OwnerLabeled,
+			NetworkSimilarity: sr.NetworkSimilarity,
+			Pool:              sr.Pool,
+			Fallback:          sr.Fallback,
+		}
+	}
+	return out
+}
+
+// Sight converts a wire report back into the library form, undoing
+// FromReport (nulls become NaN, the interrupt cause becomes an opaque
+// error). Round-tripping loses only the concrete error type of
+// Interrupt — its text survives.
+func (r *Report) Sight() *sight.Report {
+	out := &sight.Report{
+		Owner:           sight.UserID(r.Owner),
+		LabelsRequested: r.LabelsRequested,
+		Pools:           r.Pools,
+		MeanRounds:      nilToNaN(r.MeanRounds),
+		ExactMatchRate:  nilToNaN(r.ExactMatchRate),
+		Partial:         r.Partial,
+		PoolStatus:      make(map[string]sight.PoolStatus, len(r.PoolStatus)),
+	}
+	if r.Interrupt != "" {
+		out.Interrupt = errors.New(r.Interrupt)
+	}
+	for id, st := range r.PoolStatus {
+		out.PoolStatus[id] = sight.PoolStatus(st)
+	}
+	out.Strangers = make([]sight.StrangerRisk, len(r.Strangers))
+	for i, sr := range r.Strangers {
+		out.Strangers[i] = sight.StrangerRisk{
+			User:              sight.UserID(sr.User),
+			Label:             sight.Label(sr.Label),
+			OwnerLabeled:      sr.OwnerLabeled,
+			NetworkSimilarity: sr.NetworkSimilarity,
+			Pool:              sr.Pool,
+			Fallback:          sr.Fallback,
+		}
+	}
+	return out
+}
+
+// NetworkFrom exports a sight.Network as an inline wire payload, the
+// inverse of the server's payload import: submitting the result
+// reproduces the network — same users, friendships, attributes and
+// visibility flags — on the other side.
+func NetworkFrom(n *sight.Network) *NetworkPayload {
+	out := &NetworkPayload{}
+	g := n.Graph()
+	for _, u := range g.Nodes() {
+		out.Users = append(out.Users, int64(u))
+		for _, f := range g.Friends(u) {
+			if u < f {
+				out.Edges = append(out.Edges, [2]int64{int64(u), int64(f)})
+			}
+		}
+	}
+	store := n.Profiles()
+	for _, u := range store.Users() {
+		p := store.Get(u)
+		if p == nil {
+			continue
+		}
+		attrs := make(map[string]string, len(p.Attrs))
+		for a, v := range p.Attrs {
+			attrs[string(a)] = v
+		}
+		if len(attrs) > 0 {
+			if out.Attributes == nil {
+				out.Attributes = make(map[int64]map[string]string)
+			}
+			out.Attributes[int64(u)] = attrs
+		}
+		vis := make(map[string]bool, len(p.Visible))
+		for item, visible := range p.Visible {
+			vis[string(item)] = visible
+		}
+		if len(vis) > 0 {
+			if out.Visibility == nil {
+				out.Visibility = make(map[int64]map[string]bool)
+			}
+			out.Visibility[int64(u)] = vis
+		}
+	}
+	return out
+}
+
+// nanToNil maps NaN to nil for JSON transport.
+func nanToNil(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// nilToNaN maps a JSON null back to NaN.
+func nilToNaN(v *float64) float64 {
+	if v == nil {
+		return math.NaN()
+	}
+	return *v
+}
+
+// DefaultLongPoll is the questions long-poll wait the client uses when
+// none is given.
+const DefaultLongPoll = 25 * time.Second

@@ -1,0 +1,258 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client is a typed HTTP client for a sightd server. The zero value is
+// not usable; construct with New. Methods are safe for concurrent use.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8321".
+	BaseURL string
+	// HTTPClient issues the requests; http.DefaultClient when nil.
+	// Long-poll calls need a generous (or zero) Timeout.
+	HTTPClient *http.Client
+	// LongPoll is the server-side wait requested by Questions;
+	// DefaultLongPoll when zero.
+	LongPoll time.Duration
+}
+
+// New returns a client for the server at baseURL (scheme + host, no
+// trailing path).
+func New(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+// do issues one JSON round trip. A nil in sends no body; a nil out
+// discards the response body. Non-2xx responses decode the error
+// envelope into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("client: read response: %w", err)
+		}
+		*raw = b
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *APIError, synthesizing
+// one when the body is not a structured envelope.
+func decodeError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env errorEnvelope
+	if err := json.Unmarshal(b, &env); err == nil && env.Error != nil {
+		env.Error.Status = resp.StatusCode
+		if env.Error.RetryAfter == 0 {
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				env.Error.RetryAfter = ra
+			}
+		}
+		return env.Error
+	}
+	return &APIError{
+		Code:    "http_" + strconv.Itoa(resp.StatusCode),
+		Message: fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(b)),
+		Status:  resp.StatusCode,
+	}
+}
+
+// Submit posts a new estimate job and returns its accepted status
+// (StatusQueued or StatusRunning). Rejections surface as *APIError:
+// 400 for malformed requests, 429 when the tenant is over budget
+// (with RetryAfter when waiting can help), 503 while draining.
+func (c *Client) Submit(ctx context.Context, req *EstimateRequest) (*EstimateStatus, error) {
+	var st EstimateStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/estimates", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Get fetches a job's current status (and its report once done).
+func (c *Client) Get(ctx context.Context, id string) (*EstimateStatus, error) {
+	var st EstimateStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/estimates/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Questions long-polls the job's pending owner questions. The call
+// returns as soon as at least one question is pending, the job reaches
+// a terminal state, or the server-side wait (LongPoll) elapses —
+// whichever comes first. An empty Questions slice with a non-terminal
+// Status means "nothing yet, poll again".
+func (c *Client) Questions(ctx context.Context, id string) (*QuestionsResponse, error) {
+	wait := c.LongPoll
+	if wait <= 0 {
+		wait = DefaultLongPoll
+	}
+	path := "/v1/estimates/" + url.PathEscape(id) + "/questions?wait_ms=" +
+		strconv.FormatInt(wait.Milliseconds(), 10)
+	var qr QuestionsResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &qr); err != nil {
+		return nil, err
+	}
+	return &qr, nil
+}
+
+// Answer posts owner answers for pending questions and returns how
+// many were accepted (answers for strangers without a pending question
+// are ignored, not errors — long-poll redelivery makes duplicates
+// routine).
+func (c *Client) Answer(ctx context.Context, id string, answers []Answer) (int, error) {
+	var ar AnswersResponse
+	err := c.do(ctx, http.MethodPost, "/v1/estimates/"+url.PathEscape(id)+"/answers",
+		&AnswersRequest{Answers: answers}, &ar)
+	if err != nil {
+		return 0, err
+	}
+	return ar.Accepted, nil
+}
+
+// Trace downloads the job's JSONL run trace (one obs event per line).
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/estimates/"+url.PathEscape(id)+"/trace", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Cancel asks the server to stop the job. The run degrades gracefully:
+// the job still completes with a partial report rather than vanishing.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/estimates/"+url.PathEscape(id), nil, nil)
+}
+
+// Health fetches the server's health summary.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var hr HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &hr); err != nil {
+		return nil, err
+	}
+	return &hr, nil
+}
+
+// Wait polls until the job reaches a terminal state and returns the
+// final status. It is the completion path for stored-annotator jobs;
+// remote-annotator jobs normally finish through Run instead.
+func (c *Client) Wait(ctx context.Context, id string) (*EstimateStatus, error) {
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Status == StatusDone || st.Status == StatusFailed {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// AnswerFunc supplies the owner's answer for one stranger, using the
+// wire label encoding (1 not risky, 2 risky, 3 very risky). It is the
+// client-side analogue of sight.Annotator; errors abort Run.
+type AnswerFunc func(stranger int64) (int, error)
+
+// Run drives a remote-annotator job to completion: it submits the
+// request, long-polls questions, answers each through answer, and
+// returns the final report. This is the whole paper interaction — the
+// system asks the owner about a few strangers per round and learns the
+// rest — carried over the wire.
+func (c *Client) Run(ctx context.Context, req *EstimateRequest, answer AnswerFunc) (*Report, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return c.Drive(ctx, st.ID, answer)
+}
+
+// Drive runs the answer loop for an already-submitted job until it
+// reaches a terminal state, then returns its report. A failed job
+// returns its *APIError.
+func (c *Client) Drive(ctx context.Context, id string, answer AnswerFunc) (*Report, error) {
+	for {
+		qr, err := c.Questions(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if qr.Status == StatusDone || qr.Status == StatusFailed {
+			break
+		}
+		if len(qr.Questions) == 0 {
+			continue // long-poll timed out; ask again
+		}
+		answers := make([]Answer, 0, len(qr.Questions))
+		for _, q := range qr.Questions {
+			lab, err := answer(q.Stranger)
+			if err != nil {
+				return nil, fmt.Errorf("client: answer stranger %d: %w", q.Stranger, err)
+			}
+			answers = append(answers, Answer{Stranger: q.Stranger, Label: lab})
+		}
+		if _, err := c.Answer(ctx, id, answers); err != nil {
+			return nil, err
+		}
+	}
+	st, err := c.Get(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if st.Status == StatusFailed {
+		if st.Error != nil {
+			return nil, st.Error
+		}
+		return nil, fmt.Errorf("client: job %s failed", id)
+	}
+	return st.Report, nil
+}

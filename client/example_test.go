@@ -1,0 +1,75 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	sight "sightrisk"
+	"sightrisk/client"
+	"sightrisk/internal/server"
+)
+
+// ExampleClient_Run drives one estimate through a sightd server: the
+// network is submitted inline, the server asks the owner about a few
+// strangers per round over the long-poll loop, and the answer function
+// plays the owner. Production deployments run cmd/sightd; the example
+// stands the same handler up in-process.
+func ExampleClient_Run() {
+	// A miniature study: one owner, three friends, twelve strangers
+	// split evenly between two locales.
+	net := sight.NewNetwork()
+	owner := sight.UserID(1)
+	friends := []sight.UserID{2, 3, 4}
+	for _, f := range friends {
+		if err := net.AddFriendship(owner, f); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		s := sight.UserID(100 + i)
+		if err := net.AddFriendship(s, friends[i%3]); err != nil {
+			panic(err)
+		}
+		locale := "en_US"
+		if i%2 == 1 {
+			locale = "it_IT"
+		}
+		net.SetAttribute(s, sight.AttrLocale, locale)
+	}
+
+	srv, err := server.New(server.Config{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	defer srv.Drain(context.Background())
+
+	// The owner considers strangers from abroad risky.
+	c := client.New(hs.URL)
+	rep, err := c.Run(context.Background(), &client.EstimateRequest{
+		Network: client.NetworkFrom(net),
+		Owner:   int64(owner),
+	}, func(stranger int64) (int, error) {
+		if net.Attribute(sight.UserID(stranger), sight.AttrLocale) != "en_US" {
+			return int(sight.Risky), nil
+		}
+		return int(sight.NotRisky), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	risky := 0
+	for _, sr := range rep.Strangers {
+		if sr.Label == int(sight.Risky) {
+			risky++
+		}
+	}
+	fmt.Printf("strangers: %d\n", len(rep.Strangers))
+	fmt.Printf("risky: %d, owner answered %d questions\n", risky, rep.LabelsRequested)
+	// Output:
+	// strangers: 12
+	// risky: 6, owner answered 9 questions
+}

@@ -7,6 +7,7 @@
 //	riskbench [-scale small|medium|full] [-seed N] [-only fig4,table1,...] [-workers N]
 //	          [-fault-prob P] [-fault-latency D] [-fault-abandon N] [-fault-seed N] [-fault-retries N]
 //	          [-tenants N] [-tenant-rtt D] [-bench-out FILE]
+//	          [-serve-rtt] [-serve-out FILE]
 //
 // With -tenants N the command switches to fleet-benchmark mode: it
 // replicates the study for N tenants, runs every owner through the
@@ -14,6 +15,14 @@
 // and batched annotator transport, then re-runs the same jobs
 // sequentially, verifies the per-owner reports are byte-identical, and
 // writes throughput plus micro-benchmark numbers to BENCH_fleet.json.
+//
+// With -serve-rtt it benchmarks the serving layer instead: an
+// in-process sightd (internal/server) serves every owner over the
+// HTTP API — once with the server-side stored annotator, once with the
+// owner answering long-polled questions over the wire — verifies the
+// served reports byte-identical to in-process serial runs, and writes
+// endpoint latency plus per-question round-trip cost to
+// BENCH_serve.json.
 //
 // The full scale matches the paper's population (47 owners, mean 3,661
 // strangers each, ~172k stranger profiles) and takes a few minutes;
@@ -63,7 +72,17 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the structured run-event stream (JSONL, one event per line) to this file")
 	metricsOut := flag.String("metrics-out", "", "write the per-stage metrics snapshot (JSON) to this file at exit")
 	audit := flag.Bool("audit", false, "determinism-audit mode: run the robustness matrix twice per topology with the event auditor attached and report the first divergence (skips the experiment steps; non-zero exit on divergence)")
+	serveRTT := flag.Bool("serve-rtt", false, "serving-layer mode: stand up an in-process sightd, run every owner through the HTTP API on both the stored and the remote-annotator path, verify the served reports byte-identical to in-process serial runs, and write round-trip numbers to -serve-out (skips the experiment steps)")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "serve mode: where to write the round-trip JSON")
 	flag.Parse()
+
+	if *serveRTT {
+		if err := runServeBench(*scale, *seed, *workers, *serveOut); err != nil {
+			fmt.Fprintln(os.Stderr, "riskbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *audit {
 		if err := runAudit(*seed, *workers); err != nil {

@@ -1,0 +1,299 @@
+package main
+
+// Serving-layer benchmark mode (-serve-rtt): stands up an in-process
+// sightd (internal/server behind httptest) over the synthetic study
+// and runs every owner through the HTTP API twice — once with the
+// server-side stored annotator (no wire loop) and once with the owner
+// on the other end of the wire (questions long-polled, answers
+// posted). Both served paths are verified byte-identical to the
+// in-process serial run, so the numbers isolate pure serving overhead:
+// endpoint latency, long-poll wake-up cost and per-question round
+// trips. Results land in BENCH_serve.json (see EXPERIMENTS.md).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	sight "sightrisk"
+	"sightrisk/client"
+	"sightrisk/internal/dataset"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/parallel"
+	"sightrisk/internal/server"
+	"sightrisk/internal/stats"
+	"sightrisk/internal/synthetic"
+)
+
+// latencyStats summarizes a latency sample in microseconds.
+type latencyStats struct {
+	Samples   int     `json:"samples"`
+	MeanMicro float64 `json:"mean_us"`
+	P50Micro  float64 `json:"p50_us"`
+	P95Micro  float64 `json:"p95_us"`
+}
+
+func summarize(samples []time.Duration) latencyStats {
+	if len(samples) == 0 {
+		return latencyStats{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Microsecond)
+	}
+	return latencyStats{
+		Samples:   len(sorted),
+		MeanMicro: float64(sum) / float64(len(sorted)) / float64(time.Microsecond),
+		P50Micro:  pick(0.50),
+		P95Micro:  pick(0.95),
+	}
+}
+
+// serveSide is one served path's throughput numbers.
+type serveSide struct {
+	Owners         int     `json:"owners"`
+	Queries        int     `json:"queries"`
+	ElapsedMillis  float64 `json:"elapsed_ms"`
+	OwnersPerSec   float64 `json:"owners_per_sec"`
+	MillisPerOwner float64 `json:"ms_per_owner"`
+	// MillisPerQuery is the full wire cost of one owner question on the
+	// remote path: long-poll wake-up + answer POST (0 on the stored
+	// path, which has no wire loop).
+	MillisPerQuery float64 `json:"ms_per_query,omitempty"`
+}
+
+// serveBenchReport is the BENCH_serve.json shape.
+type serveBenchReport struct {
+	Scale   string `json:"scale"`
+	Seed    int64  `json:"seed"`
+	Owners  int    `json:"owners"`
+	Workers int    `json:"workers"`
+	// Healthz and Status sample raw endpoint latency (request in,
+	// response out — no pipeline work).
+	Healthz latencyStats `json:"healthz"`
+	Status  latencyStats `json:"status"`
+	// Serial is the in-process baseline the served paths are verified
+	// byte-identical against.
+	Serial serveSide `json:"serial"`
+	Stored serveSide `json:"stored"`
+	Remote serveSide `json:"remote"`
+	// StoredOverhead is the served-over-serial wall-time ratio of the
+	// stored path — pure serving-layer cost, no owner in the loop.
+	StoredOverhead float64 `json:"stored_overhead_ratio"`
+	Identical      bool    `json:"identical_reports"`
+}
+
+func runServeBench(scale string, seed int64, workers int, outPath string) error {
+	cfg, err := studyConfig(scale, seed)
+	if err != nil {
+		return err
+	}
+	resolved := parallel.ResolveWorkers(workers)
+	fmt.Printf("riskbench: serve mode — scale=%s seed=%d (server workers=%d)\n", scale, seed, resolved)
+
+	study, err := synthetic.GenerateStudy(cfg)
+	if err != nil {
+		return err
+	}
+	ds := dataset.FromStudy(study, true)
+	fmt.Printf("riskbench: study: %d owners, %d strangers total\n", len(ds.Owners), study.TotalStrangers())
+
+	srv, err := server.New(server.Config{
+		Datasets: map[string]*dataset.Dataset{"study": ds},
+		Workers:  resolved,
+	})
+	if err != nil {
+		return err
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+	c := client.New(hs.URL)
+	c.LongPoll = 10 * time.Second
+	ctx := context.Background()
+
+	// Serial baseline: the library path the served reports must
+	// reproduce byte for byte.
+	net := sight.WrapNetwork(ds.Graph, ds.ProfileStore())
+	want := make(map[graph.UserID][]byte, len(ds.Owners))
+	serialQueries := 0
+	serialStart := time.Now()
+	for _, rec := range ds.Owners {
+		ann := dataset.StoredAnnotator{Labels: rec.Labels, Fallback: label.Risky}
+		rep, err := sight.EstimateRisk(ctx, net, rec.ID, ann, sight.DefaultOptions())
+		if err != nil {
+			return fmt.Errorf("serial baseline: owner %d: %w", rec.ID, err)
+		}
+		b, err := json.Marshal(client.FromReport(rep))
+		if err != nil {
+			return err
+		}
+		want[rec.ID] = b
+		serialQueries += rep.LabelsRequested
+	}
+	serialElapsed := time.Since(serialStart)
+
+	identical := true
+	check := func(path string, owner graph.UserID, rep *client.Report) error {
+		got, err := json.Marshal(rep)
+		if err != nil {
+			return err
+		}
+		if string(got) != string(want[owner]) {
+			identical = false
+			fmt.Fprintf(os.Stderr, "riskbench: %s report for owner %d differs from serial run\n", path, owner)
+		}
+		return nil
+	}
+
+	// Stored path: the pipeline runs entirely server-side; the wire
+	// carries one submit and one status poll loop.
+	storedQueries := 0
+	storedStart := time.Now()
+	for _, rec := range ds.Owners {
+		st, err := c.Submit(ctx, &client.EstimateRequest{
+			Dataset: "study", Owner: int64(rec.ID), Annotator: client.AnnotatorStored,
+		})
+		if err != nil {
+			return fmt.Errorf("stored path: owner %d: %w", rec.ID, err)
+		}
+		fin, err := c.Wait(ctx, st.ID)
+		if err != nil {
+			return err
+		}
+		if fin.Status != client.StatusDone {
+			return fmt.Errorf("stored path: owner %d ended %q: %v", rec.ID, fin.Status, fin.Error)
+		}
+		storedQueries += fin.Queries
+		if err := check("stored", rec.ID, fin.Report); err != nil {
+			return err
+		}
+	}
+	storedElapsed := time.Since(storedStart)
+
+	// Remote path: the owner answers over the wire — every question
+	// pays a long-poll wake-up plus an answer POST.
+	remoteQueries := 0
+	remoteStart := time.Now()
+	for _, rec := range ds.Owners {
+		labels := rec.Labels
+		rep, err := c.Run(ctx, &client.EstimateRequest{Dataset: "study", Owner: int64(rec.ID)},
+			func(stranger int64) (int, error) {
+				remoteQueries++
+				if l, ok := labels[graph.UserID(stranger)]; ok {
+					return int(l), nil
+				}
+				return int(label.Risky), nil
+			})
+		if err != nil {
+			return fmt.Errorf("remote path: owner %d: %w", rec.ID, err)
+		}
+		if err := check("remote", rec.ID, rep); err != nil {
+			return err
+		}
+	}
+	remoteElapsed := time.Since(remoteStart)
+
+	// Raw endpoint latency, sampled against a terminal job's status.
+	lastID := ""
+	{
+		st, err := c.Submit(ctx, &client.EstimateRequest{
+			Dataset: "study", Owner: int64(ds.Owners[0].ID), Annotator: client.AnnotatorStored,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := c.Wait(ctx, st.ID); err != nil {
+			return err
+		}
+		lastID = st.ID
+	}
+	const pings = 50
+	healthz := make([]time.Duration, 0, pings)
+	status := make([]time.Duration, 0, pings)
+	for i := 0; i < pings; i++ {
+		t0 := time.Now()
+		if _, err := c.Health(ctx); err != nil {
+			return err
+		}
+		healthz = append(healthz, time.Since(t0))
+		t0 = time.Now()
+		if _, err := c.Get(ctx, lastID); err != nil {
+			return err
+		}
+		status = append(status, time.Since(t0))
+	}
+
+	side := func(owners, queries int, elapsed time.Duration, perQuery bool) serveSide {
+		s := serveSide{
+			Owners:         owners,
+			Queries:        queries,
+			ElapsedMillis:  float64(elapsed) / float64(time.Millisecond),
+			OwnersPerSec:   float64(owners) / elapsed.Seconds(),
+			MillisPerOwner: float64(elapsed) / float64(time.Millisecond) / float64(max(1, owners)),
+		}
+		if perQuery {
+			s.MillisPerQuery = float64(elapsed) / float64(time.Millisecond) / float64(max(1, queries))
+		}
+		return s
+	}
+	report := serveBenchReport{
+		Scale:          scale,
+		Seed:           seed,
+		Owners:         len(ds.Owners),
+		Workers:        resolved,
+		Healthz:        summarize(healthz),
+		Status:         summarize(status),
+		Serial:         side(len(ds.Owners), serialQueries, serialElapsed, false),
+		Stored:         side(len(ds.Owners), storedQueries, storedElapsed, false),
+		Remote:         side(len(ds.Owners), remoteQueries, remoteElapsed, true),
+		StoredOverhead: float64(storedElapsed) / float64(serialElapsed),
+		Identical:      identical,
+	}
+
+	t := stats.NewTable("Serving layer — sightd HTTP paths vs the in-process serial run (identical reports)",
+		"path", "owners", "queries", "elapsed", "ms/owner", "ms/query")
+	row := func(name string, s serveSide) {
+		perQuery := "-"
+		if s.MillisPerQuery > 0 {
+			perQuery = fmt.Sprintf("%.2f", s.MillisPerQuery)
+		}
+		t.AddRow(name, fmt.Sprintf("%d", s.Owners), fmt.Sprintf("%d", s.Queries),
+			fmt.Sprintf("%.0fms", s.ElapsedMillis), fmt.Sprintf("%.1f", s.MillisPerOwner), perQuery)
+	}
+	row("serial (in-process)", report.Serial)
+	row("served, stored", report.Stored)
+	row("served, remote", report.Remote)
+	fmt.Println(t)
+	fmt.Printf("serving overhead (stored/serial): %.2fx   healthz p50 %.0fµs   status p50 %.0fµs   identical reports: %v\n\n",
+		report.StoredOverhead, report.Healthz.P50Micro, report.Status.P50Micro, identical)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("riskbench: wrote %s\n", outPath)
+	if !identical {
+		return fmt.Errorf("served reports are not byte-identical to serial output")
+	}
+	return nil
+}

@@ -9,14 +9,18 @@
 //	sightctl info -in study.json
 //	    Print dataset statistics.
 //
-//	sightctl run -in study.json [-owner ID] [-strategy npp|nsp] [-v] [-interactive] [-checkpoint file]
+//	sightctl run -in study.json [-owner ID] [-strategy npp|nsp] [-v] [-interactive] [-checkpoint file] [-server URL]
 //	    Run the risk-estimation pipeline for one owner (or all owners)
 //	    using the stored labels as the annotator — or, with
 //	    -interactive, answering the paper's labeling question on the
 //	    terminal — and print the resulting risk report. SIGINT/SIGTERM
 //	    cancel the run gracefully: the partial report is printed with
 //	    per-pool status, and with -checkpoint the session state is on
-//	    disk so the same invocation resumes where it stopped.
+//	    disk so the same invocation resumes where it stopped. With
+//	    -server the same run goes through a sightd server instead: the
+//	    network is submitted inline and the annotator answers the
+//	    long-polled owner questions over the wire (the serving layer is
+//	    deterministic, so the printed report is identical).
 //
 //	sightctl crawl -in study.json -owner ID [-ticks N] [-failprob P]
 //	    Simulate the Sight crawler discovering the owner's strangers
@@ -42,7 +46,9 @@ import (
 	"os/signal"
 	"sort"
 	"syscall"
+	"time"
 
+	"sightrisk/client"
 	"sightrisk/internal/benefit"
 	"sightrisk/internal/crawler"
 	"sightrisk/internal/dataset"
@@ -165,10 +171,14 @@ func cmdRun(args []string) error {
 	out := fs.String("out", "", "also write the risk reports as JSON to this file")
 	seed := fs.Int64("seed", 1, "sampling seed")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: resumed from when it exists, rewritten after every labeling round (requires -owner)")
+	serverURL := fs.String("server", "", "sightd base URL (e.g. http://127.0.0.1:8321): run through the serving layer instead of in-process; the network travels inline and answers are posted over the wire")
 	fs.Parse(args)
 
 	if *checkpoint != "" && *ownerID == 0 {
 		return fmt.Errorf("-checkpoint requires a single -owner")
+	}
+	if *checkpoint != "" && *serverURL != "" {
+		return fmt.Errorf("-checkpoint is not supported with -server: sightd checkpoints server-side (restart it with the same -state to resume)")
 	}
 	ds, err := dataset.Load(*in)
 	if err != nil {
@@ -185,6 +195,20 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 	net := sight.WrapNetwork(ds.Graph, ds.ProfileStore())
+
+	// Remote mode: the same per-owner loop, but each estimate runs on a
+	// sightd server — the dataset's network travels inline and the
+	// annotator (stored labels or the terminal) answers the long-polled
+	// questions from here. Serving is deterministic, so the reports are
+	// identical to the in-process ones.
+	var (
+		remote  *client.Client
+		payload *client.NetworkPayload
+	)
+	if *serverURL != "" {
+		remote = client.New(*serverURL)
+		payload = client.NetworkFrom(net)
+	}
 
 	// SIGINT/SIGTERM cancel the run at the next query boundary; the
 	// pipeline degrades to a partial report instead of dying mid-round.
@@ -232,7 +256,12 @@ func cmdRun(args []string) error {
 				return sight.SaveCheckpoint(path, c)
 			}
 		}
-		rep, err := sight.EstimateRisk(ctx, net, id, ann, opts)
+		var rep *sight.Report
+		if remote != nil {
+			rep, err = runRemote(ctx, remote, payload, id, rec.Confidence, *strategy, *seed, ann)
+		} else {
+			rep, err = sight.EstimateRisk(ctx, net, id, ann, opts)
+		}
 		if err != nil {
 			return err
 		}
@@ -263,6 +292,49 @@ func cmdRun(args []string) error {
 		fmt.Printf("wrote %d report(s) to %s\n", len(reports), *out)
 	}
 	return nil
+}
+
+// runRemote runs one owner's estimate through a sightd server: submit
+// the inline network, long-poll the owner questions, answer each from
+// ann (stored labels or the interactive prompt), and convert the wire
+// report back to the library form. A local interrupt cancels the
+// server-side job and collects the partial report it degrades to —
+// the same graceful shape as the in-process path.
+func runRemote(ctx context.Context, c *client.Client, payload *client.NetworkPayload, owner graph.UserID, confidence float64, strategy string, seed int64, ann sight.Annotator) (*sight.Report, error) {
+	st, err := c.Submit(ctx, &client.EstimateRequest{
+		Network: payload,
+		Owner:   int64(owner),
+		Options: &client.OptionsPayload{
+			Seed:       &seed,
+			Strategy:   &strategy,
+			Confidence: &confidence,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := c.Drive(ctx, st.ID, func(stranger int64) (int, error) {
+		return int(ann.LabelStranger(graph.UserID(stranger))), nil
+	})
+	if err == nil {
+		return rep.Sight(), nil
+	}
+	if ctx.Err() == nil {
+		return nil, err
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := c.Cancel(cctx, st.ID); err != nil {
+		return nil, err
+	}
+	fin, err := c.Wait(cctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	if fin.Status != client.StatusDone || fin.Report == nil {
+		return nil, fmt.Errorf("canceled job %s ended %q: %v", st.ID, fin.Status, fin.Error)
+	}
+	return fin.Report.Sight(), nil
 }
 
 func printReport(rep *sight.Report, rec dataset.OwnerRecord, verbose bool) {

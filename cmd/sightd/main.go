@@ -1,0 +1,171 @@
+// Command sightd serves risk estimates over HTTP — the deployed shape
+// of the paper's Sight system, which ran as a live social-network
+// application answering owner queries. It fronts the fleet scheduler:
+// jobs from many tenants share one worker budget, one weight cache and
+// per-tenant admission limits, while each job runs the exact serial
+// engine path so its report is byte-identical to an in-process run.
+//
+//	sightd -addr :8321 -dataset study=study.json -state /var/lib/sightd \
+//	       -workers 8 -limit tenantA=4:1000
+//
+// Endpoints (see docs/API.md for the full reference):
+//
+//	POST   /v1/estimates                submit a job (dataset ref or inline network)
+//	GET    /v1/estimates/{id}           status + final report
+//	GET    /v1/estimates/{id}/questions long-poll pending owner questions
+//	POST   /v1/estimates/{id}/answers   post owner answers
+//	GET    /v1/estimates/{id}/trace     JSONL run trace (internal/obs events)
+//	DELETE /v1/estimates/{id}           cancel (degrades to a partial report)
+//	GET    /healthz                     liveness + drain state + job counts
+//	GET    /varz                        expvar dump + pipeline metrics + scheduler stats
+//
+// SIGINT/SIGTERM drain gracefully: in-flight jobs are interrupted at
+// the next query boundary, their checkpoints stay on disk, and a
+// restarted sightd with the same -state directory requeues and resumes
+// them without re-asking the owner anything.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sightrisk/internal/dataset"
+	"sightrisk/internal/fleet"
+	"sightrisk/internal/server"
+)
+
+// datasetFlags collects repeatable name=path dataset references.
+type datasetFlags map[string]string
+
+// String implements flag.Value.
+func (d datasetFlags) String() string {
+	parts := make([]string, 0, len(d))
+	for name, path := range d {
+		parts = append(parts, name+"="+path)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (d datasetFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	d[name] = path
+	return nil
+}
+
+// limitFlags collects repeatable tenant=maxActive:maxQueries limits.
+type limitFlags map[string]fleet.TenantLimits
+
+// String implements flag.Value.
+func (l limitFlags) String() string {
+	parts := make([]string, 0, len(l))
+	for tenant, lim := range l {
+		parts = append(parts, fmt.Sprintf("%s=%d:%d", tenant, lim.MaxActive, lim.MaxQueries))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (l limitFlags) Set(v string) error {
+	tenant, spec, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want tenant=maxActive:maxQueries, got %q", v)
+	}
+	activeStr, queriesStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("want tenant=maxActive:maxQueries, got %q", v)
+	}
+	active, err := strconv.Atoi(activeStr)
+	if err != nil {
+		return fmt.Errorf("maxActive in %q: %v", v, err)
+	}
+	queries, err := strconv.Atoi(queriesStr)
+	if err != nil {
+		return fmt.Errorf("maxQueries in %q: %v", v, err)
+	}
+	l[tenant] = fleet.TenantLimits{MaxActive: active, MaxQueries: queries}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sightd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	datasets := datasetFlags{}
+	limits := limitFlags{}
+	var (
+		addr         = flag.String("addr", ":8321", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent jobs across all tenants (0 = one per CPU)")
+		stateDir     = flag.String("state", "", "state directory for checkpoint/resume across restarts (empty = no durability)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
+	)
+	flag.Var(datasets, "dataset", "preloaded dataset as name=path (repeatable)")
+	flag.Var(limits, "limit", "tenant admission limits as tenant=maxActive:maxQueries (repeatable, 0 = unlimited)")
+	flag.Parse()
+
+	loaded := make(map[string]*dataset.Dataset, len(datasets))
+	for name, path := range datasets {
+		ds, err := dataset.Load(path)
+		if err != nil {
+			return err
+		}
+		loaded[name] = ds
+		log.Printf("sightd: dataset %q: %d users, %d friendships, %d owners",
+			name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), len(ds.Owners))
+	}
+
+	srv, err := server.New(server.Config{
+		Datasets: loaded,
+		Workers:  *workers,
+		StateDir: *stateDir,
+		Limits:   limits,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("sightd: listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-sigCtx.Done():
+	}
+
+	log.Printf("sightd: draining (up to %v)", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("sightd: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		httpSrv.Close()
+	}
+	log.Printf("sightd: stopped")
+	return nil
+}

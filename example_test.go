@@ -2,10 +2,45 @@ package sight_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"sightrisk"
 )
+
+// exampleNetwork builds the miniature study the examples share: one
+// owner, three friends, and twelve strangers split evenly between two
+// locales. The returned judge labels strangers from abroad risky.
+func exampleNetwork() (*sight.Network, sight.UserID, sight.AnnotatorFunc) {
+	net := sight.NewNetwork()
+	owner := sight.UserID(1)
+	friends := []sight.UserID{2, 3, 4}
+	for _, f := range friends {
+		if err := net.AddFriendship(owner, f); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		s := sight.UserID(100 + i)
+		if err := net.AddFriendship(s, friends[i%3]); err != nil {
+			panic(err)
+		}
+		locale := "en_US"
+		if i%2 == 1 {
+			locale = "it_IT"
+		}
+		net.SetAttribute(s, sight.AttrLocale, locale)
+		net.SetAttribute(s, sight.AttrGender, "female")
+		net.SetAttribute(s, sight.AttrLastName, "Fam-1")
+	}
+	judge := sight.AnnotatorFunc(func(s sight.UserID) sight.Label {
+		if net.Attribute(s, sight.AttrLocale) != "en_US" {
+			return sight.Risky
+		}
+		return sight.NotRisky
+	})
+	return net, owner, judge
+}
 
 // ExampleEstimateRisk runs the full pipeline on a miniature network:
 // one owner, three friends, and twelve strangers the owner judges by
@@ -51,6 +86,88 @@ func ExampleEstimateRisk() {
 	// Output:
 	// strangers: 12
 	// not risky: 6, risky: 6
+}
+
+// ExampleAsFallible shows the two annotator contracts EstimateRisk
+// accepts and how they are adapted to the fault-aware one the engine
+// runs on.
+func ExampleAsFallible() {
+	// A plain Annotator is wrapped: it can neither fail nor be
+	// canceled mid-question.
+	plain := sight.AnnotatorFunc(func(sight.UserID) sight.Label { return sight.NotRisky })
+	ann, _ := sight.AsFallible(plain)
+	l, err := ann.LabelStranger(context.Background(), 42)
+	fmt.Println(l, err)
+
+	// A FallibleAnnotator passes through unchanged — it can return
+	// transient errors (retried per Options.Retry) or ErrAbandoned
+	// (degrades the run to a partial report).
+	tired := sight.FallibleAnnotatorFunc(func(ctx context.Context, s sight.UserID) (sight.Label, error) {
+		return 0, sight.ErrAbandoned
+	})
+	ann, _ = sight.AsFallible(tired)
+	_, err = ann.LabelStranger(context.Background(), 42)
+	fmt.Println(errors.Is(err, sight.ErrAbandoned))
+
+	// Anything else is rejected up front.
+	_, err = sight.AsFallible(nil)
+	fmt.Println(err)
+	// Output:
+	// not risky <nil>
+	// true
+	// sight: annotator must not be nil
+}
+
+// ExampleEstimateRisk_checkpointResume interrupts a labeling session
+// and resumes it from a checkpoint: the first session's answers are
+// replayed — the owner is never asked twice — and the resumed report
+// is identical to an uninterrupted run.
+func ExampleEstimateRisk_checkpointResume() {
+	net, owner, judge := exampleNetwork()
+	ctx := context.Background()
+
+	// First session: the owner walks away after three answers — one
+	// full round, so one checkpoint has been written by then.
+	answered := 0
+	quitter := sight.FallibleAnnotatorFunc(func(ctx context.Context, s sight.UserID) (sight.Label, error) {
+		if answered >= 3 {
+			return 0, sight.ErrAbandoned
+		}
+		answered++
+		return judge(s), nil
+	})
+	var saved *sight.Checkpoint
+	opts := sight.DefaultOptions()
+	opts.Checkpointing.Sink = func(c *sight.Checkpoint) error { saved = c; return nil }
+	partial, err := sight.EstimateRisk(ctx, net, owner, quitter, opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("first session: partial %v, checkpoint saved %v\n", partial.Partial, saved != nil)
+
+	// Second session: resume from the checkpoint with a present owner.
+	opts.Checkpointing.Sink = nil
+	opts.Checkpointing.Resume = saved
+	resumed, err := sight.EstimateRisk(ctx, net, owner, judge, opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("resumed session: partial %v\n", resumed.Partial)
+
+	// The resumed report matches an uninterrupted run label for label.
+	clean, err := sight.EstimateRisk(ctx, net, owner, judge, sight.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	same := len(resumed.Strangers) == len(clean.Strangers)
+	for i := range clean.Strangers {
+		same = same && resumed.Strangers[i] == clean.Strangers[i]
+	}
+	fmt.Printf("identical to an uninterrupted run: %v\n", same)
+	// Output:
+	// first session: partial true, checkpoint saved true
+	// resumed session: partial false
+	// identical to an uninterrupted run: true
 }
 
 // ExampleBuildAccessPolicy shows label-based access control: a policy

@@ -22,9 +22,12 @@ import (
 
 // OwnerRecord is one study participant.
 type OwnerRecord struct {
-	ID         graph.UserID       `json:"id"`
-	Confidence float64            `json:"confidence"`
-	Theta      map[string]float64 `json:"theta,omitempty"`
+	// ID is the owner's user id in the dataset's graph.
+	ID graph.UserID `json:"id"`
+	// Confidence is the owner's self-reported confidence in [0,100].
+	Confidence float64 `json:"confidence"`
+	// Theta holds the owner's benefit-item weights, keyed by item name.
+	Theta map[string]float64 `json:"theta,omitempty"`
 	// Labels are collected owner risk judgments, keyed by stranger id.
 	Labels map[graph.UserID]label.Label `json:"labels,omitempty"`
 }
@@ -32,10 +35,13 @@ type OwnerRecord struct {
 // Dataset is a persistable study.
 type Dataset struct {
 	// Name is a free-form label for the study.
-	Name     string             `json:"name"`
-	Graph    *graph.Graph       `json:"graph"`
+	Name string `json:"name"`
+	// Graph is the study's social graph.
+	Graph *graph.Graph `json:"graph"`
+	// Profiles holds every user's profile.
 	Profiles []*profile.Profile `json:"profiles"`
-	Owners   []OwnerRecord      `json:"owners"`
+	// Owners are the study participants with their ground truth.
+	Owners []OwnerRecord `json:"owners"`
 }
 
 // New returns an empty dataset with an initialized graph.
@@ -174,7 +180,9 @@ func Load(path string) (*Dataset, error) {
 // Strangers without a stored label yield Fallback (or panic when
 // Fallback is unset, signalling a dataset/engine mismatch).
 type StoredAnnotator struct {
-	Labels   map[graph.UserID]label.Label
+	// Labels maps stranger id to the stored judgment.
+	Labels map[graph.UserID]label.Label
+	// Fallback answers strangers missing from Labels (0 panics).
 	Fallback label.Label
 }
 

@@ -58,6 +58,7 @@ import (
 
 // OwnerJob is one owner's risk-estimation request.
 type OwnerJob struct {
+	// Owner is the user the estimate is for.
 	Owner graph.UserID
 	// Annotator answers the owner's label queries. Ignored when the
 	// fleet runs with a batched Transport (questions are routed there
@@ -85,16 +86,21 @@ type Budget struct {
 // Tenant is one isolated customer of the fleet: a graph, its profile
 // store, and the owner jobs to run on them.
 type Tenant struct {
-	ID    string
+	// ID names the tenant in results, stats and transport questions.
+	ID string
+	// Graph is the tenant's social graph.
 	Graph *graph.Graph
+	// Store holds the tenant's user profiles.
 	Store *profile.Store
 	// Snapshot is the frozen view shared by the tenant's jobs; taken
 	// from Graph at Run start when nil.
 	Snapshot *graph.Snapshot
-	Jobs     []OwnerJob
+	// Jobs are the owner estimates to run.
+	Jobs []OwnerJob
 	// Shares weights the tenant's DRR credit per rotation visit.
 	// 0 means 1.
 	Shares int
+	// Budget caps the tenant's resource consumption.
 	Budget Budget
 }
 
@@ -130,16 +136,22 @@ type Config struct {
 type SkipReason string
 
 const (
-	SkipCost    SkipReason = "cost-budget"
+	// SkipCost: the job's estimated cost would cross Budget.MaxCost.
+	SkipCost SkipReason = "cost-budget"
+	// SkipQueries: the tenant's finished jobs spent Budget.MaxQueries.
 	SkipQueries SkipReason = "query-budget"
 )
 
 // TenantResult collects one tenant's outcomes in job order. Runs[i] is
 // nil exactly when Errs[i] != nil or Skipped[i] != "".
 type TenantResult struct {
-	ID      string
-	Runs    []*core.OwnerRun
-	Errs    []error
+	// ID echoes the tenant's id.
+	ID string
+	// Runs holds the completed runs, one slot per job.
+	Runs []*core.OwnerRun
+	// Errs holds per-job hard failures.
+	Errs []error
+	// Skipped holds per-job budget skips ("" when the job ran).
 	Skipped []SkipReason
 	// Queries is the owner-label spend of the tenant's finished jobs.
 	Queries int
@@ -150,12 +162,12 @@ type TenantResult struct {
 // Stats aggregates fleet-level throughput accounting.
 type Stats struct {
 	Owners  int // jobs run to completion (including partial runs)
-	Skipped int
-	Errors  int
+	Skipped int // jobs skipped over budgets
+	Errors  int // jobs that failed hard
 	Queries int // owner labels spent across the fleet
-	Elapsed time.Duration
-	Cache   cluster.CacheStats
-	Batch   BatchStats
+	Elapsed time.Duration      // wall time of the whole fleet run
+	Cache   cluster.CacheStats // shared weight-cache accounting
+	Batch   BatchStats         // batched-transport accounting
 }
 
 // OwnersPerSec returns completed owners per second of wall time.
@@ -176,8 +188,10 @@ func (s Stats) QueriesPerSec() float64 {
 
 // Result is the outcome of a fleet run.
 type Result struct {
+	// Tenants holds per-tenant outcomes, in input order.
 	Tenants []TenantResult
-	Stats   Stats
+	// Stats aggregates fleet-level throughput accounting.
+	Stats Stats
 }
 
 // job is one dispatched unit.

@@ -11,8 +11,11 @@ import (
 
 // Question is one owner-label query in a batched round-trip.
 type Question struct {
-	Tenant   string
-	Owner    graph.UserID
+	// Tenant names the tenant the question belongs to.
+	Tenant string
+	// Owner is the user being asked.
+	Owner graph.UserID
+	// Stranger is the user the owner is asked to label.
 	Stranger graph.UserID
 }
 
@@ -26,6 +29,7 @@ type Question struct {
 // at most one question outstanding), so implementations may fan out
 // per owner internally without reordering concerns.
 type Transport interface {
+	// LabelBatch answers one batch of questions positionally.
 	LabelBatch(ctx context.Context, qs []Question) ([]label.Label, error)
 }
 

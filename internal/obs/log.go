@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Log is an in-memory JSONL terminal sink: every observed event is
+// stamped (sequence number, timestamp) and appended as one JSON line
+// to an internal buffer that can be snapshotted at any time. It backs
+// the serving layer's per-job trace download (GET
+// /v1/estimates/{id}/trace): the run writes events while HTTP handlers
+// concurrently read consistent snapshots.
+//
+// Unlike Tracer, which streams to an external writer and cannot replay
+// what it already wrote, Log retains the encoded bytes; unlike Ring,
+// it never evicts. Safe for concurrent use.
+type Log struct {
+	mu  sync.Mutex
+	buf []byte
+	seq uint64
+	now func() time.Time
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{now: time.Now} }
+
+// Observe implements Observer. Events that fail to encode (impossible
+// for the engine's own events, which hold only plain values) are
+// dropped.
+func (l *Log) Observe(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	ev.Seq = l.seq
+	if ev.Time.IsZero() {
+		ev.Time = l.now()
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	l.buf = append(l.buf, line...)
+	l.buf = append(l.buf, '\n')
+}
+
+// Bytes returns a copy of the JSONL encoding of every event observed
+// so far (one JSON object per line, in observation order).
+func (l *Log) Bytes() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]byte, len(l.buf))
+	copy(out, l.buf)
+	return out
+}
+
+// Len returns the number of events observed so far.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.seq)
+}
+
+// WriteTo writes the current JSONL snapshot to w.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(l.Bytes())
+	return int64(n), err
+}

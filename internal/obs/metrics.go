@@ -35,23 +35,26 @@ type Metrics struct {
 	Queries atomic.Uint64
 	// Retries counts annotator re-attempts after transient failures.
 	Retries atomic.Uint64
-	// HarmonicSolves counts classifier solves; HarmonicIters sums their
-	// Jacobi iteration counts.
+	// HarmonicSolves counts classifier solves.
 	HarmonicSolves atomic.Uint64
-	HarmonicIters  atomic.Uint64
-	// CacheHits / CacheMisses count shared weight-cache lookups.
-	CacheHits   atomic.Uint64
+	// HarmonicIters sums the solves' Jacobi iteration counts.
+	HarmonicIters atomic.Uint64
+	// CacheHits counts shared weight-cache hits.
+	CacheHits atomic.Uint64
+	// CacheMisses counts shared weight-cache misses.
 	CacheMisses atomic.Uint64
-	// FleetDispatched / FleetSkipped count fleet scheduler decisions.
+	// FleetDispatched counts jobs the fleet scheduler dispatched.
 	FleetDispatched atomic.Uint64
-	FleetSkipped    atomic.Uint64
+	// FleetSkipped counts jobs the fleet scheduler skipped over budgets.
+	FleetSkipped atomic.Uint64
 
-	// PoolSizes, RoundsPerPool and SolveIters are power-of-two-bucket
-	// histograms of pool membership counts, session lengths and solver
-	// iteration counts.
-	PoolSizes     Histogram
+	// PoolSizes is a power-of-two-bucket histogram of pool membership
+	// counts.
+	PoolSizes Histogram
+	// RoundsPerPool is a histogram of session lengths.
 	RoundsPerPool Histogram
-	SolveIters    Histogram
+	// SolveIters is a histogram of solver iteration counts.
+	SolveIters Histogram
 }
 
 // histBuckets covers 0, 1, 2-3, 4-7, ... up to >= 2^15 — plenty for
@@ -79,9 +82,9 @@ func (h *Histogram) Observe(v int) {
 
 // Bucket is one non-empty histogram bucket covering [Lo, Hi].
 type Bucket struct {
-	Lo    int    `json:"lo"`
-	Hi    int    `json:"hi"`
-	Count uint64 `json:"count"`
+	Lo    int    `json:"lo"`    // lowest value the bucket covers
+	Hi    int    `json:"hi"`    // highest value the bucket covers
+	Count uint64 `json:"count"` // observations that landed in it
 }
 
 // Snapshot returns the non-empty buckets, lowest first.
@@ -105,24 +108,26 @@ func (h *Histogram) Snapshot() []Bucket {
 	return out
 }
 
-// MetricsSnapshot is a point-in-time JSON-friendly copy of a Metrics.
+// MetricsSnapshot is a point-in-time JSON-friendly copy of a Metrics;
+// each field mirrors the Metrics counter (or histogram) of the same
+// name.
 type MetricsSnapshot struct {
-	Runs            uint64   `json:"runs"`
-	NSBuilds        uint64   `json:"ns_builds"`
-	SqueezerPasses  uint64   `json:"squeezer_passes"`
-	PoolsBuilt      uint64   `json:"pools_built"`
-	Rounds          uint64   `json:"rounds"`
-	Queries         uint64   `json:"queries"`
-	Retries         uint64   `json:"retries"`
-	HarmonicSolves  uint64   `json:"harmonic_solves"`
-	HarmonicIters   uint64   `json:"harmonic_iters"`
-	CacheHits       uint64   `json:"cache_hits"`
-	CacheMisses     uint64   `json:"cache_misses"`
-	FleetDispatched uint64   `json:"fleet_dispatched"`
-	FleetSkipped    uint64   `json:"fleet_skipped"`
-	PoolSizes       []Bucket `json:"pool_sizes,omitempty"`
-	RoundsPerPool   []Bucket `json:"rounds_per_pool,omitempty"`
-	SolveIters      []Bucket `json:"solve_iters,omitempty"`
+	Runs            uint64   `json:"runs"`             // see Metrics.Runs
+	NSBuilds        uint64   `json:"ns_builds"`        // see Metrics.NSBuilds
+	SqueezerPasses  uint64   `json:"squeezer_passes"`  // see Metrics.SqueezerPasses
+	PoolsBuilt      uint64   `json:"pools_built"`      // see Metrics.PoolsBuilt
+	Rounds          uint64   `json:"rounds"`           // see Metrics.Rounds
+	Queries         uint64   `json:"queries"`          // see Metrics.Queries
+	Retries         uint64   `json:"retries"`          // see Metrics.Retries
+	HarmonicSolves  uint64   `json:"harmonic_solves"`  // see Metrics.HarmonicSolves
+	HarmonicIters   uint64   `json:"harmonic_iters"`   // see Metrics.HarmonicIters
+	CacheHits       uint64   `json:"cache_hits"`       // see Metrics.CacheHits
+	CacheMisses     uint64   `json:"cache_misses"`     // see Metrics.CacheMisses
+	FleetDispatched uint64   `json:"fleet_dispatched"` // see Metrics.FleetDispatched
+	FleetSkipped    uint64   `json:"fleet_skipped"`    // see Metrics.FleetSkipped
+	PoolSizes       []Bucket `json:"pool_sizes,omitempty"`      // see Metrics.PoolSizes
+	RoundsPerPool   []Bucket `json:"rounds_per_pool,omitempty"` // see Metrics.RoundsPerPool
+	SolveIters      []Bucket `json:"solve_iters,omitempty"`     // see Metrics.SolveIters
 }
 
 // Snapshot loads every counter once and returns the copy.

@@ -119,6 +119,7 @@ type Event struct {
 	// Dur is the measured duration for span-like events (pool.weights).
 	Dur time.Duration `json:"dur_ns,omitempty"`
 
+	// Kind says what happened (see the Kind* constants).
 	Kind Kind `json:"kind"`
 	// Tenant attributes the event to a fleet tenant ("" standalone).
 	Tenant string `json:"tenant,omitempty"`
@@ -158,6 +159,7 @@ func (e Event) Canonical() Event {
 // across goroutines (Tracer, Ring, Auditor) are safe for concurrent
 // use; intermediate Buffers are not (they buffer one session's stream).
 type Observer interface {
+	// Observe receives one event.
 	Observe(Event)
 }
 

@@ -98,6 +98,7 @@ const (
 // stranger twice must yield the same label, and the label must not
 // depend on the order questions arrive in.
 type Annotator interface {
+	// LabelStranger returns the owner's risk label for the stranger.
 	LabelStranger(s UserID) Label
 }
 
@@ -288,6 +289,14 @@ type Event = obs.Event
 // TraceConfig tunes what the Observer stream carries.
 type TraceConfig = obs.TraceConfig
 
+// Metrics accumulates lock-free per-stage counters and histograms
+// across runs (pool builds, learning rounds, owner queries, solver
+// iterations, cache hits, retries). One value is safely shared by any
+// number of concurrent runs; the zero value is ready to use. Attach
+// one via Options.Observability.Metrics, then export it with its
+// Publish (expvar) or WriteJSON methods.
+type Metrics = obs.Metrics
+
 // NewTracer returns an Observer writing one JSON event per line to w.
 // Writes are serialized internally; check the tracer's error (if w can
 // fail) by keeping the concrete *obs value — the stream is best-effort
@@ -357,6 +366,11 @@ type ObservabilityOptions struct {
 	// Trace tunes the stream, e.g. Trace.Digests attaches
 	// order-sensitive stage digests for determinism audits.
 	Trace TraceConfig
+	// Metrics, when non-nil, accumulates per-stage counters across
+	// runs. Unlike Observer it carries no per-event cost — counters are
+	// independent atomics — so it is cheap enough to leave on in
+	// production servers (sightd feeds its /varz from one).
+	Metrics *Metrics
 }
 
 // Options tunes the risk-estimation pipeline, grouped by pipeline
@@ -504,11 +518,25 @@ func (o Options) coreConfig() (core.Config, error) {
 	cfg.AbandonGrace = o.Checkpointing.AbandonGrace
 	cfg.Observer = o.Observability.Observer
 	cfg.Trace = o.Observability.Trace
+	cfg.Metrics = o.Observability.Metrics
 	return cfg, nil
+}
+
+// EngineConfig returns the internal engine configuration these options
+// denote, after validation. Intended for code inside this module (the
+// serving layer hands it to the fleet scheduler so served jobs run the
+// exact configuration EstimateRisk would); external users call
+// EstimateRisk.
+func (o Options) EngineConfig() (core.Config, error) {
+	if err := o.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return o.coreConfig()
 }
 
 // StrangerRisk is one stranger's entry in a risk report.
 type StrangerRisk struct {
+	// User identifies the stranger.
 	User UserID
 	// Label is the final risk label — the owner's own where one was
 	// collected, the classifier's prediction otherwise.
@@ -527,7 +555,9 @@ type StrangerRisk struct {
 
 // Report is the outcome of EstimateRisk.
 type Report struct {
-	Owner     UserID
+	// Owner is the user the estimate was run for.
+	Owner UserID
+	// Strangers holds one entry per stranger, in deterministic order.
 	Strangers []StrangerRisk
 	// LabelsRequested is the owner effort spent (direct labels).
 	LabelsRequested int
@@ -630,9 +660,17 @@ func EstimateRisk(ctx context.Context, n *Network, owner UserID, ann AnyAnnotato
 	if err != nil {
 		return nil, err
 	}
+	return AssembleReport(run), nil
+}
 
+// AssembleReport builds a Report from a finished engine run, exactly
+// as EstimateRisk does. Intended for code inside this module (the
+// serving layer assembles reports from fleet-scheduler runs with it,
+// which is what makes served reports byte-identical to in-process
+// ones); external users call EstimateRisk.
+func AssembleReport(run *core.OwnerRun) *Report {
 	rep := &Report{
-		Owner:           owner,
+		Owner:           run.Owner,
 		LabelsRequested: run.QueriedCount(),
 		Pools:           len(run.Pools),
 		MeanRounds:      run.MeanRoundsToStop(),
@@ -654,7 +692,7 @@ func EstimateRisk(ctx context.Context, n *Network, owner UserID, ann AnyAnnotato
 			})
 		}
 	}
-	return rep, nil
+	return rep
 }
 
 // EstimateRiskContext runs the pipeline with a fallible annotator.
