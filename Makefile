@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test bench-smoke audit docs serve-smoke race bench fleet-bench serve-bench
+.PHONY: tier1 build vet test bench-smoke audit docs serve-smoke scale-smoke race fuzz bench fleet-bench serve-bench scale-bench
 
-tier1: build vet test bench-smoke audit docs serve-smoke
+tier1: build vet test bench-smoke audit docs serve-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -46,8 +46,21 @@ docs:
 serve-smoke:
 	$(GO) run ./cmd/riskbench -serve-rtt -serve-out /tmp/BENCH_serve_smoke.json
 
+# Scale-curve smoke test: one small population through the whole
+# snapshot-file pipeline — generate straight into CSR, pack, mmap
+# open, JSON-load comparison, owner estimates off the mapped pages,
+# byte-identity against the in-memory arrays. The real curve
+# (BENCH_scale.json, up to 10^6 nodes) comes from `make scale-bench`.
+scale-smoke:
+	$(GO) run ./cmd/riskbench -scale sweep -scale-sizes 10000 -scale-owners 2 -scale-out /tmp/BENCH_scale_smoke.json
+
 race:
 	$(GO) test -race ./...
+
+# Snapshot-decoder fuzzing: run the corruption fuzzer for a short
+# bounded burst (longer runs: raise -fuzztime).
+fuzz:
+	$(GO) test -run Fuzz -fuzz=FuzzSnapfileOpen -fuzztime=10s ./internal/graph/snapfile
 
 # Full micro-benchmark sweep (slow; see README "Performance").
 bench:
@@ -62,3 +75,8 @@ fleet-bench:
 # EXPERIMENTS.md for methodology).
 serve-bench:
 	$(GO) run ./cmd/riskbench -serve-rtt
+
+# Million-node scale curve: writes BENCH_scale.json (see EXPERIMENTS.md
+# "Scale curve" for methodology). Takes a few minutes.
+scale-bench:
+	$(GO) run ./cmd/riskbench -scale sweep

@@ -26,6 +26,7 @@ import (
 var defaultDirs = []string{
 	".", "./client",
 	"./internal/fleet", "./internal/server", "./internal/obs", "./internal/dataset",
+	"./internal/graph", "./internal/graph/snapfile", "./internal/synthetic",
 }
 
 func main() {

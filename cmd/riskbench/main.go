@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	riskbench [-scale small|medium|full] [-seed N] [-only fig4,table1,...] [-workers N]
+//	riskbench [-scale small|medium|full|sweep] [-seed N] [-only fig4,table1,...] [-workers N]
 //	          [-fault-prob P] [-fault-latency D] [-fault-abandon N] [-fault-seed N] [-fault-retries N]
 //	          [-tenants N] [-tenant-rtt D] [-bench-out FILE]
 //	          [-serve-rtt] [-serve-out FILE]
+//	          [-scale-sizes 10000,...] [-scale-out FILE]
 //
 // With -tenants N the command switches to fleet-benchmark mode: it
 // replicates the study for N tenants, runs every owner through the
@@ -23,6 +24,16 @@
 // served reports byte-identical to in-process serial runs, and writes
 // endpoint latency plus per-question round-trip cost to
 // BENCH_serve.json.
+//
+// With -scale sweep the command runs the million-node scale curve
+// instead: per -scale-sizes population it generates a
+// SNAP-Facebook-like graph straight into CSR, packs it into a
+// graph/snapfile container, measures mmap open against JSON load,
+// runs the benchmark owners off the mapped pages, asserts the
+// mmap-backed reports byte-identical to in-memory ones at the smaller
+// sizes, and writes the curve to BENCH_scale.json. Sizes that do not
+// fit in available memory are refused with a clear message instead of
+// thrashing.
 //
 // The full scale matches the paper's population (47 owners, mean 3,661
 // strangers each, ~172k stranger profiles) and takes a few minutes;
@@ -71,10 +82,21 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_fleet.json", "fleet mode: where to write the throughput trajectory JSON")
 	traceOut := flag.String("trace-out", "", "write the structured run-event stream (JSONL, one event per line) to this file")
 	metricsOut := flag.String("metrics-out", "", "write the per-stage metrics snapshot (JSON) to this file at exit")
-	audit := flag.Bool("audit", false, "determinism-audit mode: run the robustness matrix twice per topology with the event auditor attached and report the first divergence (skips the experiment steps; non-zero exit on divergence)")
+	audit := flag.Bool("audit", false, "determinism-audit mode: run the robustness matrix twice per topology with the event auditor attached, plus an mmap-vs-in-memory snapshot-file run, and report the first divergence (skips the experiment steps; non-zero exit on divergence)")
 	serveRTT := flag.Bool("serve-rtt", false, "serving-layer mode: stand up an in-process sightd, run every owner through the HTTP API on both the stored and the remote-annotator path, verify the served reports byte-identical to in-process serial runs, and write round-trip numbers to -serve-out (skips the experiment steps)")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "serve mode: where to write the round-trip JSON")
+	scaleSizes := flag.String("scale-sizes", "10000,100000,316000,1000000", "scale-sweep mode (-scale sweep): comma-separated population sizes; sizes that do not fit in available memory are skipped with a message")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "scale-sweep mode: where to write the scale-curve JSON")
+	scaleOwners := flag.Int("scale-owners", 4, "scale-sweep mode: benchmark owners per population size")
 	flag.Parse()
+
+	if *scale == "sweep" {
+		if err := runScaleBench(*scaleSizes, *seed, *workers, *scaleOwners, *scaleOut); err != nil {
+			fmt.Fprintln(os.Stderr, "riskbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serveRTT {
 		if err := runServeBench(*scale, *seed, *workers, *serveOut); err != nil {
@@ -273,7 +295,8 @@ func printRobustness(scale string, seed int64, workers int) error {
 
 // runAudit is -audit mode: the determinism auditor over the same
 // configuration printRobustness uses, two full runs per topology
-// diffed event by event. Exits non-zero when any topology diverges.
+// diffed event by event, plus the snapfile leg (the same owners off
+// in-memory arrays vs mmap'd pages). Exits non-zero on any divergence.
 func runAudit(seed int64, workers int) error {
 	cfg := synthetic.SmallStudyConfig()
 	cfg.Owners = 6
@@ -298,10 +321,25 @@ func runAudit(seed int64, workers int) error {
 			}
 		}
 	}
+	events, detail, err := auditSnapfile(seed, workers)
+	if err != nil {
+		return fmt.Errorf("snapfile audit: %w", err)
+	}
+	status := "PASS"
+	if detail != "" {
+		status = "DIVERGED"
+		diverged = true
+	}
+	fmt.Printf("audit %-12s %-8s (%d events per run, mmap vs in-memory)\n", "snapfile", status, events)
+	if detail != "" {
+		for _, line := range strings.Split(detail, "\n") {
+			fmt.Println("  " + line)
+		}
+	}
 	if diverged {
 		return fmt.Errorf("determinism audit failed")
 	}
-	fmt.Println("determinism audit passed: both runs of every topology were bit-identical")
+	fmt.Println("determinism audit passed: both runs of every topology were bit-identical, and mmap-backed estimates matched in-memory ones bit for bit")
 	return nil
 }
 

@@ -9,6 +9,12 @@
 //	sightctl info -in study.json
 //	    Print dataset statistics.
 //
+//	sightctl pack -in study.json -out study.snap
+//	    Pack a JSON study into the binary snapshot container
+//	    (internal/graph/snapfile): checksummed CSR arrays plus interned
+//	    profiles, opened by sightd and riskbench via mmap with no
+//	    parse step.
+//
 //	sightctl run -in study.json [-owner ID] [-strategy npp|nsp] [-v] [-interactive] [-checkpoint file] [-server URL]
 //	    Run the risk-estimation pipeline for one owner (or all owners)
 //	    using the stored labels as the annotator — or, with
@@ -73,6 +79,8 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
+	case "pack":
+		err = cmdPack(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
 	case "crawl":
@@ -100,6 +108,7 @@ func usage() {
 commands:
   generate   generate a synthetic study and save it as JSON
   info       print dataset statistics
+  pack       pack a JSON study into an mmap-able .snap snapshot file
   run        run the risk pipeline over a dataset
   crawl      simulate the Sight crawler on a dataset
   tune       mine pipeline parameters (alpha, beta, theta, weights) from a dataset
@@ -158,6 +167,28 @@ func cmdInfo(args []string) error {
 		fmt.Printf("    owner %-8d strangers %-6d stored labels %-6d confidence %.1f\n",
 			o.ID, n, len(o.Labels), o.Confidence)
 	}
+	return nil
+}
+
+func cmdPack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	in := fs.String("in", "study.json", "input JSON dataset")
+	out := fs.String("out", "study.snap", "output snapshot file")
+	fs.Parse(args)
+
+	ds, err := dataset.Load(*in)
+	if err != nil {
+		return err
+	}
+	if err := dataset.PackSnap(ds, *out); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("packed %s -> %s: %d users, %d friendships, %d profiles, %d owners, %d bytes\n",
+		*in, *out, ds.Graph.NumNodes(), ds.Graph.NumEdges(), len(ds.Profiles), len(ds.Owners), st.Size())
 	return nil
 }
 

@@ -8,6 +8,11 @@
 //	sightd -addr :8321 -dataset study=study.json -state /var/lib/sightd \
 //	       -workers 8 -limit tenantA=4:1000
 //
+// Datasets preload from JSON studies or packed .snap snapshot files
+// (see sightctl pack); .snap files are mmap'd — startup cost is
+// page-table setup, not a parse, and replicas serving the same file
+// share its page cache.
+//
 // Endpoints (see docs/API.md for the full reference):
 //
 //	POST   /v1/estimates                submit a job (dataset ref or inline network)
@@ -119,19 +124,24 @@ func run() error {
 	flag.Var(limits, "limit", "tenant admission limits as tenant=maxActive:maxQueries (repeatable, 0 = unlimited)")
 	flag.Parse()
 
-	loaded := make(map[string]*dataset.Dataset, len(datasets))
+	loaded := make(map[string]*dataset.Runtime, len(datasets))
 	for name, path := range datasets {
-		ds, err := dataset.Load(path)
+		rt, err := dataset.OpenRuntime(path)
 		if err != nil {
 			return err
 		}
-		loaded[name] = ds
-		log.Printf("sightd: dataset %q: %d users, %d friendships, %d owners",
-			name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), len(ds.Owners))
+		defer rt.Close()
+		loaded[name] = rt
+		backing := "json"
+		if rt.Mapped() {
+			backing = "snap (mmap)"
+		}
+		log.Printf("sightd: dataset %q [%s]: %d users, %d friendships, %d owners",
+			name, backing, rt.Snapshot.NumNodes(), rt.Snapshot.NumEdges(), len(rt.Owners))
 	}
 
 	srv, err := server.New(server.Config{
-		Datasets: loaded,
+		Runtimes: loaded,
 		Workers:  *workers,
 		StateDir: *stateDir,
 		Limits:   limits,

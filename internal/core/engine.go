@@ -65,6 +65,11 @@ type Config struct {
 	// own snapshot — one O(V+E log d) pass that the per-stranger NS
 	// computations repay. A custom Pool.NetworkSim keeps the legacy
 	// *graph.Graph path, snapshot or not.
+	//
+	// With a Snapshot set (and the paper's NS), RunOwner also accepts a
+	// nil graph: every structural query is answered by the snapshot.
+	// This is how mmap-backed snapshot files (graph/snapfile) run — no
+	// mutable graph is ever materialized.
 	Snapshot *graph.Snapshot
 	// Weights, when non-nil, is a shared content-keyed cache for the
 	// per-pool PS weight matrices. Pools whose membership, attribute
@@ -300,13 +305,23 @@ func (e *Engine) RunOwner(ctx context.Context, g *graph.Graph, store *profile.St
 	if err := e.cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if g == nil || store == nil {
+	if store == nil {
+		return nil, fmt.Errorf("core: profile store must not be nil")
+	}
+	// A nil graph is allowed when a frozen snapshot can serve every
+	// structural query (the mmap-backed path, where no mutable graph
+	// ever exists); the legacy NetworkSim path walks the graph itself.
+	if g == nil && (e.cfg.Snapshot == nil || e.cfg.Pool.NetworkSim != nil) {
 		return nil, fmt.Errorf("core: graph and profile store must not be nil")
 	}
 	if ann == nil {
 		return nil, fmt.Errorf("core: annotator must not be nil")
 	}
-	if !g.HasNode(owner) {
+	if g != nil {
+		if !g.HasNode(owner) {
+			return nil, fmt.Errorf("core: owner %d not in graph", owner)
+		}
+	} else if !e.cfg.Snapshot.HasNode(owner) {
 		return nil, fmt.Errorf("core: owner %d not in graph", owner)
 	}
 	if e.cfg.Resume != nil {

@@ -3,12 +3,14 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 
 	"sightrisk/internal/active"
 	"sightrisk/internal/core"
 	"sightrisk/internal/graph"
+	"sightrisk/internal/graph/snapfile"
 	"sightrisk/internal/label"
 	"sightrisk/internal/synthetic"
 )
@@ -407,5 +409,58 @@ func BenchmarkFleet(b *testing.B) {
 		if res.Stats.Owners != 4 {
 			b.Fatalf("ran %d owners", res.Stats.Owners)
 		}
+	}
+}
+
+// TestFleetSnapshotOnlyTenant: a tenant backed purely by an mmap'd
+// snapshot file (nil Graph) produces runs byte-identical to the same
+// tenant holding the live graph.
+func TestFleetSnapshotOnlyTenant(t *testing.T) {
+	ref := fleetStudy(t, 2, 100, 11)
+	want := serialBaseline(t, ref)
+
+	s := fleetStudy(t, 2, 100, 11)
+	snap := s.Graph.Snapshot()
+	table, err := snapfile.TableFromStore(snap.Nodes(), s.Profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tenant.snap")
+	if err := snapfile.Create(path, snapfile.Contents{Snapshot: snap, Profiles: table}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := snapfile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	tn := Tenant{ID: "mmap", Snapshot: f.Snapshot(), Store: f.Profiles().Store()}
+	for _, o := range s.Owners {
+		tn.Jobs = append(tn.Jobs, OwnerJob{Owner: o.ID, Annotator: active.Infallible(o), Confidence: o.Confidence})
+	}
+	res, err := Run(context.Background(), Config{Engine: core.DefaultConfig(), Workers: 2}, []Tenant{tn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Tenants[0]
+	for ji, run := range tr.Runs {
+		if tr.Errs[ji] != nil {
+			t.Fatalf("job %d: %v", ji, tr.Errs[ji])
+		}
+		if d := diffRuns(run, want[run.Owner]); d != "" {
+			t.Fatalf("owner %d differs from serial graph-backed run: %s", run.Owner, d)
+		}
+	}
+
+	// A tenant with neither graph nor snapshot is a config error.
+	if _, err := Run(context.Background(), Config{Engine: core.DefaultConfig()}, []Tenant{{ID: "x", Store: s.Profiles}}); err == nil {
+		t.Fatal("tenant without graph or snapshot accepted")
+	}
+	// A nil-graph tenant with a custom NetworkSim is a config error.
+	bad := Config{Engine: core.DefaultConfig()}
+	bad.Engine.Pool.NetworkSim = func(g *graph.Graph, o, u graph.UserID) float64 { return 0 }
+	if _, err := Run(context.Background(), bad, []Tenant{{ID: "x", Snapshot: f.Snapshot(), Store: s.Profiles}}); err == nil {
+		t.Fatal("nil-graph tenant with custom NetworkSim accepted")
 	}
 }

@@ -100,6 +100,9 @@ type SchedulerConfig struct {
 // Job is one owner estimate submitted to a Scheduler.
 type Job struct {
 	// Graph and Store hold the tenant's social graph and profiles.
+	// Graph may be nil when Snapshot is set (an mmap-backed
+	// graph/snapfile tenant) and the engine runs the paper's
+	// network-similarity.
 	Graph *graph.Graph
 	// Store holds the tenant's user profiles.
 	Store *profile.Store

@@ -288,8 +288,8 @@ func (g *Graph) Clone() *Graph {
 
 // DegreeStats summarizes the degree distribution.
 type DegreeStats struct {
-	Min, Max int
-	Mean     float64
+	Min, Max int     // smallest and largest node degree
+	Mean     float64 // average degree (2·edges/nodes)
 }
 
 // Degrees returns summary statistics over all node degrees. An empty

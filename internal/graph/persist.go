@@ -3,10 +3,25 @@ package graph
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 )
+
+// MaxDecodeBytes bounds the JSON documents UnmarshalJSON and Load
+// accept (1 GiB). Graphs beyond it belong in the snapfile binary
+// format, which mmaps instead of parsing; the limit keeps a hostile or
+// runaway file from ballooning the decoder's intermediate allocations.
+const MaxDecodeBytes = 1 << 30
+
+// ErrMalformed tags decode failures: syntactically broken JSON, self
+// loops, or any other constraint violation. Test with errors.Is.
+var ErrMalformed = errors.New("graph: malformed graph encoding")
+
+// ErrTooLarge tags inputs rejected for exceeding MaxDecodeBytes before
+// any decoding work is done. Test with errors.Is.
+var ErrTooLarge = errors.New("graph: encoding exceeds size limit")
 
 // edgeList is the JSON wire format of a graph: the node list keeps
 // isolated nodes, the edge list keeps each undirected edge once with
@@ -42,23 +57,33 @@ func (g *Graph) toEdgeList() edgeList {
 }
 
 // UnmarshalJSON decodes a graph previously encoded by MarshalJSON.
+// Inputs larger than MaxDecodeBytes fail with ErrTooLarge; any decode
+// failure is tagged ErrMalformed. The receiver is only replaced after
+// the whole document decoded cleanly — on error it keeps exactly the
+// nodes and edges it had before the call.
 func (g *Graph) UnmarshalJSON(data []byte) error {
+	if len(data) > MaxDecodeBytes {
+		return fmt.Errorf("graph: decode: %d bytes: %w", len(data), ErrTooLarge)
+	}
 	var el edgeList
 	if err := json.Unmarshal(data, &el); err != nil {
-		return fmt.Errorf("graph: decode: %w", err)
+		return fmt.Errorf("graph: decode: %w: %w", ErrMalformed, err)
 	}
-	g.mu.Lock()
-	g.adj = make(map[UserID]map[UserID]struct{}, len(el.Nodes))
-	g.edgeCount = 0
-	g.mu.Unlock()
+	// Build into a scratch graph so a bad edge cannot leave the
+	// receiver half-mutated.
+	tmp := New()
 	for _, n := range el.Nodes {
-		g.AddNode(n)
+		tmp.addNodeLocked(n)
 	}
 	for _, e := range el.Edges {
-		if err := g.AddEdge(e[0], e[1]); err != nil {
-			return err
+		if err := tmp.AddEdge(e[0], e[1]); err != nil {
+			return fmt.Errorf("graph: decode: %w: %w", ErrMalformed, err)
 		}
 	}
+	g.mu.Lock()
+	g.adj = tmp.adj
+	g.edgeCount = tmp.edgeCount
+	g.mu.Unlock()
 	return nil
 }
 
@@ -90,8 +115,17 @@ func (g *Graph) Save(path string) error {
 	return f.Close()
 }
 
-// Load reads a graph from the named file.
+// Load reads a graph from the named file. Files beyond MaxDecodeBytes
+// are rejected with ErrTooLarge before being read into memory;
+// malformed content fails with an error tagged ErrMalformed.
 func Load(path string) (*Graph, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: load: %w", err)
+	}
+	if fi.Size() > MaxDecodeBytes {
+		return nil, fmt.Errorf("graph: load %s: %d bytes: %w", path, fi.Size(), ErrTooLarge)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("graph: load: %w", err)

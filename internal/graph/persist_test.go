@@ -3,6 +3,8 @@ package graph
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -61,6 +63,79 @@ func TestUnmarshalBadJSON(t *testing.T) {
 	}
 	if err := g.UnmarshalJSON([]byte(`{"nodes":[1],"edges":[[1,1]]}`)); err == nil {
 		t.Fatal("UnmarshalJSON accepted a self loop")
+	}
+}
+
+func TestUnmarshalMalformedTyped(t *testing.T) {
+	var g Graph
+	for _, data := range []string{"{nope", `{"nodes":[1],"edges":[[1,1]]}`, `[1,2]`} {
+		err := g.UnmarshalJSON([]byte(data))
+		if !errors.Is(err, ErrMalformed) {
+			t.Fatalf("UnmarshalJSON(%q) = %v, want ErrMalformed", data, err)
+		}
+	}
+}
+
+// TestUnmarshalNoPartialMutation is the regression test for the
+// historical half-mutation bug: a decode error mid-edge-list used to
+// leave the receiver with the nodes and any edges added before the
+// failure. The receiver must keep its prior contents on any error.
+func TestUnmarshalNoPartialMutation(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+
+	// Valid prefix (nodes plus one good edge) before the bad self loop.
+	bad := []byte(`{"nodes":[7,8,9],"edges":[[7,8],[9,9]]}`)
+	if err := g.UnmarshalJSON(bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("UnmarshalJSON = %v, want ErrMalformed", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("receiver mutated by failed decode: %d nodes %d edges, want 3/2", g.NumNodes(), g.NumEdges())
+	}
+	if g.HasNode(7) || g.HasNode(9) {
+		t.Fatal("failed decode leaked nodes into the receiver")
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 3) {
+		t.Fatal("failed decode dropped the receiver's prior edges")
+	}
+}
+
+func TestUnmarshalSizeLimit(t *testing.T) {
+	huge := make([]byte, MaxDecodeBytes+1)
+	var g Graph
+	if err := g.UnmarshalJSON(huge); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("UnmarshalJSON(%d bytes) = %v, want ErrTooLarge", len(huge), err)
+	}
+}
+
+func TestLoadSizeLimit(t *testing.T) {
+	// A sparse file trips the pre-read stat check without ever
+	// materializing MaxDecodeBytes of data.
+	path := filepath.Join(t.TempDir(), "huge.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(MaxDecodeBytes + 1); err != nil {
+		f.Close()
+		t.Skipf("cannot create sparse file: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Load = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestLoadMalformedTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"nodes":[1],"edges":[[1,1]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("Load = %v, want ErrMalformed", err)
 	}
 }
 

@@ -1,0 +1,383 @@
+package snapfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+// validBytes encodes a small valid file: a 5-node graph with profiles
+// and an aux payload — every section kind represented.
+func validBytes(t testing.TB) []byte {
+	t.Helper()
+	g := graph.New()
+	for _, e := range [][2]graph.UserID{{1, 2}, {2, 3}, {3, 4}, {1, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.AddNode(9)
+	store := profile.NewStore()
+	p := profile.NewProfile(2)
+	p.SetAttr(profile.AttrGender, "male")
+	p.SetAttr(profile.AttrLocale, "en_US")
+	p.SetVisible(profile.ItemWall, true)
+	store.Put(p)
+	snap := g.Snapshot()
+	table, err := TableFromStore(snap.Nodes(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Write(&buf, Contents{Snapshot: snap, Profiles: table, Aux: []byte("aux")}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fixCRCs recomputes every checksum (sections, table, header) from the
+// current content, so corruption tests can target one specific
+// validation layer without tripping the checksums in front of it.
+func fixCRCs(t testing.TB, data []byte) {
+	t.Helper()
+	count := binary.LittleEndian.Uint32(data[offSections:])
+	tableEnd := headerSize + int(count)*tableEntrySize
+	for i := 0; i < int(count); i++ {
+		e := data[headerSize+i*tableEntrySize:]
+		off := binary.LittleEndian.Uint64(e[8:])
+		size := binary.LittleEndian.Uint64(e[16:])
+		if off+size <= uint64(len(data)) {
+			binary.LittleEndian.PutUint32(e[24:], checksum(data[off:off+size]))
+		}
+	}
+	binary.LittleEndian.PutUint32(data[offTableCRC:], checksum(data[headerSize:tableEnd]))
+	binary.LittleEndian.PutUint32(data[offHeaderCRC:], checksum(data[:offHeaderCRC]))
+}
+
+// openBytesViaFile round-trips the bytes through a real file and Open,
+// exercising the mmap path the corruption matrix is about.
+func openBytesViaFile(t testing.TB, data []byte) error {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "c.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err == nil {
+		f.Close()
+	}
+	return err
+}
+
+// sectionEntry returns the table byte offset of the entry for kind.
+func sectionEntry(t testing.TB, data []byte, kind uint32) int {
+	t.Helper()
+	count := binary.LittleEndian.Uint32(data[offSections:])
+	for i := 0; i < int(count); i++ {
+		pos := headerSize + i*tableEntrySize
+		if binary.LittleEndian.Uint32(data[pos:]) == kind {
+			return pos
+		}
+	}
+	t.Fatalf("no section of kind %d", kind)
+	return -1
+}
+
+func TestCorruptionMatrix(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(t testing.TB, data []byte) []byte
+		want   error
+	}{
+		"bad magic": {
+			mutate: func(t testing.TB, d []byte) []byte { d[0] ^= 0xFF; return d },
+			want:   ErrCorrupt,
+		},
+		"wrong version": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				binary.LittleEndian.PutUint32(d[offVersion:], Version+1)
+				fixCRCs(t, d)
+				return d
+			},
+			want: ErrVersion,
+		},
+		"unknown flags": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				binary.LittleEndian.PutUint32(d[offFlags:], 0xBEEF)
+				fixCRCs(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"header checksum mismatch": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				binary.LittleEndian.PutUint32(d[offHeaderCRC:], binary.LittleEndian.Uint32(d[offHeaderCRC:])^1)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"section checksum mismatch": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				// Flip a byte in the ids section payload only.
+				pos := sectionEntry(t, d, SectionIDs)
+				off := binary.LittleEndian.Uint64(d[pos+8:])
+				d[off] ^= 0xFF
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"table checksum mismatch": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				binary.LittleEndian.PutUint32(d[offTableCRC:], binary.LittleEndian.Uint32(d[offTableCRC:])^1)
+				fixHeaderOnly(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"truncated header": {
+			mutate: func(t testing.TB, d []byte) []byte { return d[:headerSize-8] },
+			want:   ErrCorrupt,
+		},
+		"truncated tail": {
+			mutate: func(t testing.TB, d []byte) []byte { return d[:len(d)-3] },
+			want:   ErrCorrupt,
+		},
+		"empty file": {
+			mutate: func(t testing.TB, d []byte) []byte { return nil },
+			want:   ErrCorrupt,
+		},
+		"section count zero": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				binary.LittleEndian.PutUint32(d[offSections:], 0)
+				fixHeaderOnly(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"section count over limit": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				binary.LittleEndian.PutUint32(d[offSections:], maxSections+1)
+				fixHeaderOnly(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"section overlap": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				// Point the adjacency section at the ids section's range.
+				src := sectionEntry(t, d, SectionIDs)
+				dst := sectionEntry(t, d, SectionAdj)
+				binary.LittleEndian.PutUint64(d[dst+8:], binary.LittleEndian.Uint64(d[src+8:]))
+				fixCRCs(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"section out of bounds": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				pos := sectionEntry(t, d, SectionAux)
+				binary.LittleEndian.PutUint64(d[pos+16:], uint64(len(d))+64)
+				fixCRCs(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"section misaligned": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				pos := sectionEntry(t, d, SectionAux)
+				binary.LittleEndian.PutUint64(d[pos+8:], binary.LittleEndian.Uint64(d[pos+8:])+1)
+				fixCRCs(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"unknown section kind": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				pos := sectionEntry(t, d, SectionAux)
+				binary.LittleEndian.PutUint32(d[pos:], 99)
+				fixCRCs(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"duplicate section kind": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				pos := sectionEntry(t, d, SectionAux)
+				binary.LittleEndian.PutUint32(d[pos:], SectionIDs)
+				fixCRCs(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"missing required section": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				// Retype adjIdx as vis: adjIdx goes missing (and vis
+				// duplicates) — either check firing is a clean rejection.
+				pos := sectionEntry(t, d, SectionAdjIdx)
+				binary.LittleEndian.PutUint32(d[pos:], SectionVis)
+				fixCRCs(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"profile sections not all-or-none": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				// Swap the vis and aux kinds: the profile group loses its
+				// real vis section, so whichever check fires first
+				// (group completeness or the vis size) must reject.
+				vis := sectionEntry(t, d, SectionVis)
+				aux := sectionEntry(t, d, SectionAux)
+				binary.LittleEndian.PutUint32(d[vis:], SectionAux)
+				binary.LittleEndian.PutUint32(d[aux:], SectionVis)
+				fixCRCs(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"node count beyond int32": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				binary.LittleEndian.PutUint64(d[offNumNodes:], 1<<40)
+				fixHeaderOnly(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"ids section size mismatch": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				binary.LittleEndian.PutUint64(d[offNumNodes:], binary.LittleEndian.Uint64(d[offNumNodes:])+1)
+				fixHeaderOnly(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+		"edge count mismatch": {
+			mutate: func(t testing.TB, d []byte) []byte {
+				binary.LittleEndian.PutUint64(d[offNumEdges:], binary.LittleEndian.Uint64(d[offNumEdges:])+1)
+				fixHeaderOnly(t, d)
+				return d
+			},
+			want: ErrCorrupt,
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			data := tc.mutate(t, validBytes(t))
+			err := openBytesViaFile(t, data)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Open = %v, want %v", err, tc.want)
+			}
+			// OpenBytes agrees with Open on every corruption.
+			if _, berr := OpenBytes(data, Options{}); !errors.Is(berr, tc.want) {
+				t.Fatalf("OpenBytes = %v, want %v", berr, tc.want)
+			}
+		})
+	}
+}
+
+// fixHeaderOnly recomputes only the header checksum, leaving table and
+// section checksums untouched (for corruptions upstream of them).
+func fixHeaderOnly(t testing.TB, data []byte) {
+	t.Helper()
+	binary.LittleEndian.PutUint32(data[offHeaderCRC:], checksum(data[:offHeaderCRC]))
+}
+
+// badCSR builds file bytes from raw CSR arrays that pass the writer's
+// shape checks but violate a content invariant Open must catch.
+func badCSR(t testing.TB, ids []graph.UserID, offsets []int32, adj []graph.UserID, adjIdx []int32, edges int) []byte {
+	t.Helper()
+	snap, err := graph.SnapshotFromCSR(ids, offsets, adj, adjIdx, edges)
+	if err != nil {
+		t.Fatalf("SnapshotFromCSR rejected shape: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := Write(&buf, Contents{Snapshot: snap}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStructuralCorruption: files whose envelope (checksums, geometry)
+// is perfectly valid but whose CSR content lies must still be
+// rejected — the "silent wrong graph" half of the decoder contract.
+func TestStructuralCorruption(t *testing.T) {
+	cases := map[string]func(t testing.TB) []byte{
+		"ids not ascending": func(t testing.TB) []byte {
+			return badCSR(t, []graph.UserID{2, 1}, []int32{0, 0, 0}, nil, nil, 0)
+		},
+		"duplicate ids": func(t testing.TB) []byte {
+			return badCSR(t, []graph.UserID{1, 1}, []int32{0, 0, 0}, nil, nil, 0)
+		},
+		"self loop": func(t testing.TB) []byte {
+			return badCSR(t, []graph.UserID{1, 2},
+				[]int32{0, 1, 2}, []graph.UserID{1, 2}, []int32{0, 1}, 1)
+		},
+		"asymmetric edge": func(t testing.TB) []byte {
+			// 1 lists 2 as a friend; 2 lists 3.
+			return badCSR(t, []graph.UserID{1, 2, 3},
+				[]int32{0, 1, 2, 2}, []graph.UserID{2, 3}, []int32{1, 2}, 1)
+		},
+		"adjIdx names wrong id": func(t testing.TB) []byte {
+			return badCSR(t, []graph.UserID{1, 2, 3},
+				[]int32{0, 1, 2, 2}, []graph.UserID{2, 1}, []int32{2, 0}, 1)
+		},
+		"adjIdx out of range": func(t testing.TB) []byte {
+			return badCSR(t, []graph.UserID{1, 2},
+				[]int32{0, 1, 2}, []graph.UserID{2, 1}, []int32{5, 0}, 1)
+		},
+		"row not sorted": func(t testing.TB) []byte {
+			return badCSR(t, []graph.UserID{1, 2, 3},
+				[]int32{0, 2, 3, 4}, []graph.UserID{3, 2, 1, 1}, []int32{2, 1, 0, 0}, 2)
+		},
+		"offsets decrease": func(t testing.TB) []byte {
+			// Writer shape checks require first 0 and last == len(adj);
+			// a dip in the middle is content, not shape.
+			return badCSR(t, []graph.UserID{1, 2, 3},
+				[]int32{0, 2, 1, 2}, []graph.UserID{2, 1}, []int32{1, 0}, 1)
+		},
+	}
+	for name, build := range cases {
+		t.Run(name, func(t *testing.T) {
+			data := build(t)
+			err := openBytesViaFile(t, data)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Open = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestSkipChecksums: the option skips CRC verification only —
+// structural validation still rejects a wrong graph.
+func TestSkipChecksums(t *testing.T) {
+	data := validBytes(t)
+	// Corrupt the header CRC: rejected normally, accepted with the skip.
+	broken := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(broken[offHeaderCRC:], 0xDEAD)
+	if _, err := OpenBytes(broken, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt CRC with checksums on = %v, want ErrCorrupt", err)
+	}
+	f, err := OpenBytes(broken, Options{SkipChecksums: true})
+	if err != nil {
+		t.Fatalf("corrupt CRC with checksums skipped = %v, want nil", err)
+	}
+	f.Close()
+	// A structural lie is rejected regardless of the option.
+	bad := badCSR(t, []graph.UserID{2, 1}, []int32{0, 0, 0}, nil, nil, 0)
+	if _, err := OpenBytes(bad, Options{SkipChecksums: true}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("structural corruption with checksums skipped = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTrailingGarbage: bytes past the last section are rejected — a
+// complete file accounts for every byte.
+func TestTrailingGarbage(t *testing.T) {
+	data := append(validBytes(t), 0, 0, 0, 0, 0, 0, 0, 0)
+	if err := openBytesViaFile(t, data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,217 @@
+package snapfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"unsafe"
+)
+
+// Magic is the 8-byte signature every snapshot file starts with.
+const Magic = "SIGHTSNP"
+
+// Version is the current format version. Readers reject any other
+// value; see docs/FORMAT.md for the versioning rules.
+const Version = 1
+
+// Layout constants of the fixed-size structures. The header is the
+// first headerSize bytes of the file; the section table follows
+// immediately with one tableEntrySize record per section.
+const (
+	headerSize     = 48
+	tableEntrySize = 32
+	maxSections    = 64
+	sectionAlign   = 8
+)
+
+// Header field offsets (bytes from start of file). The magic occupies
+// [0,8); headerCRC covers [0, offHeaderCRC).
+const (
+	offVersion   = 8
+	offFlags     = 12
+	offSections  = 16
+	offReserved  = 20
+	offNumNodes  = 24
+	offNumEdges  = 32
+	offTableCRC  = 40
+	offHeaderCRC = 44
+)
+
+// Section kinds. Kinds 1–4 carry the CSR arrays and are mandatory;
+// kinds 5–9 carry the interned profile columns and appear all
+// together or not at all; kind 10 is an opaque payload for the
+// embedding application (package dataset stores its owner records
+// there).
+const (
+	// SectionIDs holds the ascending node ids as little-endian int64.
+	SectionIDs = 1
+	// SectionOffsets holds the CSR row offsets as int32, numNodes+1 entries.
+	SectionOffsets = 2
+	// SectionAdj holds the concatenated adjacency rows as int64, 2·numEdges entries.
+	SectionAdj = 3
+	// SectionAdjIdx holds the dense-index mirror of SectionAdj as int32.
+	SectionAdjIdx = 4
+	// SectionAttrNames is a string list naming the profile attributes.
+	SectionAttrNames = 5
+	// SectionAttrDicts holds one string list per attribute: the interned
+	// value dictionary, whose entry 0 must be "" (meaning unset).
+	SectionAttrDicts = 6
+	// SectionAttrVals holds uint32 dictionary indices, column-major:
+	// attribute a's value for node i sits at a·numNodes + i.
+	SectionAttrVals = 7
+	// SectionItemNames is a string list naming the benefit items (≤7).
+	SectionItemNames = 8
+	// SectionVis holds one byte per node: bit 7 set when the node has a
+	// profile, bits 0..len(items)-1 the item visibility flags.
+	SectionVis = 9
+	// SectionAux is an opaque application payload, not interpreted here.
+	SectionAux = 10
+)
+
+// visPresent is the SectionVis bit marking "this node has a profile".
+const visPresent = 0x80
+
+// maxItems is the most benefit items a file may declare: the per-node
+// visibility byte spends bit 7 on presence, leaving 7 item bits.
+const maxItems = 7
+
+// ErrCorrupt tags every structural decode failure Open can report: bad
+// magic, checksum mismatches, out-of-range offsets, broken CSR
+// invariants, and so on. Test with errors.Is; the message names the
+// specific violation.
+var ErrCorrupt = errors.New("snapfile: corrupt file")
+
+// ErrVersion tags rejection of a well-formed file whose version this
+// reader does not speak. Test with errors.Is.
+var ErrVersion = errors.New("snapfile: unsupported format version")
+
+// ErrBigEndian is returned on big-endian hosts: the format is defined
+// little-endian and this implementation maps sections in place rather
+// than byte-swapping.
+var ErrBigEndian = errors.New("snapfile: big-endian hosts are not supported")
+
+// castagnoli is the CRC-32C polynomial table used for every checksum
+// in the format.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// hostLittleEndian reports whether this machine stores integers
+// little-endian. The format maps typed arrays in place, so the writer
+// and reader both refuse to run where that would flip bytes.
+func hostLittleEndian() bool {
+	var probe uint16 = 1
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// section is one parsed table entry.
+type section struct {
+	kind uint32
+	off  uint64
+	size uint64
+	crc  uint32
+}
+
+// appendStringList encodes a length-prefixed string list: u32 count,
+// then u32 length + raw bytes per string.
+func appendStringList(dst []byte, list []string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(list)))
+	for _, s := range list {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// readStringList decodes one string list from the front of b and
+// returns it with the number of bytes consumed. Counts and lengths
+// are validated against the bytes actually present before any
+// allocation is sized from them, so a hostile header cannot balloon
+// memory.
+func readStringList(b []byte, what string) ([]string, int, error) {
+	if len(b) < 4 {
+		return nil, 0, corruptf("%s: truncated string list", what)
+	}
+	count := binary.LittleEndian.Uint32(b)
+	pos := 4
+	// Each string costs at least its 4-byte length prefix, bounding
+	// count by the bytes available.
+	if uint64(count) > uint64(len(b)-pos)/4 {
+		return nil, 0, corruptf("%s: string count %d exceeds section bytes", what, count)
+	}
+	out := make([]string, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(b)-pos < 4 {
+			return nil, 0, corruptf("%s: truncated string length at entry %d", what, i)
+		}
+		n := binary.LittleEndian.Uint32(b[pos:])
+		pos += 4
+		if uint64(n) > uint64(len(b)-pos) {
+			return nil, 0, corruptf("%s: string %d length %d exceeds section bytes", what, i, n)
+		}
+		out = append(out, string(b[pos:pos+int(n)]))
+		pos += int(n)
+	}
+	return out, pos, nil
+}
+
+// alignUp rounds n up to the next multiple of sectionAlign.
+func alignUp(n uint64) uint64 {
+	return (n + sectionAlign - 1) &^ uint64(sectionAlign-1)
+}
+
+// bytesOfInt64 views an int64 slice as raw little-endian bytes without
+// copying. Caller has already established the host is little-endian.
+func bytesOfInt64(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}
+
+// bytesOfInt32 views an int32 slice as raw little-endian bytes without
+// copying.
+func bytesOfInt32(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+}
+
+// bytesOfUint32 views a uint32 slice as raw little-endian bytes
+// without copying.
+func bytesOfUint32(s []uint32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+}
+
+// int64sOf views an 8-aligned byte slice as int64s without copying.
+func int64sOf(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// int32sOf views a 4-aligned byte slice as int32s without copying.
+func int32sOf(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// uint32sOf views a 4-aligned byte slice as uint32s without copying.
+func uint32sOf(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

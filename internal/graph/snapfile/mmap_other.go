@@ -1,0 +1,27 @@
+//go:build !unix
+
+package snapfile
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mmapFile is the portable fallback: read the whole file into an
+// 8-aligned heap buffer. Same semantics as the unix mapping minus the
+// shared page cache; Mapped() reports false so tools can tell.
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, mapped bool, err error) {
+	if size < 0 || size != int64(int(size)) {
+		return nil, nil, false, os.ErrInvalid
+	}
+	arena := make([]int64, (size+7)/8)
+	if size == 0 {
+		return nil, func() error { return nil }, false, nil
+	}
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(arena))), size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, nil, false, err
+	}
+	return buf, func() error { return nil }, false, nil
+}

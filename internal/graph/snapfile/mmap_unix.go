@@ -1,0 +1,25 @@
+//go:build unix
+
+package snapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only and shared, so every replica
+// mapping the same .snap file serves it from one set of page-cache
+// pages. Returns the mapping, its release function, and mapped=true.
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, mapped bool, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, true, nil
+	}
+	if size < 0 || size != int64(int(size)) {
+		return nil, nil, false, syscall.EFBIG
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, true, nil
+}

@@ -1,0 +1,448 @@
+package snapfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"unsafe"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+// Options tunes Open.
+type Options struct {
+	// SkipChecksums skips the per-section and table CRC verification
+	// (for benchmarking the pure mapping cost). Structural validation —
+	// bounds, alignment, CSR invariants — always runs: checksums protect
+	// against rot, structure protects against memory unsafety and
+	// silently wrong graphs, and only the former is optional.
+	SkipChecksums bool
+}
+
+// File is an opened snapshot file. The Snapshot and ProfileTable it
+// returns alias the mapped pages; they must not be used after Close.
+type File struct {
+	data     []byte
+	snap     *graph.Snapshot
+	profiles *ProfileTable
+	aux      []byte
+	mapped   bool
+	unmap    func() error
+}
+
+// Snapshot returns the frozen graph backed by the mapped file.
+func (f *File) Snapshot() *graph.Snapshot { return f.snap }
+
+// Profiles returns the profile table, or nil when the file carries no
+// profile sections.
+func (f *File) Profiles() *ProfileTable { return f.profiles }
+
+// Aux returns the opaque application payload, or nil when absent. The
+// slice aliases the mapped pages; do not modify.
+func (f *File) Aux() []byte { return f.aux }
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return int64(len(f.data)) }
+
+// Mapped reports whether the file is memory-mapped (true on unix) as
+// opposed to read into heap memory (the portable fallback and
+// OpenBytes).
+func (f *File) Mapped() bool { return f.mapped }
+
+// Close releases the mapping. Every Snapshot, ProfileTable and Aux
+// slice obtained from the file becomes invalid.
+func (f *File) Close() error {
+	f.snap, f.profiles, f.aux, f.data = nil, nil, nil, nil
+	if f.unmap != nil {
+		u := f.unmap
+		f.unmap = nil
+		return u()
+	}
+	return nil
+}
+
+// Open maps the named snapshot file and returns it fully validated:
+// checksums verified, every offset bounds-checked, every CSR and
+// profile invariant confirmed. The returned Snapshot's slices point
+// directly into the mapping — opening is O(validation), not O(parse) —
+// and the page cache backing them is shared with every other process
+// mapping the same file.
+func Open(path string) (*File, error) {
+	return OpenWith(path, Options{})
+}
+
+// OpenWith is Open with explicit Options.
+func OpenWith(path string, opts Options) (*File, error) {
+	if !hostLittleEndian() {
+		return nil, ErrBigEndian
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapfile: open: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("snapfile: open: %w", err)
+	}
+	data, unmap, mapped, err := mmapFile(f, fi.Size())
+	// The fd is not needed once the mapping exists (or the fallback has
+	// read the bytes); the mapping keeps its own reference to the file.
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("snapfile: open %s: %w", path, err)
+	}
+	out, err := decode(data, opts)
+	if err != nil {
+		unmap()
+		return nil, fmt.Errorf("snapfile: open %s: %w", path, err)
+	}
+	out.mapped = mapped
+	out.unmap = unmap
+	return out, nil
+}
+
+// OpenBytes decodes a snapshot from an in-memory buffer, applying
+// exactly the validation Open applies to a file. The bytes are copied
+// into an aligned buffer first, so callers (fuzzers included) may pass
+// arbitrarily aligned slices.
+func OpenBytes(data []byte, opts Options) (*File, error) {
+	if !hostLittleEndian() {
+		return nil, ErrBigEndian
+	}
+	// Back the copy with an int64 arena to guarantee the 8-byte section
+	// alignment the in-place casts rely on.
+	arena := make([]int64, (len(data)+7)/8)
+	aligned := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(arena))), len(data))
+	if len(data) == 0 {
+		aligned = nil
+	}
+	copy(aligned, data)
+	out, err := decode(aligned, opts)
+	if err != nil {
+		return nil, fmt.Errorf("snapfile: decode: %w", err)
+	}
+	return out, nil
+}
+
+// decode validates data as a complete snapshot file and assembles the
+// File aliasing it. It is the single decoder both Open and OpenBytes
+// run; nothing in it may index data without a prior bounds check.
+func decode(data []byte, opts Options) (*File, error) {
+	secs, numNodes, numEdges, err := parseEnvelope(data, opts)
+	if err != nil {
+		return nil, err
+	}
+	byKind := make(map[uint32][]byte, len(secs))
+	for _, s := range secs {
+		byKind[s.kind] = data[s.off : s.off+s.size]
+	}
+
+	snap, err := decodeGraph(byKind, numNodes, numEdges)
+	if err != nil {
+		return nil, err
+	}
+	table, err := decodeProfiles(byKind, snap.Nodes())
+	if err != nil {
+		return nil, err
+	}
+	return &File{data: data, snap: snap, profiles: table, aux: byKind[SectionAux]}, nil
+}
+
+// parseEnvelope checks magic, version, header and table checksums, and
+// the section table's geometry: known kinds, no duplicates, in-bounds,
+// aligned, non-overlapping, and jointly accounting for the whole file.
+func parseEnvelope(data []byte, opts Options) ([]section, uint64, uint64, error) {
+	if len(data) < headerSize {
+		return nil, 0, 0, corruptf("%d bytes, need at least the %d-byte header", len(data), headerSize)
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, 0, 0, corruptf("bad magic %q", data[:len(Magic)])
+	}
+	if !opts.SkipChecksums {
+		if got, want := checksum(data[:offHeaderCRC]), binary.LittleEndian.Uint32(data[offHeaderCRC:]); got != want {
+			return nil, 0, 0, corruptf("header checksum %08x, recorded %08x", got, want)
+		}
+	}
+	if v := binary.LittleEndian.Uint32(data[offVersion:]); v != Version {
+		return nil, 0, 0, fmt.Errorf("%w: file version %d, reader speaks %d", ErrVersion, v, Version)
+	}
+	if flags := binary.LittleEndian.Uint32(data[offFlags:]); flags != 0 {
+		return nil, 0, 0, corruptf("unknown flags %#x", flags)
+	}
+	if r := binary.LittleEndian.Uint32(data[offReserved:]); r != 0 {
+		return nil, 0, 0, corruptf("reserved header field %#x", r)
+	}
+	count := binary.LittleEndian.Uint32(data[offSections:])
+	if count == 0 || count > maxSections {
+		return nil, 0, 0, corruptf("section count %d outside [1,%d]", count, maxSections)
+	}
+	tableEnd := uint64(headerSize) + uint64(count)*tableEntrySize
+	if tableEnd > uint64(len(data)) {
+		return nil, 0, 0, corruptf("section table extends to %d, file has %d bytes", tableEnd, len(data))
+	}
+	table := data[headerSize:tableEnd]
+	if !opts.SkipChecksums {
+		if got, want := checksum(table), binary.LittleEndian.Uint32(data[offTableCRC:]); got != want {
+			return nil, 0, 0, corruptf("section table checksum %08x, recorded %08x", got, want)
+		}
+	}
+
+	secs := make([]section, count)
+	seen := make(map[uint32]bool, count)
+	for i := range secs {
+		e := table[i*tableEntrySize:]
+		s := section{
+			kind: binary.LittleEndian.Uint32(e[0:]),
+			off:  binary.LittleEndian.Uint64(e[8:]),
+			size: binary.LittleEndian.Uint64(e[16:]),
+			crc:  binary.LittleEndian.Uint32(e[24:]),
+		}
+		if s.kind < SectionIDs || s.kind > SectionAux {
+			return nil, 0, 0, corruptf("section %d: unknown kind %d", i, s.kind)
+		}
+		if seen[s.kind] {
+			return nil, 0, 0, corruptf("section kind %d appears twice", s.kind)
+		}
+		seen[s.kind] = true
+		if binary.LittleEndian.Uint32(e[4:]) != 0 || binary.LittleEndian.Uint32(e[28:]) != 0 {
+			return nil, 0, 0, corruptf("section %d: nonzero padding", i)
+		}
+		if s.off%sectionAlign != 0 {
+			return nil, 0, 0, corruptf("section kind %d: offset %d not %d-aligned", s.kind, s.off, sectionAlign)
+		}
+		if s.off < tableEnd || s.off > uint64(len(data)) || s.size > uint64(len(data))-s.off {
+			return nil, 0, 0, corruptf("section kind %d: range [%d,%d+%d) outside file of %d bytes",
+				s.kind, s.off, s.off, s.size, len(data))
+		}
+		secs[i] = s
+	}
+
+	ordered := append([]section(nil), secs...)
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].off != ordered[b].off {
+			return ordered[a].off < ordered[b].off
+		}
+		return ordered[a].size < ordered[b].size
+	})
+	end := tableEnd
+	for _, s := range ordered {
+		if s.off < end {
+			return nil, 0, 0, corruptf("section kind %d at %d overlaps preceding bytes ending at %d", s.kind, s.off, end)
+		}
+		end = s.off + s.size
+	}
+	if end != uint64(len(data)) {
+		return nil, 0, 0, corruptf("sections end at %d, file has %d bytes", end, len(data))
+	}
+
+	for _, k := range []uint32{SectionIDs, SectionOffsets, SectionAdj, SectionAdjIdx} {
+		if !seen[k] {
+			return nil, 0, 0, corruptf("required section kind %d missing", k)
+		}
+	}
+	profilePresent := 0
+	for _, k := range []uint32{SectionAttrNames, SectionAttrDicts, SectionAttrVals, SectionItemNames, SectionVis} {
+		if seen[k] {
+			profilePresent++
+		}
+	}
+	if profilePresent != 0 && profilePresent != 5 {
+		return nil, 0, 0, corruptf("profile sections are all-or-none, found %d of 5", profilePresent)
+	}
+
+	if !opts.SkipChecksums {
+		for _, s := range secs {
+			if got := checksum(data[s.off : s.off+s.size]); got != s.crc {
+				return nil, 0, 0, corruptf("section kind %d: checksum %08x, recorded %08x", s.kind, got, s.crc)
+			}
+		}
+	}
+	numNodes := binary.LittleEndian.Uint64(data[offNumNodes:])
+	numEdges := binary.LittleEndian.Uint64(data[offNumEdges:])
+	return secs, numNodes, numEdges, nil
+}
+
+// decodeGraph casts the four CSR sections in place and verifies every
+// structural invariant a Graph-built Snapshot guarantees: ascending
+// ids, monotone offsets, sorted self-loop-free rows, a consistent
+// dense-index mirror, and edge symmetry. A file that passes is
+// query-for-query indistinguishable from the in-memory build.
+func decodeGraph(byKind map[uint32][]byte, numNodes, numEdges uint64) (*graph.Snapshot, error) {
+	if numNodes > math.MaxInt32-1 {
+		return nil, corruptf("%d nodes exceed int32 indexing", numNodes)
+	}
+	if numEdges > math.MaxInt32/2 {
+		return nil, corruptf("%d edges exceed int32 indexing", numEdges)
+	}
+	n := int(numNodes)
+	deg2 := 2 * int(numEdges)
+	if got, want := uint64(len(byKind[SectionIDs])), numNodes*8; got != want {
+		return nil, corruptf("ids section %d bytes, want %d for %d nodes", got, want, numNodes)
+	}
+	if got, want := uint64(len(byKind[SectionOffsets])), (numNodes+1)*4; got != want {
+		return nil, corruptf("offsets section %d bytes, want %d", got, want)
+	}
+	if got, want := uint64(len(byKind[SectionAdj])), uint64(deg2)*8; got != want {
+		return nil, corruptf("adjacency section %d bytes, want %d for %d edges", got, want, numEdges)
+	}
+	if got, want := uint64(len(byKind[SectionAdjIdx])), uint64(deg2)*4; got != want {
+		return nil, corruptf("adjacency index section %d bytes, want %d", got, want)
+	}
+
+	ids := idsOf(byKind[SectionIDs])
+	offsets := int32sOf(byKind[SectionOffsets])
+	adj := idsOf(byKind[SectionAdj])
+	adjIdx := int32sOf(byKind[SectionAdjIdx])
+
+	for i := 1; i < n; i++ {
+		if ids[i] <= ids[i-1] {
+			return nil, corruptf("node ids not strictly ascending at index %d", i)
+		}
+	}
+	if offsets[0] != 0 {
+		return nil, corruptf("first row offset %d, want 0", offsets[0])
+	}
+	for i := 1; i <= n; i++ {
+		if offsets[i] < offsets[i-1] {
+			return nil, corruptf("row offsets decrease at index %d", i)
+		}
+	}
+	if int(offsets[n]) != deg2 {
+		return nil, corruptf("row offsets end at %d, adjacency holds %d entries", offsets[n], deg2)
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := offsets[i], offsets[i+1]
+		for k := lo; k < hi; k++ {
+			j := adjIdx[k]
+			if j < 0 || int(j) >= n {
+				return nil, corruptf("adjacency index %d out of range at entry %d", j, k)
+			}
+			if ids[j] != adj[k] {
+				return nil, corruptf("adjacency entry %d names id %d but indexes id %d", k, adj[k], ids[j])
+			}
+			if int(j) == i {
+				return nil, corruptf("self loop on node %d", ids[i])
+			}
+			if k > lo && adj[k] <= adj[k-1] {
+				return nil, corruptf("adjacency row of node %d not strictly ascending at entry %d", ids[i], k)
+			}
+			if int(j) > i {
+				// Symmetry: the reverse entry must exist in row j. Rows
+				// are checked sorted in their own iteration, so on any
+				// file that ultimately validates this search is exact.
+				row := adj[offsets[j]:offsets[j+1]]
+				want := ids[i]
+				p := sort.Search(len(row), func(q int) bool { return row[q] >= want })
+				if p >= len(row) || row[p] != want {
+					return nil, corruptf("edge %d–%d has no reverse entry", ids[i], ids[j])
+				}
+			}
+		}
+	}
+	return graph.SnapshotFromCSR(ids, offsets, adj, adjIdx, int(numEdges))
+}
+
+// decodeProfiles validates and assembles the profile table, or returns
+// nil when the file carries no profile sections.
+func decodeProfiles(byKind map[uint32][]byte, ids []graph.UserID) (*ProfileTable, error) {
+	if _, ok := byKind[SectionAttrNames]; !ok {
+		return nil, nil
+	}
+	n := len(ids)
+	attrNames, used, err := readStringList(byKind[SectionAttrNames], "attribute names")
+	if err != nil {
+		return nil, err
+	}
+	if used != len(byKind[SectionAttrNames]) {
+		return nil, corruptf("attribute names: %d trailing bytes", len(byKind[SectionAttrNames])-used)
+	}
+	if len(attrNames) > maxSections {
+		return nil, corruptf("%d attributes exceed the format limit %d", len(attrNames), maxSections)
+	}
+	itemNames, used, err := readStringList(byKind[SectionItemNames], "item names")
+	if err != nil {
+		return nil, err
+	}
+	if used != len(byKind[SectionItemNames]) {
+		return nil, corruptf("item names: %d trailing bytes", len(byKind[SectionItemNames])-used)
+	}
+	if len(itemNames) > maxItems {
+		return nil, corruptf("%d items exceed the %d-bit visibility byte", len(itemNames), maxItems)
+	}
+
+	dictBytes := byKind[SectionAttrDicts]
+	dicts := make([][]string, len(attrNames))
+	pos := 0
+	for a := range dicts {
+		d, used, err := readStringList(dictBytes[pos:], fmt.Sprintf("dictionary of %q", attrNames[a]))
+		if err != nil {
+			return nil, err
+		}
+		if len(d) == 0 || d[0] != "" {
+			return nil, corruptf("dictionary of %q: entry 0 must be the empty string", attrNames[a])
+		}
+		dicts[a] = d
+		pos += used
+	}
+	if pos != len(dictBytes) {
+		return nil, corruptf("attribute dictionaries: %d trailing bytes", len(dictBytes)-pos)
+	}
+
+	if got, want := uint64(len(byKind[SectionAttrVals])), uint64(len(attrNames))*uint64(n)*4; got != want {
+		return nil, corruptf("attribute values section %d bytes, want %d", got, want)
+	}
+	vals := uint32sOf(byKind[SectionAttrVals])
+	vis := byKind[SectionVis]
+	if len(vis) != n {
+		return nil, corruptf("visibility section %d bytes, want one per node (%d)", len(vis), n)
+	}
+	allowed := byte(visPresent) | byte((1<<uint(len(itemNames)))-1)
+	for i, v := range vis {
+		if v&^allowed != 0 {
+			return nil, corruptf("visibility byte of node %d sets undefined bits %#x", ids[i], v&^allowed)
+		}
+		if v&visPresent == 0 && v != 0 {
+			return nil, corruptf("node %d has visibility bits but no profile", ids[i])
+		}
+	}
+	for a := range dicts {
+		dlen := uint32(len(dicts[a]))
+		col := vals[a*n : (a+1)*n]
+		for i, v := range col {
+			if v >= dlen {
+				return nil, corruptf("node %d: %q value index %d outside dictionary of %d", ids[i], attrNames[a], v, dlen)
+			}
+			if vis[i]&visPresent == 0 && v != 0 {
+				return nil, corruptf("node %d has attribute values but no profile", ids[i])
+			}
+		}
+	}
+
+	t := &ProfileTable{
+		ids:   ids,
+		attrs: make([]profile.Attribute, len(attrNames)),
+		items: make([]profile.Item, len(itemNames)),
+		dicts: dicts,
+		vals:  vals,
+		vis:   vis,
+	}
+	for i, s := range attrNames {
+		t.attrs[i] = profile.Attribute(s)
+	}
+	for i, s := range itemNames {
+		t.items[i] = profile.Item(s)
+	}
+	return t, nil
+}
+
+// idsOf views an 8-aligned byte slice as node ids without copying.
+func idsOf(b []byte) []graph.UserID {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*graph.UserID)(unsafe.Pointer(&b[0])), len(b)/8)
+}

@@ -1,0 +1,176 @@
+package snapfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+
+	"sightrisk/internal/graph"
+)
+
+// Contents is what one snapshot file holds: the frozen graph,
+// optionally its profile table, and optionally an opaque auxiliary
+// payload for the embedding application.
+type Contents struct {
+	// Snapshot is the frozen graph to encode. Required.
+	Snapshot *graph.Snapshot
+	// Profiles, when non-nil, adds the interned profile sections. Its
+	// node universe must be the snapshot's.
+	Profiles *ProfileTable
+	// Aux, when non-empty, is stored verbatim in an opaque section.
+	Aux []byte
+}
+
+// WriteTo encodes the contents to w in the snapfile format, making
+// Contents an io.WriterTo. It returns the number of bytes written.
+func (c Contents) WriteTo(w io.Writer) (int64, error) {
+	return Write(w, c)
+}
+
+// Write encodes the contents to w in the snapfile format and returns
+// the number of bytes written. The writer runs on little-endian hosts
+// only (ErrBigEndian otherwise) and never mutates the snapshot.
+func Write(w io.Writer, c Contents) (int64, error) {
+	if !hostLittleEndian() {
+		return 0, ErrBigEndian
+	}
+	if c.Snapshot == nil {
+		return 0, fmt.Errorf("snapfile: write: nil snapshot")
+	}
+	ids, offsets, adj, adjIdx := c.Snapshot.CSR()
+	if len(ids) > math.MaxInt32-1 {
+		return 0, fmt.Errorf("snapfile: write: %d nodes exceed int32 indexing", len(ids))
+	}
+
+	type payload struct {
+		kind uint32
+		data []byte
+	}
+	payloads := []payload{
+		{SectionIDs, bytesOfInt64(idsAsInt64(ids))},
+		{SectionOffsets, bytesOfInt32(offsets)},
+		{SectionAdj, bytesOfInt64(idsAsInt64(adj))},
+		{SectionAdjIdx, bytesOfInt32(adjIdx)},
+	}
+	if t := c.Profiles; t != nil {
+		if len(t.ids) != len(ids) {
+			return 0, fmt.Errorf("snapfile: write: profile table covers %d nodes, snapshot has %d", len(t.ids), len(ids))
+		}
+		if len(t.items) > maxItems {
+			return 0, fmt.Errorf("snapfile: write: %d benefit items exceed the %d-bit visibility byte", len(t.items), maxItems)
+		}
+		attrNames := make([]string, len(t.attrs))
+		for i, a := range t.attrs {
+			attrNames[i] = string(a)
+		}
+		itemNames := make([]string, len(t.items))
+		for i, it := range t.items {
+			itemNames[i] = string(it)
+		}
+		var dicts []byte
+		for _, d := range t.dicts {
+			dicts = appendStringList(dicts, d)
+		}
+		payloads = append(payloads,
+			payload{SectionAttrNames, appendStringList(nil, attrNames)},
+			payload{SectionAttrDicts, dicts},
+			payload{SectionAttrVals, bytesOfUint32(t.vals)},
+			payload{SectionItemNames, appendStringList(nil, itemNames)},
+			payload{SectionVis, t.vis},
+		)
+	}
+	if len(c.Aux) > 0 {
+		payloads = append(payloads, payload{SectionAux, c.Aux})
+	}
+
+	// Lay the sections out back to back, each 8-aligned, after the table.
+	table := make([]byte, len(payloads)*tableEntrySize)
+	off := alignUp(uint64(headerSize + len(table)))
+	for i, p := range payloads {
+		e := table[i*tableEntrySize:]
+		binary.LittleEndian.PutUint32(e[0:], p.kind)
+		binary.LittleEndian.PutUint64(e[8:], off)
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(p.data)))
+		binary.LittleEndian.PutUint32(e[24:], checksum(p.data))
+		off = alignUp(off + uint64(len(p.data)))
+	}
+
+	header := make([]byte, headerSize)
+	copy(header, Magic)
+	binary.LittleEndian.PutUint32(header[offVersion:], Version)
+	binary.LittleEndian.PutUint32(header[offSections:], uint32(len(payloads)))
+	binary.LittleEndian.PutUint64(header[offNumNodes:], uint64(len(ids)))
+	binary.LittleEndian.PutUint64(header[offNumEdges:], uint64(c.Snapshot.NumEdges()))
+	binary.LittleEndian.PutUint32(header[offTableCRC:], checksum(table))
+	binary.LittleEndian.PutUint32(header[offHeaderCRC:], checksum(header[:offHeaderCRC]))
+
+	cw := &countWriter{w: w}
+	if _, err := cw.Write(header); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write(table); err != nil {
+		return cw.n, err
+	}
+	var pad [sectionAlign]byte
+	for _, p := range payloads {
+		if gap := int64(alignUp(uint64(cw.n))) - cw.n; gap > 0 {
+			if _, err := cw.Write(pad[:gap]); err != nil {
+				return cw.n, err
+			}
+		}
+		if _, err := cw.Write(p.data); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// Create writes the contents to the named file, replacing it
+// atomically enough for the single-writer packing workflow (write to
+// the final path, buffered, fsync-free).
+func Create(path string, c Contents) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("snapfile: create: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := Write(bw, c); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("snapfile: create %s: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("snapfile: create %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("snapfile: create %s: %w", path, err)
+	}
+	return nil
+}
+
+// idsAsInt64 views a []graph.UserID as []int64 (UserID's underlying
+// type) without copying.
+func idsAsInt64(ids []graph.UserID) []int64 {
+	if len(ids) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&ids[0])), len(ids))
+}
+
+// countWriter tracks bytes written.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

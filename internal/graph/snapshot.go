@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Snapshot is an immutable, frozen view of a Graph in compressed
 // sparse row (CSR) form: node ids in ascending order, one sorted
@@ -24,11 +27,69 @@ import "sort"
 // Snapshot can never change results, only speed.
 type Snapshot struct {
 	ids     []UserID         // all node ids, ascending
-	index   map[UserID]int32 // id -> position in ids
+	index   map[UserID]int32 // id -> position in ids; nil = binary-search lookups
 	offsets []int32          // CSR row offsets, len(ids)+1
 	adj     []UserID         // concatenated adjacency rows, each sorted ascending
 	adjIdx  []int32          // adj[k]'s position in ids (rows sorted, since id order == index order)
 	edges   int
+}
+
+// SnapshotFromCSR assembles a Snapshot directly from pre-built CSR
+// arrays: ids ascending, offsets of length len(ids)+1 delimiting each
+// node's sorted adjacency row in adj, and adjIdx carrying the dense
+// index of every adj entry. The slices are adopted, not copied — they
+// may alias an mmap'd file (package snapfile) or a generator's arena
+// (package synthetic) — so callers must not mutate them afterwards.
+//
+// No id→index map is built: lookups by UserID fall back to binary
+// search over ids, which keeps construction O(1) regardless of graph
+// size (the zero-parse property the snapfile format depends on).
+// Queries return exactly what a map-backed Snapshot of the same arrays
+// returns.
+//
+// Only shape invariants are checked here (lengths, offset bounds, edge
+// count). Content invariants — ascending ids, sorted rows, symmetric
+// edges, adjIdx consistency — are the caller's responsibility;
+// snapfile.Open verifies them before trusting a file.
+func SnapshotFromCSR(ids []UserID, offsets []int32, adj []UserID, adjIdx []int32, edges int) (*Snapshot, error) {
+	if len(offsets) != len(ids)+1 {
+		return nil, fmt.Errorf("graph: csr: %d offsets for %d ids (want ids+1)", len(offsets), len(ids))
+	}
+	if len(adj) != len(adjIdx) {
+		return nil, fmt.Errorf("graph: csr: %d adj entries but %d adj indices", len(adj), len(adjIdx))
+	}
+	if offsets[0] != 0 || int(offsets[len(offsets)-1]) != len(adj) {
+		return nil, fmt.Errorf("graph: csr: offsets span [%d,%d], adjacency holds %d entries",
+			offsets[0], offsets[len(offsets)-1], len(adj))
+	}
+	if 2*edges != len(adj) {
+		return nil, fmt.Errorf("graph: csr: edge count %d inconsistent with %d adjacency entries", edges, len(adj))
+	}
+	return &Snapshot{ids: ids, offsets: offsets, adj: adj, adjIdx: adjIdx, edges: edges}, nil
+}
+
+// CSR exposes the snapshot's raw arrays: node ids (ascending), row
+// offsets, the concatenated adjacency rows and their dense-index
+// mirror. The slices share the snapshot's backing memory — callers
+// must not modify them. This is the surface the snapfile binary
+// format serializes.
+func (s *Snapshot) CSR() (ids []UserID, offsets []int32, adj []UserID, adjIdx []int32) {
+	return s.ids, s.offsets, s.adj, s.adjIdx
+}
+
+// indexOf resolves a node id to its dense index, via the map when one
+// was built (Graph.Snapshot) or binary search over the ascending ids
+// otherwise (SnapshotFromCSR). Both paths return identical results.
+func (s *Snapshot) indexOf(id UserID) (int32, bool) {
+	if s.index != nil {
+		i, ok := s.index[id]
+		return i, ok
+	}
+	j := sort.Search(len(s.ids), func(k int) bool { return s.ids[k] >= id })
+	if j < len(s.ids) && s.ids[j] == id {
+		return int32(j), true
+	}
+	return 0, false
 }
 
 // Snapshot freezes the graph's current structure into an immutable CSR
@@ -79,15 +140,14 @@ func (s *Snapshot) Nodes() []UserID { return s.ids }
 
 // HasNode reports whether the node existed at freeze time.
 func (s *Snapshot) HasNode(id UserID) bool {
-	_, ok := s.index[id]
+	_, ok := s.indexOf(id)
 	return ok
 }
 
 // IndexOf returns the dense index of id (its position in Nodes), or
 // false if the node is absent.
 func (s *Snapshot) IndexOf(id UserID) (int32, bool) {
-	i, ok := s.index[id]
-	return i, ok
+	return s.indexOf(id)
 }
 
 // IDAt returns the node id at dense index i.
@@ -95,7 +155,7 @@ func (s *Snapshot) IDAt(i int32) UserID { return s.ids[i] }
 
 // Degree returns the friend count of id, or 0 if absent.
 func (s *Snapshot) Degree(id UserID) int {
-	i, ok := s.index[id]
+	i, ok := s.indexOf(id)
 	if !ok {
 		return 0
 	}
@@ -106,7 +166,7 @@ func (s *Snapshot) Degree(id UserID) int {
 // The slice aliases the snapshot's backing array: zero allocation, and
 // callers must not modify it.
 func (s *Snapshot) Friends(id UserID) []UserID {
-	i, ok := s.index[id]
+	i, ok := s.indexOf(id)
 	if !ok {
 		return nil
 	}
@@ -257,7 +317,7 @@ func (s *Snapshot) DensityOfMutualSorted(sorted []UserID) float64 {
 // Strangers returns the owner's second-hop contacts in ascending
 // order, matching Graph.Strangers.
 func (s *Snapshot) Strangers(owner UserID) []UserID {
-	oi, ok := s.index[owner]
+	oi, ok := s.indexOf(owner)
 	if !ok {
 		return nil
 	}

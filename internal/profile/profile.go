@@ -12,6 +12,7 @@ package profile
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sightrisk/internal/graph"
 )
@@ -127,8 +128,20 @@ func (p *Profile) Validate() error {
 // deterministic iteration helpers; synchronization, when needed, is the
 // caller's concern (the pipeline builds stores once and then only
 // reads).
+//
+// A store built with NewLazyStore additionally materializes missing
+// profiles on demand from a fetch function and is safe for concurrent
+// readers — the shape mmap-backed snapshot files (graph/snapfile)
+// serve multi-gigabyte profile sets through without decoding them all
+// up front.
 type Store struct {
 	byUser map[graph.UserID]*Profile
+
+	// fetch, when non-nil, materializes profiles absent from byUser on
+	// first access (nil result = user has no profile); mu then guards
+	// byUser because the engine reads stores from concurrent workers.
+	fetch func(graph.UserID) *Profile
+	mu    sync.RWMutex
 }
 
 // NewStore returns an empty profile store.
@@ -136,23 +149,77 @@ func NewStore() *Store {
 	return &Store{byUser: make(map[graph.UserID]*Profile)}
 }
 
-// Put inserts or replaces the profile.
-func (s *Store) Put(p *Profile) { s.byUser[p.User] = p }
+// NewLazyStore returns a store that materializes profiles on first
+// access through fetch and caches them thereafter. fetch must be
+// deterministic (same user → equivalent profile) and safe for
+// concurrent calls; it returns nil for users without a profile. Unlike
+// a plain store, a lazy store is safe for concurrent use. Len and
+// Users report only the profiles materialized (or Put) so far — the
+// backing source, not the cache, is the authority on the full
+// population.
+func NewLazyStore(fetch func(graph.UserID) *Profile) *Store {
+	return &Store{byUser: make(map[graph.UserID]*Profile), fetch: fetch}
+}
 
-// Get returns the profile for the user, or nil when absent.
-func (s *Store) Get(u graph.UserID) *Profile { return s.byUser[u] }
+// Put inserts or replaces the profile.
+func (s *Store) Put(p *Profile) {
+	if s.fetch != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	s.byUser[p.User] = p
+}
+
+// Get returns the profile for the user, or nil when absent. On a lazy
+// store a miss consults the fetch function and caches its result.
+func (s *Store) Get(u graph.UserID) *Profile {
+	if s.fetch == nil {
+		return s.byUser[u]
+	}
+	s.mu.RLock()
+	p, ok := s.byUser[u]
+	s.mu.RUnlock()
+	if ok {
+		return p
+	}
+	p = s.fetch(u)
+	if p == nil {
+		return nil
+	}
+	s.mu.Lock()
+	// Keep the first materialization if another goroutine raced us, so
+	// callers always observe one stable pointer per user.
+	if prev, ok := s.byUser[u]; ok {
+		p = prev
+	} else {
+		s.byUser[u] = p
+	}
+	s.mu.Unlock()
+	return p
+}
 
 // Has reports whether the user has a profile.
 func (s *Store) Has(u graph.UserID) bool {
-	_, ok := s.byUser[u]
-	return ok
+	return s.Get(u) != nil
 }
 
-// Len returns the number of stored profiles.
-func (s *Store) Len() int { return len(s.byUser) }
+// Len returns the number of stored profiles (on a lazy store: the
+// number materialized so far).
+func (s *Store) Len() int {
+	if s.fetch != nil {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	return len(s.byUser)
+}
 
-// Users returns all user ids in ascending order.
+// Users returns all user ids in ascending order (on a lazy store: the
+// users materialized so far).
 func (s *Store) Users() []graph.UserID {
+	if s.fetch != nil {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	out := make([]graph.UserID, 0, len(s.byUser))
 	for u := range s.byUser {
 		out = append(out, u)
@@ -166,7 +233,7 @@ func (s *Store) Users() []graph.UserID {
 func (s *Store) Profiles(users []graph.UserID) []*Profile {
 	out := make([]*Profile, 0, len(users))
 	for _, u := range users {
-		if p := s.byUser[u]; p != nil {
+		if p := s.Get(u); p != nil {
 			out = append(out, p)
 		}
 	}
@@ -179,7 +246,7 @@ func (s *Store) Profiles(users []graph.UserID) []*Profile {
 func (s *Store) ValueFrequencies(users []graph.UserID, a Attribute) map[string]int {
 	freq := make(map[string]int)
 	for _, u := range users {
-		p := s.byUser[u]
+		p := s.Get(u)
 		if p == nil {
 			continue
 		}
@@ -196,7 +263,7 @@ func (s *Store) ValueFrequencies(users []graph.UserID, a Attribute) map[string]i
 func (s *Store) VisibilityRate(users []graph.UserID, i Item) float64 {
 	n, vis := 0, 0
 	for _, u := range users {
-		p := s.byUser[u]
+		p := s.Get(u)
 		if p == nil {
 			continue
 		}

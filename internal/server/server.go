@@ -47,6 +47,11 @@ type Config struct {
 	// (EstimateRequest.Dataset). Each gets one frozen graph snapshot
 	// shared by all of its jobs.
 	Datasets map[string]*dataset.Dataset
+	// Runtimes are preloaded datasets already in serving shape —
+	// typically mmap-backed snapshot files via dataset.OpenRuntime.
+	// They share the Datasets namespace; a duplicate name is a
+	// configuration error.
+	Runtimes map[string]*dataset.Runtime
 	// Workers bounds how many jobs run concurrently across all tenants
 	// (the fleet scheduler's shared budget). 0 means one per CPU.
 	Workers int
@@ -66,8 +71,7 @@ type Config struct {
 // Server is the sightd HTTP handler plus the job state behind it.
 // Construct with New, mount via ServeHTTP, stop with Drain.
 type Server struct {
-	datasets map[string]*dataset.Dataset
-	snaps    map[string]*graph.Snapshot
+	runtimes map[string]*dataset.Runtime
 	stateDir string
 	metrics  *obs.Metrics
 	logf     func(string, ...any)
@@ -111,8 +115,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
-		datasets:   cfg.Datasets,
-		snaps:      make(map[string]*graph.Snapshot, len(cfg.Datasets)),
+		runtimes:   make(map[string]*dataset.Runtime, len(cfg.Datasets)+len(cfg.Runtimes)),
 		stateDir:   cfg.StateDir,
 		metrics:    metrics,
 		logf:       logf,
@@ -122,7 +125,14 @@ func New(cfg Config) (*Server, error) {
 		jobs:       map[string]*job{},
 	}
 	for name, ds := range cfg.Datasets {
-		s.snaps[name] = ds.Graph.Snapshot()
+		s.runtimes[name] = ds.Runtime()
+	}
+	for name, rt := range cfg.Runtimes {
+		if _, dup := s.runtimes[name]; dup {
+			baseCancel()
+			return nil, fmt.Errorf("server: dataset %q configured twice", name)
+		}
+		s.runtimes[name] = rt
 	}
 	s.mux = s.routes()
 	if s.stateDir != "" {
@@ -410,12 +420,18 @@ func (s *Server) resolve(req *client.EstimateRequest) (*resolved, *client.APIErr
 	case req.Dataset == "" && req.Network == nil:
 		return nil, bad("set exactly one of dataset and network")
 	case req.Dataset != "":
-		ds, ok := s.datasets[req.Dataset]
+		rt, ok := s.runtimes[req.Dataset]
 		if !ok {
 			return nil, bad("unknown dataset %q", req.Dataset)
 		}
-		res.net = sight.WrapNetwork(ds.Graph, ds.ProfileStore())
-		res.snap = s.snaps[req.Dataset]
+		if rt.Graph != nil {
+			res.net = sight.WrapNetwork(rt.Graph, rt.Profiles)
+		} else {
+			// Snapshot-backed (mmap'd .snap file): the engine runs
+			// straight off the mapped CSR pages.
+			res.net = sight.WrapSnapshot(rt.Snapshot, rt.Profiles)
+		}
+		res.snap = rt.Snapshot
 	default:
 		net, err := buildNetwork(req.Network)
 		if err != nil {
@@ -424,7 +440,7 @@ func (s *Server) resolve(req *client.EstimateRequest) (*resolved, *client.APIErr
 		res.net = net
 	}
 	owner := graph.UserID(req.Owner)
-	if !res.net.Graph().HasNode(owner) {
+	if !res.net.HasUser(owner) {
 		return nil, bad("owner %d is not in the network", req.Owner)
 	}
 	switch req.Annotator {
@@ -434,7 +450,7 @@ func (s *Server) resolve(req *client.EstimateRequest) (*resolved, *client.APIErr
 		if req.Dataset == "" {
 			return nil, bad("annotator %q requires a dataset reference", client.AnnotatorStored)
 		}
-		rec, ok := s.datasets[req.Dataset].Owner(owner)
+		rec, ok := s.runtimes[req.Dataset].Owner(owner)
 		if !ok {
 			return nil, bad("dataset %q has no stored labels for owner %d", req.Dataset, req.Owner)
 		}

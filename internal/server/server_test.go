@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -539,5 +540,56 @@ func TestDrainRejectsSubmissions(t *testing.T) {
 	}
 	if !hr.Draining {
 		t.Error("health does not report draining")
+	}
+}
+
+// TestSnapshotBackedDataset: a dataset preloaded from a packed .snap
+// file (mmap-backed runtime, no live graph) serves reports
+// byte-identical to both the JSON-backed dataset and the in-process
+// serial run.
+func TestSnapshotBackedDataset(t *testing.T) {
+	ds := testDataset(t, 1, 80, 41)
+	owner := ds.Owners[0].ID
+	want := serialWireBytes(t, ds, owner)
+
+	snapPath := filepath.Join(t.TempDir(), "study.snap")
+	if err := dataset.PackSnap(ds, snapPath); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := dataset.OpenRuntime(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if !rt.Mapped() || rt.Graph != nil {
+		t.Fatalf("runtime not snapshot-backed: mapped=%v graph=%v", rt.Mapped(), rt.Graph != nil)
+	}
+
+	_, _, c := newTestServer(t, server.Config{
+		Runtimes: map[string]*dataset.Runtime{"study": rt},
+		Workers:  1,
+	})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, &client.EstimateRequest{Dataset: "study", Owner: int64(owner), Annotator: client.AnnotatorStored})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != client.StatusDone {
+		t.Fatalf("status %q: %v", fin.Status, fin.Error)
+	}
+	if got := wireBytes(t, fin.Report); string(got) != string(want) {
+		t.Fatalf("snapshot-backed report differs from serial in-process report:\n got %s\nwant %s", got, want)
+	}
+
+	// The same name in both Datasets and Runtimes is a config error.
+	if _, err := server.New(server.Config{
+		Datasets: map[string]*dataset.Dataset{"study": ds},
+		Runtimes: map[string]*dataset.Runtime{"study": rt},
+	}); err == nil {
+		t.Fatal("duplicate dataset name accepted")
 	}
 }

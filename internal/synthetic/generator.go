@@ -82,9 +82,9 @@ func (c EgoConfig) validate() error {
 
 // EgoNet is a generated owner-centric network fragment.
 type EgoNet struct {
-	Owner     graph.UserID
-	Friends   []graph.UserID
-	Strangers []graph.UserID
+	Owner     graph.UserID   // the ego node
+	Friends   []graph.UserID // the owner's direct friends
+	Strangers []graph.UserID // friends-of-friends outside the friend set
 	// Community[f] is the community index of friend f.
 	Community map[graph.UserID]int
 }

@@ -167,11 +167,11 @@ func cutPoints(a Attitude, rng *rand.Rand) (t1, t2 float64) {
 // Owner is one simulated study participant: their node, profile,
 // benefit weights, confidence and latent attitude.
 type Owner struct {
-	ID         graph.UserID
-	Net        *EgoNet
-	Theta      benefit.Theta
-	Confidence float64
-	Attitude   Attitude
+	ID         graph.UserID  // the owner's node id
+	Net        *EgoNet       // the owner's ego network
+	Theta      benefit.Theta // benefit weights for the risk model
+	Confidence float64       // labeling confidence in (0,1]
+	Attitude   Attitude      // latent privacy attitude
 
 	g     *graph.Graph
 	store *profile.Store

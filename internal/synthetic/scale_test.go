@@ -1,0 +1,176 @@
+package synthetic
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/graph/snapfile"
+)
+
+func TestGenerateScaleBasics(t *testing.T) {
+	cfg := DefaultScaleConfig(5000)
+	cfg.ProfileFrac = 0.85
+	sg, err := GenerateScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sg.Snapshot
+	if snap.NumNodes() != cfg.Nodes {
+		t.Fatalf("NumNodes = %d, want %d", snap.NumNodes(), cfg.Nodes)
+	}
+	// Chung–Lu dedup and self-loop rejection lose some edges; the mean
+	// degree should still land in the right ballpark.
+	avg := 2 * float64(snap.NumEdges()) / float64(snap.NumNodes())
+	if avg < cfg.AvgDegree*0.6 || avg > cfg.AvgDegree*1.1 {
+		t.Fatalf("average degree %.2f too far from target %.1f", avg, cfg.AvgDegree)
+	}
+	// Dense ids 1..n.
+	nodes := snap.Nodes()
+	if nodes[0] != 1 || nodes[len(nodes)-1] != graph.UserID(cfg.Nodes) {
+		t.Fatalf("ids not dense 1..n: first %d last %d", nodes[0], nodes[len(nodes)-1])
+	}
+	if sg.Profiles.Len() != cfg.Nodes {
+		t.Fatalf("profile table rows = %d, want %d", sg.Profiles.Len(), cfg.Nodes)
+	}
+	frac := float64(sg.Profiles.NumProfiles()) / float64(cfg.Nodes)
+	if math.Abs(frac-cfg.ProfileFrac) > 0.05 {
+		t.Fatalf("profile fraction %.3f, want ~%.2f", frac, cfg.ProfileFrac)
+	}
+	if len(sg.Owners) == 0 {
+		t.Fatal("no owners selected")
+	}
+	for _, o := range sg.Owners {
+		d := snap.Degree(o)
+		if d < 10 || d > 120 {
+			t.Fatalf("owner %d degree %d outside [10,120]", o, d)
+		}
+		if sg.Profiles.Get(o) == nil {
+			t.Fatalf("owner %d has no profile", o)
+		}
+	}
+}
+
+func TestGenerateScaleDeterministic(t *testing.T) {
+	cfg := DefaultScaleConfig(2000)
+	a, err := GenerateScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Snapshot.NumEdges() != b.Snapshot.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.Snapshot.NumEdges(), b.Snapshot.NumEdges())
+	}
+	for _, id := range a.Snapshot.Nodes() {
+		fa, fb := a.Snapshot.Friends(id), b.Snapshot.Friends(id)
+		if len(fa) != len(fb) {
+			t.Fatalf("node %d: degree %d vs %d", id, len(fa), len(fb))
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("node %d: friend lists differ", id)
+			}
+		}
+	}
+	// A different seed must produce a different graph.
+	cfg.Seed = 99
+	c, err := GenerateScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Snapshot.NumEdges() == a.Snapshot.NumEdges() {
+		same := true
+		for _, id := range a.Snapshot.Nodes() {
+			fa, fc := a.Snapshot.Friends(id), c.Snapshot.Friends(id)
+			if len(fa) != len(fc) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical degree sequences")
+		}
+	}
+}
+
+func TestGenerateScaleHeavyTail(t *testing.T) {
+	sg, err := GenerateScale(DefaultScaleConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sg.Snapshot
+	degs := make([]int, snap.NumNodes())
+	maxDeg := 0
+	for i, id := range snap.Nodes() {
+		degs[i] = snap.Degree(id)
+		if degs[i] > maxDeg {
+			maxDeg = degs[i]
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	avg := 2 * float64(snap.NumEdges()) / float64(snap.NumNodes())
+	// Heavy tail: the hubs should dwarf the mean, and the top 1% of
+	// nodes should hold a disproportionate share of the edge ends.
+	if float64(maxDeg) < 8*avg {
+		t.Fatalf("max degree %d not heavy-tailed vs mean %.1f", maxDeg, avg)
+	}
+	top := len(degs) / 100
+	topSum := 0
+	for _, d := range degs[:top] {
+		topSum += d
+	}
+	share := float64(topSum) / float64(2*snap.NumEdges())
+	if share < 0.05 {
+		t.Fatalf("top 1%% of nodes hold only %.1f%% of edge ends", 100*share)
+	}
+}
+
+func TestGenerateScaleRoundTripsThroughSnapfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapfile round trip at 50k nodes skipped in short mode")
+	}
+	sg, err := GenerateScale(DefaultScaleConfig(50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/scale.snap"
+	if err := snapfile.Create(path, snapfile.Contents{Snapshot: sg.Snapshot, Profiles: sg.Profiles}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := snapfile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Snapshot().NumNodes() != sg.Snapshot.NumNodes() || f.Snapshot().NumEdges() != sg.Snapshot.NumEdges() {
+		t.Fatalf("round trip changed counts: %d/%d vs %d/%d",
+			f.Snapshot().NumNodes(), f.Snapshot().NumEdges(), sg.Snapshot.NumNodes(), sg.Snapshot.NumEdges())
+	}
+	for _, o := range sg.Owners {
+		got, want := f.Profiles().Get(o), sg.Profiles.Get(o)
+		if (got == nil) != (want == nil) {
+			t.Fatalf("owner %d profile presence differs after round trip", o)
+		}
+	}
+	if f.Profiles().NumProfiles() != sg.Profiles.NumProfiles() {
+		t.Fatalf("profile count changed: %d vs %d", f.Profiles().NumProfiles(), sg.Profiles.NumProfiles())
+	}
+}
+
+func TestGenerateScaleRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []ScaleConfig{
+		{Nodes: 1},
+		{Nodes: 100, AvgDegree: 0},
+		{Nodes: 100, AvgDegree: 200},
+		{Nodes: 100, AvgDegree: 10, Exponent: 1},
+		{Nodes: 100, AvgDegree: 10, Exponent: 2.6, ProfileFrac: 1.5},
+	} {
+		if _, err := GenerateScale(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}

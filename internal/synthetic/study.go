@@ -11,6 +11,7 @@ import (
 
 // StudyConfig sizes a whole study population.
 type StudyConfig struct {
+	// Seed drives the whole generation deterministically.
 	Seed int64
 	// Owners is the number of study participants (paper: 47).
 	Owners int
@@ -18,7 +19,7 @@ type StudyConfig struct {
 	// are jittered ±Jitter around the configured values so owners
 	// differ in scale.
 	Ego    EgoConfig
-	Jitter float64
+	Jitter float64 // relative jitter applied to Friends/Strangers counts
 	// GenderDominantFrac is the fraction of owners whose primary
 	// labeling signal is gender (Table I: 34/47 ≈ 0.72).
 	GenderDominantFrac float64
@@ -91,9 +92,9 @@ func ownerDemographics(n int, rng *rand.Rand) (genders, locales []string) {
 // owner's ego network (as disjoint components), all profiles, and the
 // simulated owners.
 type Study struct {
-	Graph    *graph.Graph
-	Profiles *profile.Store
-	Owners   []*Owner
+	Graph    *graph.Graph   // every ego network, as disjoint components
+	Profiles *profile.Store // profiles for all generated users
+	Owners   []*Owner       // the simulated participants
 }
 
 // TotalStrangers sums the stranger counts over all owners.

@@ -168,8 +168,14 @@ const (
 // internals (the cmd tools do the latter).
 type Network struct {
 	g        *graph.Graph
+	snap     *graph.Snapshot // non-nil for snapshot-backed (read-only) networks
 	profiles *profile.Store
 }
+
+// ErrReadOnly is the panic value of structural mutation on a
+// snapshot-backed Network (WrapSnapshot): frozen snapshots — often
+// mmap-backed file pages — cannot grow nodes or edges.
+var ErrReadOnly = errors.New("sight: network is snapshot-backed and read-only")
 
 // NewNetwork returns an empty network.
 func NewNetwork() *Network {
@@ -183,25 +189,76 @@ func WrapNetwork(g *graph.Graph, store *profile.Store) *Network {
 	return &Network{g: g, profiles: store}
 }
 
-// AddUser ensures the user exists (users are also added implicitly by
-// AddFriendship).
-func (n *Network) AddUser(u UserID) { n.g.AddNode(u) }
+// WrapSnapshot builds a read-only Network over a frozen snapshot —
+// typically one mapped straight from a .snap file (internal
+// graph/snapfile), where no mutable graph ever exists. Reads and
+// EstimateRisk work exactly as on a graph-backed network and return
+// byte-identical reports; structural mutations (AddUser,
+// AddFriendship) panic with ErrReadOnly. Intended for code inside
+// this module, like WrapNetwork.
+func WrapSnapshot(snap *graph.Snapshot, store *profile.Store) *Network {
+	return &Network{snap: snap, profiles: store}
+}
 
-// AddFriendship links two users as friends.
-func (n *Network) AddFriendship(a, b UserID) error { return n.g.AddEdge(a, b) }
+// AddUser ensures the user exists (users are also added implicitly by
+// AddFriendship). Panics with ErrReadOnly on a snapshot-backed
+// network.
+func (n *Network) AddUser(u UserID) {
+	if n.g == nil {
+		panic(ErrReadOnly)
+	}
+	n.g.AddNode(u)
+}
+
+// AddFriendship links two users as friends. Snapshot-backed networks
+// return ErrReadOnly.
+func (n *Network) AddFriendship(a, b UserID) error {
+	if n.g == nil {
+		return ErrReadOnly
+	}
+	return n.g.AddEdge(a, b)
+}
+
+// HasUser reports whether the user exists in the network.
+func (n *Network) HasUser(u UserID) bool {
+	if n.g == nil {
+		return n.snap.HasNode(u)
+	}
+	return n.g.HasNode(u)
+}
 
 // NumUsers returns the number of users.
-func (n *Network) NumUsers() int { return n.g.NumNodes() }
+func (n *Network) NumUsers() int {
+	if n.g == nil {
+		return n.snap.NumNodes()
+	}
+	return n.g.NumNodes()
+}
 
 // NumFriendships returns the number of friendship links.
-func (n *Network) NumFriendships() int { return n.g.NumEdges() }
+func (n *Network) NumFriendships() int {
+	if n.g == nil {
+		return n.snap.NumEdges()
+	}
+	return n.g.NumEdges()
+}
 
 // Friends returns a user's friends.
-func (n *Network) Friends(u UserID) []UserID { return n.g.Friends(u) }
+func (n *Network) Friends(u UserID) []UserID {
+	if n.g == nil {
+		return n.snap.Friends(u)
+	}
+	return n.g.Friends(u)
+}
 
 // Strangers returns the owner's second-hop contacts — the users risk
 // labels are estimated for.
-func (n *Network) Strangers(owner UserID) []UserID { return n.g.Strangers(owner) }
+func (n *Network) Strangers(owner UserID) []UserID {
+	if n.g == nil {
+		return n.snap.Strangers(owner)
+	}
+	return n.g.Strangers(owner)
+}
 
 // SetAttribute sets a categorical profile attribute (see the Attr*
 // constants) for the user, creating the profile if needed.
@@ -238,6 +295,9 @@ func (n *Network) SetVisibility(u UserID, item string, visible bool) {
 // of the two users boosted by the density of the community their
 // mutual friends form.
 func (n *Network) NetworkSimilarity(o, s UserID) float64 {
+	if n.g == nil {
+		return similarity.NSSnapshot(n.snap, o, s)
+	}
 	return similarity.NS(n.g, o, s)
 }
 
@@ -256,8 +316,14 @@ func (n *Network) Benefit(theta map[string]float64, s UserID) (float64, error) {
 }
 
 // Graph exposes the underlying graph (read-mostly; intended for code
-// inside this module).
+// inside this module). Nil on snapshot-backed networks — use
+// FrozenSnapshot there.
 func (n *Network) Graph() *graph.Graph { return n.g }
+
+// FrozenSnapshot exposes the frozen snapshot of a snapshot-backed
+// network (nil on graph-backed ones). Intended for code inside this
+// module.
+func (n *Network) FrozenSnapshot() *graph.Snapshot { return n.snap }
 
 // Profiles exposes the underlying profile store.
 func (n *Network) Profiles() *profile.Store { return n.profiles }
@@ -654,6 +720,11 @@ func EstimateRisk(ctx context.Context, n *Network, owner UserID, ann AnyAnnotato
 	cfg, err := opts.coreConfig()
 	if err != nil {
 		return nil, err
+	}
+	if n.snap != nil {
+		// Snapshot-backed network: the engine runs entirely on the
+		// frozen (possibly mmap-backed) CSR view, graph-free.
+		cfg.Snapshot = n.snap
 	}
 	engine := core.New(cfg)
 	run, err := engine.RunOwner(ctx, n.g, n.profiles, owner, fallible, math.NaN())
