@@ -1,15 +1,16 @@
 # Tier-1 verification flow (see ROADMAP.md): build + vet + tests, plus
 # a one-iteration fleet bench so the benchmark code compiles and runs
 # on every PR, the determinism audit over the robustness matrix, the
-# godoc-coverage check and a sightd serving smoke test. `make race`
-# adds the concurrency stress pass that covers the multi-tenant
-# scheduler and the serving layer.
+# godoc-coverage check, a sightd serving smoke test and a 2-replica
+# cluster smoke test with a mid-sweep node kill. `make race` adds the
+# concurrency stress pass that covers the multi-tenant scheduler, the
+# serving layer and the cluster tier.
 
 GO ?= go
 
-.PHONY: tier1 build vet test bench-smoke audit docs serve-smoke scale-smoke race fuzz bench fleet-bench serve-bench scale-bench
+.PHONY: tier1 build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke race fuzz bench fleet-bench serve-bench scale-bench cluster-bench
 
-tier1: build vet test bench-smoke audit docs serve-smoke scale-smoke
+tier1: build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +55,15 @@ serve-smoke:
 scale-smoke:
 	$(GO) run ./cmd/riskbench -scale sweep -scale-sizes 10000 -scale-owners 2 -scale-out /tmp/BENCH_scale_smoke.json
 
+# Cluster smoke test: a 2-replica in-process sightd cluster over one
+# shared checkpoint store, every owner routed by the consistent-hash
+# ring, one replica killed mid-sweep, and every report — including the
+# failed-over ones — verified byte-identical to the serial run (see
+# docs/CLUSTER.md). The throwaway JSON keeps tier-1 from dirtying the
+# checked-in numbers.
+cluster-smoke:
+	$(GO) run ./cmd/riskbench -nodes 2 -workers 2 -cluster-out /tmp/BENCH_cluster_smoke.json
+
 race:
 	$(GO) test -race ./...
 
@@ -80,3 +90,9 @@ serve-bench:
 # "Scale curve" for methodology). Takes a few minutes.
 scale-bench:
 	$(GO) run ./cmd/riskbench -scale sweep
+
+# Cluster failover curve: replica counts 1, 2 and 4 with a mid-sweep
+# kill at N > 1; writes BENCH_cluster.json (see EXPERIMENTS.md
+# "Cluster failover" for methodology).
+cluster-bench:
+	$(GO) run ./cmd/riskbench -nodes 1,2,4 -scale medium

@@ -242,6 +242,10 @@ type EstimateStatus struct {
 	// ID is the server-assigned job id, the path segment of every
 	// per-job endpoint.
 	ID string `json:"id"`
+	// Node is the cluster node currently hosting the job ("" on a
+	// single-node server). Cluster-aware clients use it as a routing
+	// affinity hint; after a failover it changes to the adopting node.
+	Node string `json:"node,omitempty"`
 	// Status is one of the Status* constants.
 	Status string `json:"status"`
 	// Tenant echoes the submitting tenant.
@@ -263,8 +267,27 @@ type HealthResponse struct {
 	// Draining is true after shutdown began: the server answers reads
 	// but rejects new estimates.
 	Draining bool `json:"draining"`
+	// Ready reports whether the node accepts new work. A reachable
+	// replica with Ready=false is draining — a load balancer should
+	// stop routing to it but must not treat it as dead (it still
+	// answers reads while parking its jobs).
+	Ready bool `json:"ready"`
 	// Jobs counts jobs by status.
 	Jobs map[string]int `json:"jobs"`
+	// Node is this replica's cluster node id ("" single-node).
+	Node string `json:"node,omitempty"`
+	// RingVersion is the membership version the replica's placement
+	// ring was built at; replicas that agree on it agree on placement.
+	RingVersion int `json:"ring_version,omitempty"`
+	// ShardsOwned counts the placement-ring slots this replica owns.
+	ShardsOwned int `json:"shards_owned,omitempty"`
+	// ShardsTotal counts all slots on the ring; ShardsOwned/ShardsTotal
+	// is the keyspace fraction this replica serves (it grows as peers
+	// die and their shards collapse onto the survivors).
+	ShardsTotal int `json:"shards_total,omitempty"`
+	// Peers maps peer node id → "alive" or "dead" as this replica
+	// currently believes (cluster mode only).
+	Peers map[string]string `json:"peers,omitempty"`
 }
 
 // FromReport converts a library report into its wire form — the exact

@@ -4,16 +4,38 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"time"
 )
 
+// Retry defaults used when the corresponding Client fields are zero.
+const (
+	// DefaultMaxRetries is how many times a failed call is retried.
+	DefaultMaxRetries = 3
+	// DefaultMaxRetryWait caps the wait before any single retry; a
+	// server-sent Retry-After beyond it fails fast instead of blocking
+	// the caller.
+	DefaultMaxRetryWait = 5 * time.Second
+)
+
+// retryBackoffBase is the first retry's backoff when the server sent
+// no Retry-After; later attempts double it (jittered, capped at 1s).
+const retryBackoffBase = 50 * time.Millisecond
+
 // Client is a typed HTTP client for a sightd server. The zero value is
 // not usable; construct with New. Methods are safe for concurrent use.
+//
+// Calls automatically retry with context-aware jittered backoff: 429
+// and 503 responses honor the server's Retry-After (failing fast when
+// it exceeds MaxRetryWait), and transport-level failures retry for
+// idempotent methods (GET, DELETE) only — a submission that may have
+// been accepted is never replayed. Set NoRetry to opt out.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8321".
 	BaseURL string
@@ -23,6 +45,17 @@ type Client struct {
 	// LongPoll is the server-side wait requested by Questions;
 	// DefaultLongPoll when zero.
 	LongPoll time.Duration
+	// NoRetry disables automatic retry: every call maps to exactly one
+	// HTTP request and the first error is returned as-is. Use it when
+	// the caller runs its own retry policy (client.Cluster does).
+	NoRetry bool
+	// MaxRetries bounds the retry attempts after the initial request;
+	// DefaultMaxRetries when zero.
+	MaxRetries int
+	// MaxRetryWait caps the wait before any single retry;
+	// DefaultMaxRetryWait when zero. A Retry-After above the cap fails
+	// fast, returning the server's error.
+	MaxRetryWait time.Duration
 }
 
 // New returns a client for the server at baseURL (scheme + host, no
@@ -31,23 +64,63 @@ func New(baseURL string) *Client {
 	return &Client{BaseURL: baseURL}
 }
 
-// do issues one JSON round trip. A nil in sends no body; a nil out
-// discards the response body. Non-2xx responses decode the error
-// envelope into *APIError.
+// do issues one JSON call with the client's retry policy. A nil in
+// sends no body; a nil out discards the response body. Non-2xx
+// responses decode the error envelope into *APIError.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var body []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
-		body = bytes.NewReader(b)
+		body = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	maxRetries := c.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	if c.NoRetry {
+		maxRetries = 0
+	}
+	maxWait := c.MaxRetryWait
+	if maxWait <= 0 {
+		maxWait = DefaultMaxRetryWait
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, body, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		if attempt >= maxRetries {
+			return err
+		}
+		wait, retryable := retryWait(method, err, attempt, maxWait)
+		if !retryable {
+			return err
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+		t.Stop()
+	}
+}
+
+// doOnce issues one JSON round trip.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, hasBody bool, out any) error {
+	var rd io.Reader
+	if hasBody {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTPClient
@@ -78,6 +151,59 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return fmt.Errorf("client: decode response: %w", err)
 	}
 	return nil
+}
+
+// retryWait decides whether the error is worth retrying and how long
+// to wait first. 429/503 responses are retryable, preferring the
+// server's Retry-After (fail fast when it exceeds maxWait); transport
+// errors are retryable for idempotent methods only.
+func retryWait(method string, err error, attempt int, maxWait time.Duration) (time.Duration, bool) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 0, false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.Status != http.StatusTooManyRequests && apiErr.Status != http.StatusServiceUnavailable {
+			return 0, false
+		}
+		if apiErr.RetryAfter > 0 {
+			wait := time.Duration(apiErr.RetryAfter) * time.Second
+			if wait > maxWait {
+				// Waiting that long inline would stall the caller; let it
+				// see the budget error and decide.
+				return 0, false
+			}
+			return wait, true
+		}
+		return backoff(attempt, maxWait), true
+	}
+	var urlErr *url.Error
+	if errors.As(err, &urlErr) {
+		// The connection failed or dropped. Only idempotent calls retry:
+		// a POST may have been applied before the failure.
+		if method == http.MethodGet || method == http.MethodDelete {
+			return backoff(attempt, maxWait), true
+		}
+	}
+	return 0, false
+}
+
+// backoff returns the jittered exponential backoff for the attempt
+// (0-based): base 50ms doubling per attempt, plus up to 50% jitter,
+// capped at 1s and maxWait.
+func backoff(attempt int, maxWait time.Duration) time.Duration {
+	if attempt > 4 {
+		attempt = 4
+	}
+	d := retryBackoffBase << uint(attempt)
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	if d > time.Second {
+		d = time.Second
+	}
+	if d > maxWait {
+		d = maxWait
+	}
+	return d
 }
 
 // decodeError turns a non-2xx response into an *APIError, synthesizing

@@ -27,6 +27,7 @@ var defaultDirs = []string{
 	".", "./client",
 	"./internal/fleet", "./internal/server", "./internal/obs", "./internal/dataset",
 	"./internal/graph", "./internal/graph/snapfile", "./internal/synthetic",
+	"./internal/place",
 }
 
 func main() {

@@ -85,6 +85,8 @@ func main() {
 	audit := flag.Bool("audit", false, "determinism-audit mode: run the robustness matrix twice per topology with the event auditor attached, plus an mmap-vs-in-memory snapshot-file run, and report the first divergence (skips the experiment steps; non-zero exit on divergence)")
 	serveRTT := flag.Bool("serve-rtt", false, "serving-layer mode: stand up an in-process sightd, run every owner through the HTTP API on both the stored and the remote-annotator path, verify the served reports byte-identical to in-process serial runs, and write round-trip numbers to -serve-out (skips the experiment steps)")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "serve mode: where to write the round-trip JSON")
+	nodes := flag.String("nodes", "", "cluster mode: comma-separated replica counts (e.g. \"1,2,4\"); per count, run every owner through an in-process N-replica sightd cluster, kill one replica mid-sweep when N > 1, verify the reports byte-identical to the serial run, and write recovery latency plus throughput to -cluster-out (skips the experiment steps)")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "cluster mode: where to write the failover/throughput JSON")
 	scaleSizes := flag.String("scale-sizes", "10000,100000,316000,1000000", "scale-sweep mode (-scale sweep): comma-separated population sizes; sizes that do not fit in available memory are skipped with a message")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "scale-sweep mode: where to write the scale-curve JSON")
 	scaleOwners := flag.Int("scale-owners", 4, "scale-sweep mode: benchmark owners per population size")
@@ -92,6 +94,14 @@ func main() {
 
 	if *scale == "sweep" {
 		if err := runScaleBench(*scaleSizes, *seed, *workers, *scaleOwners, *scaleOut); err != nil {
+			fmt.Fprintln(os.Stderr, "riskbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *nodes != "" {
+		if err := runClusterBench(*scale, *seed, *workers, *nodes, *clusterOut); err != nil {
 			fmt.Fprintln(os.Stderr, "riskbench:", err)
 			os.Exit(1)
 		}
@@ -336,10 +346,25 @@ func runAudit(seed int64, workers int) error {
 			fmt.Println("  " + line)
 		}
 	}
+	cpCount, cDetail, err := auditCluster(seed, workers)
+	if err != nil {
+		return fmt.Errorf("cluster audit: %w", err)
+	}
+	status = "PASS"
+	if cDetail != "" {
+		status = "DIVERGED"
+		diverged = true
+	}
+	fmt.Printf("audit %-12s %-8s (%d checkpoints observed, 2-node failover vs single-node)\n", "cluster", status, cpCount)
+	if cDetail != "" {
+		for _, line := range strings.Split(cDetail, "\n") {
+			fmt.Println("  " + line)
+		}
+	}
 	if diverged {
 		return fmt.Errorf("determinism audit failed")
 	}
-	fmt.Println("determinism audit passed: both runs of every topology were bit-identical, and mmap-backed estimates matched in-memory ones bit for bit")
+	fmt.Println("determinism audit passed: both runs of every topology were bit-identical, mmap-backed estimates matched in-memory ones bit for bit, and the post-failover cluster report matched the single-node run byte for byte")
 	return nil
 }
 

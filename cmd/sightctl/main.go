@@ -40,6 +40,17 @@
 //	sightctl export -in study.json [-owner ID] [-out neighborhood.dot]
 //	    Write the owner's neighborhood as Graphviz DOT, strangers
 //	    colored by their stored risk labels.
+//
+//	sightctl cluster -server n1=URL,n2=URL,...
+//	    Print per-replica health for a multi-node sightd cluster: node
+//	    id, readiness, ring version, shard ownership and each node's
+//	    view of its peers — enough to tell a draining replica from a
+//	    dead one at a glance.
+//
+// Everywhere -server is accepted it takes either one base URL or a
+// comma-separated replica list (plain URLs or id=url entries); with
+// more than one entry the calls go through the client-side cluster
+// router, which retries across replicas and follows failover.
 package main
 
 import (
@@ -51,6 +62,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -89,6 +101,8 @@ func main() {
 		err = cmdTune(os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -113,6 +127,7 @@ commands:
   crawl      simulate the Sight crawler on a dataset
   tune       mine pipeline parameters (alpha, beta, theta, weights) from a dataset
   export     write an owner's neighborhood as Graphviz DOT, colored by risk label
+  cluster    print per-replica health for a multi-node sightd cluster
 `)
 }
 
@@ -202,7 +217,7 @@ func cmdRun(args []string) error {
 	out := fs.String("out", "", "also write the risk reports as JSON to this file")
 	seed := fs.Int64("seed", 1, "sampling seed")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: resumed from when it exists, rewritten after every labeling round (requires -owner)")
-	serverURL := fs.String("server", "", "sightd base URL (e.g. http://127.0.0.1:8321): run through the serving layer instead of in-process; the network travels inline and answers are posted over the wire")
+	serverURL := fs.String("server", "", "sightd base URL or comma-separated replica list (URLs or id=url): run through the serving layer instead of in-process; the network travels inline and answers are posted over the wire")
 	fs.Parse(args)
 
 	if *checkpoint != "" && *ownerID == 0 {
@@ -233,11 +248,14 @@ func cmdRun(args []string) error {
 	// questions from here. Serving is deterministic, so the reports are
 	// identical to the in-process ones.
 	var (
-		remote  *client.Client
+		remote  estimateAPI
 		payload *client.NetworkPayload
 	)
 	if *serverURL != "" {
-		remote = client.New(*serverURL)
+		remote, err = dialServers(*serverURL)
+		if err != nil {
+			return err
+		}
 		payload = client.NetworkFrom(net)
 	}
 
@@ -325,13 +343,59 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+// estimateAPI is the slice of the client surface cmdRun needs — both
+// *client.Client (one server) and *client.Cluster (a replica set with
+// client-side failover) implement it.
+type estimateAPI interface {
+	Submit(ctx context.Context, req *client.EstimateRequest) (*client.EstimateStatus, error)
+	Drive(ctx context.Context, id string, answer client.AnswerFunc) (*client.Report, error)
+	Cancel(ctx context.Context, id string) error
+	Wait(ctx context.Context, id string) (*client.EstimateStatus, error)
+}
+
+// parseServerNodes parses a -server value: one or more comma-separated
+// entries, each a plain base URL or an id=url pair. Plain URLs get
+// positional ids (node1, node2, ...) — they only matter for the
+// client's affinity bookkeeping and the health table.
+func parseServerNodes(spec string) ([]client.ClusterNode, error) {
+	var nodes []client.ClusterNode
+	for i, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(entry, "=")
+		if !ok || strings.Contains(id, "/") { // a bare URL may hold '=' in a query
+			id, url = fmt.Sprintf("node%d", i+1), entry
+		}
+		nodes = append(nodes, client.ClusterNode{ID: id, URL: strings.TrimSuffix(url, "/")})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-server %q names no servers", spec)
+	}
+	return nodes, nil
+}
+
+// dialServers turns a -server value into a client: a plain *Client for
+// a single entry, the cluster router for a replica list.
+func dialServers(spec string) (estimateAPI, error) {
+	nodes, err := parseServerNodes(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 1 {
+		return client.New(nodes[0].URL), nil
+	}
+	return client.NewCluster(nodes)
+}
+
 // runRemote runs one owner's estimate through a sightd server: submit
 // the inline network, long-poll the owner questions, answer each from
 // ann (stored labels or the interactive prompt), and convert the wire
 // report back to the library form. A local interrupt cancels the
 // server-side job and collects the partial report it degrades to —
 // the same graceful shape as the in-process path.
-func runRemote(ctx context.Context, c *client.Client, payload *client.NetworkPayload, owner graph.UserID, confidence float64, strategy string, seed int64, ann sight.Annotator) (*sight.Report, error) {
+func runRemote(ctx context.Context, c estimateAPI, payload *client.NetworkPayload, owner graph.UserID, confidence float64, strategy string, seed int64, ann sight.Annotator) (*sight.Report, error) {
 	st, err := c.Submit(ctx, &client.EstimateRequest{
 		Network: payload,
 		Owner:   int64(owner),
@@ -575,6 +639,59 @@ func cmdTune(args []string) error {
 	for _, item := range items {
 		fmt.Printf("    %-10s %.4f\n", item, tuned.Theta[item])
 	}
+	return nil
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	servers := fs.String("server", "", "comma-separated replica list (URLs or id=url entries)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-probe timeout")
+	fs.Parse(args)
+
+	if *servers == "" {
+		return fmt.Errorf("cluster needs -server")
+	}
+	nodes, err := parseServerNodes(*servers)
+	if err != nil {
+		return err
+	}
+	cl, err := client.NewCluster(nodes)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	health := cl.Health(ctx)
+
+	t := stats.NewTable("Cluster health", "node", "url", "status", "ready", "ring", "shards", "jobs", "peers")
+	for _, n := range nodes {
+		h := health[n.ID]
+		if h == nil {
+			t.AddRow(n.ID, n.URL, "unreachable", "-", "-", "-", "-", "-")
+			continue
+		}
+		peers := make([]string, 0, len(h.Peers))
+		for id, state := range h.Peers {
+			peers = append(peers, id+":"+state)
+		}
+		sort.Strings(peers)
+		jobs := make([]string, 0, len(h.Jobs))
+		for status, count := range h.Jobs {
+			if count > 0 {
+				jobs = append(jobs, fmt.Sprintf("%d %s", count, status))
+			}
+		}
+		sort.Strings(jobs)
+		if len(jobs) == 0 {
+			jobs = []string{"none"}
+		}
+		t.AddRow(n.ID, n.URL, h.Status, fmt.Sprintf("%v", h.Ready),
+			fmt.Sprintf("v%d", h.RingVersion),
+			fmt.Sprintf("%d/%d", h.ShardsOwned, h.ShardsTotal),
+			strings.Join(jobs, ", "),
+			strings.Join(peers, " "))
+	}
+	fmt.Println(t)
 	return nil
 }
 

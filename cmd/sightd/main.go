@@ -28,6 +28,18 @@
 // the next query boundary, their checkpoints stay on disk, and a
 // restarted sightd with the same -state directory requeues and resumes
 // them without re-asking the owner anything.
+//
+// Multi-node serving: give every replica a cluster-unique -node id,
+// the full peer list as repeatable -peer id=url flags (including an
+// entry for itself), and the same shared -state directory. Owners are
+// placed on replicas by consistent hashing; any replica accepts any
+// request and forwards it to the ring owner, and when a replica dies
+// its jobs are adopted by survivors and resumed from the shared
+// checkpoints (see docs/CLUSTER.md):
+//
+//	sightd -addr :8321 -node n1 -peer n1=http://10.0.0.1:8321 \
+//	       -peer n2=http://10.0.0.2:8321 -state /mnt/shared/sightd \
+//	       -dataset study=study.snap
 package main
 
 import (
@@ -45,8 +57,31 @@ import (
 
 	"sightrisk/internal/dataset"
 	"sightrisk/internal/fleet"
+	"sightrisk/internal/place"
 	"sightrisk/internal/server"
 )
+
+// peerFlags collects repeatable id=url cluster member entries.
+type peerFlags []place.Node
+
+// String implements flag.Value.
+func (p *peerFlags) String() string {
+	parts := make([]string, 0, len(*p))
+	for _, n := range *p {
+		parts = append(parts, n.ID+"="+n.URL)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (p *peerFlags) Set(v string) error {
+	id, url, ok := strings.Cut(v, "=")
+	if !ok || id == "" || url == "" {
+		return fmt.Errorf("want id=url, got %q", v)
+	}
+	*p = append(*p, place.Node{ID: id, URL: strings.TrimSuffix(url, "/")})
+	return nil
+}
 
 // datasetFlags collects repeatable name=path dataset references.
 type datasetFlags map[string]string
@@ -114,15 +149,39 @@ func main() {
 func run() error {
 	datasets := datasetFlags{}
 	limits := limitFlags{}
+	peers := peerFlags{}
 	var (
 		addr         = flag.String("addr", ":8321", "listen address")
 		workers      = flag.Int("workers", 0, "concurrent jobs across all tenants (0 = one per CPU)")
-		stateDir     = flag.String("state", "", "state directory for checkpoint/resume across restarts (empty = no durability)")
+		stateDir     = flag.String("state", "", "state directory for checkpoint/resume across restarts (empty = no durability); in cluster mode it must be shared by all replicas")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
+		nodeID       = flag.String("node", "", "cluster mode: this replica's cluster-unique id (requires -peer entries including self and a shared -state)")
+		probe        = flag.Duration("probe", 2*time.Second, "cluster mode: peer health-probe interval (0 disables probing; deaths are then learned from failed forwards only)")
 	)
 	flag.Var(datasets, "dataset", "preloaded dataset as name=path (repeatable)")
 	flag.Var(limits, "limit", "tenant admission limits as tenant=maxActive:maxQueries (repeatable, 0 = unlimited)")
+	flag.Var(&peers, "peer", "cluster mode: member as id=url (repeatable; must include an entry for -node itself)")
 	flag.Parse()
+
+	var cluster place.Placement
+	if *nodeID != "" || len(peers) > 0 {
+		if *nodeID == "" {
+			return fmt.Errorf("-peer given without -node")
+		}
+		if *stateDir == "" {
+			return fmt.Errorf("cluster mode needs a shared -state directory")
+		}
+		roster, err := place.NewRoster(*nodeID, peers)
+		if err != nil {
+			return err
+		}
+		cluster = roster
+		ids := make([]string, 0, len(peers))
+		for _, n := range peers {
+			ids = append(ids, n.ID)
+		}
+		log.Printf("sightd: cluster mode — node %s, members %s, probe %v", *nodeID, strings.Join(ids, ","), *probe)
+	}
 
 	loaded := make(map[string]*dataset.Runtime, len(datasets))
 	for name, path := range datasets {
@@ -141,10 +200,12 @@ func run() error {
 	}
 
 	srv, err := server.New(server.Config{
-		Runtimes: loaded,
-		Workers:  *workers,
-		StateDir: *stateDir,
-		Limits:   limits,
+		Runtimes:      loaded,
+		Workers:       *workers,
+		StateDir:      *stateDir,
+		Limits:        limits,
+		Cluster:       cluster,
+		ProbeInterval: *probe,
 	})
 	if err != nil {
 		return err

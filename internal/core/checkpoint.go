@@ -83,9 +83,12 @@ func (c *Checkpoint) MarshalIndented() ([]byte, error) {
 	return json.MarshalIndent(c, "", "  ")
 }
 
-// SaveCheckpointFile atomically writes the checkpoint as JSON: a temp
-// file in the target directory renamed over the destination, so a
-// crash mid-write never leaves a truncated checkpoint behind.
+// SaveCheckpointFile atomically and durably writes the checkpoint as
+// JSON: a temp file in the target directory, fsynced, renamed over the
+// destination, with the directory fsynced after the rename. A crash —
+// or a node death — at any point leaves either the previous checkpoint
+// or the new one, never a truncated or unsynced file; that guarantee
+// is what lets a surviving replica resume from the shared store.
 func SaveCheckpointFile(path string, c *Checkpoint) error {
 	data, err := c.MarshalIndented()
 	if err != nil {
@@ -101,6 +104,11 @@ func SaveCheckpointFile(path string, c *Checkpoint) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("core: write checkpoint: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("core: sync checkpoint: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("core: write checkpoint: %w", err)
@@ -108,6 +116,13 @@ func SaveCheckpointFile(path string, c *Checkpoint) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	// Make the rename itself durable. Directory fsync is best-effort:
+	// some filesystems reject it, and the data fsync above already
+	// rules out the truncated-checkpoint failure mode.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
 	}
 	return nil
 }

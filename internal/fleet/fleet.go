@@ -165,10 +165,10 @@ type TenantResult struct {
 
 // Stats aggregates fleet-level throughput accounting.
 type Stats struct {
-	Owners  int // jobs run to completion (including partial runs)
-	Skipped int // jobs skipped over budgets
-	Errors  int // jobs that failed hard
-	Queries int // owner labels spent across the fleet
+	Owners  int                // jobs run to completion (including partial runs)
+	Skipped int                // jobs skipped over budgets
+	Errors  int                // jobs that failed hard
+	Queries int                // owner labels spent across the fleet
 	Elapsed time.Duration      // wall time of the whole fleet run
 	Cache   cluster.CacheStats // shared weight-cache accounting
 	Batch   BatchStats         // batched-transport accounting

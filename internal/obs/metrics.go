@@ -47,6 +47,13 @@ type Metrics struct {
 	FleetDispatched atomic.Uint64
 	// FleetSkipped counts jobs the fleet scheduler skipped over budgets.
 	FleetSkipped atomic.Uint64
+	// ClusterForwards counts requests proxied to the ring owner.
+	ClusterForwards atomic.Uint64
+	// ClusterAdoptions counts jobs adopted from the shared store after a
+	// membership change (failover resumptions).
+	ClusterAdoptions atomic.Uint64
+	// ClusterDeaths counts peers this node marked dead.
+	ClusterDeaths atomic.Uint64
 
 	// PoolSizes is a power-of-two-bucket histogram of pool membership
 	// counts.
@@ -112,43 +119,49 @@ func (h *Histogram) Snapshot() []Bucket {
 // each field mirrors the Metrics counter (or histogram) of the same
 // name.
 type MetricsSnapshot struct {
-	Runs            uint64   `json:"runs"`             // see Metrics.Runs
-	NSBuilds        uint64   `json:"ns_builds"`        // see Metrics.NSBuilds
-	SqueezerPasses  uint64   `json:"squeezer_passes"`  // see Metrics.SqueezerPasses
-	PoolsBuilt      uint64   `json:"pools_built"`      // see Metrics.PoolsBuilt
-	Rounds          uint64   `json:"rounds"`           // see Metrics.Rounds
-	Queries         uint64   `json:"queries"`          // see Metrics.Queries
-	Retries         uint64   `json:"retries"`          // see Metrics.Retries
-	HarmonicSolves  uint64   `json:"harmonic_solves"`  // see Metrics.HarmonicSolves
-	HarmonicIters   uint64   `json:"harmonic_iters"`   // see Metrics.HarmonicIters
-	CacheHits       uint64   `json:"cache_hits"`       // see Metrics.CacheHits
-	CacheMisses     uint64   `json:"cache_misses"`     // see Metrics.CacheMisses
-	FleetDispatched uint64   `json:"fleet_dispatched"` // see Metrics.FleetDispatched
-	FleetSkipped    uint64   `json:"fleet_skipped"`    // see Metrics.FleetSkipped
-	PoolSizes       []Bucket `json:"pool_sizes,omitempty"`      // see Metrics.PoolSizes
-	RoundsPerPool   []Bucket `json:"rounds_per_pool,omitempty"` // see Metrics.RoundsPerPool
-	SolveIters      []Bucket `json:"solve_iters,omitempty"`     // see Metrics.SolveIters
+	Runs             uint64   `json:"runs"`                      // see Metrics.Runs
+	NSBuilds         uint64   `json:"ns_builds"`                 // see Metrics.NSBuilds
+	SqueezerPasses   uint64   `json:"squeezer_passes"`           // see Metrics.SqueezerPasses
+	PoolsBuilt       uint64   `json:"pools_built"`               // see Metrics.PoolsBuilt
+	Rounds           uint64   `json:"rounds"`                    // see Metrics.Rounds
+	Queries          uint64   `json:"queries"`                   // see Metrics.Queries
+	Retries          uint64   `json:"retries"`                   // see Metrics.Retries
+	HarmonicSolves   uint64   `json:"harmonic_solves"`           // see Metrics.HarmonicSolves
+	HarmonicIters    uint64   `json:"harmonic_iters"`            // see Metrics.HarmonicIters
+	CacheHits        uint64   `json:"cache_hits"`                // see Metrics.CacheHits
+	CacheMisses      uint64   `json:"cache_misses"`              // see Metrics.CacheMisses
+	FleetDispatched  uint64   `json:"fleet_dispatched"`          // see Metrics.FleetDispatched
+	FleetSkipped     uint64   `json:"fleet_skipped"`             // see Metrics.FleetSkipped
+	ClusterForwards  uint64   `json:"cluster_forwards"`          // see Metrics.ClusterForwards
+	ClusterAdoptions uint64   `json:"cluster_adoptions"`         // see Metrics.ClusterAdoptions
+	ClusterDeaths    uint64   `json:"cluster_deaths"`            // see Metrics.ClusterDeaths
+	PoolSizes        []Bucket `json:"pool_sizes,omitempty"`      // see Metrics.PoolSizes
+	RoundsPerPool    []Bucket `json:"rounds_per_pool,omitempty"` // see Metrics.RoundsPerPool
+	SolveIters       []Bucket `json:"solve_iters,omitempty"`     // see Metrics.SolveIters
 }
 
 // Snapshot loads every counter once and returns the copy.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Runs:            m.Runs.Load(),
-		NSBuilds:        m.NSBuilds.Load(),
-		SqueezerPasses:  m.SqueezerPasses.Load(),
-		PoolsBuilt:      m.PoolsBuilt.Load(),
-		Rounds:          m.Rounds.Load(),
-		Queries:         m.Queries.Load(),
-		Retries:         m.Retries.Load(),
-		HarmonicSolves:  m.HarmonicSolves.Load(),
-		HarmonicIters:   m.HarmonicIters.Load(),
-		CacheHits:       m.CacheHits.Load(),
-		CacheMisses:     m.CacheMisses.Load(),
-		FleetDispatched: m.FleetDispatched.Load(),
-		FleetSkipped:    m.FleetSkipped.Load(),
-		PoolSizes:       m.PoolSizes.Snapshot(),
-		RoundsPerPool:   m.RoundsPerPool.Snapshot(),
-		SolveIters:      m.SolveIters.Snapshot(),
+		Runs:             m.Runs.Load(),
+		NSBuilds:         m.NSBuilds.Load(),
+		SqueezerPasses:   m.SqueezerPasses.Load(),
+		PoolsBuilt:       m.PoolsBuilt.Load(),
+		Rounds:           m.Rounds.Load(),
+		Queries:          m.Queries.Load(),
+		Retries:          m.Retries.Load(),
+		HarmonicSolves:   m.HarmonicSolves.Load(),
+		HarmonicIters:    m.HarmonicIters.Load(),
+		CacheHits:        m.CacheHits.Load(),
+		CacheMisses:      m.CacheMisses.Load(),
+		FleetDispatched:  m.FleetDispatched.Load(),
+		FleetSkipped:     m.FleetSkipped.Load(),
+		ClusterForwards:  m.ClusterForwards.Load(),
+		ClusterAdoptions: m.ClusterAdoptions.Load(),
+		ClusterDeaths:    m.ClusterDeaths.Load(),
+		PoolSizes:        m.PoolSizes.Snapshot(),
+		RoundsPerPool:    m.RoundsPerPool.Snapshot(),
+		SolveIters:       m.SolveIters.Snapshot(),
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 // annotator) by closing and replacing notify.
 type job struct {
 	id     string
+	node   string // cluster node currently hosting the job ("" single-node)
 	tenant string
 	owner  graph.UserID
 	req    client.EstimateRequest // normalized submission, as persisted
@@ -72,6 +73,7 @@ func (j *job) snapshot() client.EstimateStatus {
 	defer j.mu.Unlock()
 	return client.EstimateStatus{
 		ID:      j.id,
+		Node:    j.node,
 		Status:  j.status,
 		Tenant:  j.tenant,
 		Owner:   int64(j.owner),

@@ -1,11 +1,9 @@
 package server
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -13,152 +11,129 @@ import (
 	"sightrisk/internal/core"
 )
 
-// State-directory layout, per job id:
-//
-//	<id>.job.json     the normalized EstimateRequest (written at submit)
-//	<id>.cp.json      the engine checkpoint (rewritten every round)
-//	<id>.final.json   the terminal outcome (report or error)
-//
-// A job with a .job.json but no .final.json did not finish in the
-// previous process: recovery requeues it, resuming from the checkpoint
-// when one exists. The checkpoint stores only owner answers, so a
+// Durability sits behind the pluggable Store (state.go). Per job id the
+// store holds the submission record, the per-round checkpoint and the
+// terminal outcome; a job with a record but no final outcome did not
+// finish and is requeued on recovery (single node) or adopted by the
+// ring owner (cluster). The checkpoint stores only owner answers, so a
 // resumed run replays them and never re-asks — and, because question
 // order is deterministic, finishes byte-identical to an uninterrupted
-// run.
+// run on whichever replica resumes it.
 
-// jobRecord is the persisted submission.
-type jobRecord struct {
-	ID      string                 `json:"id"`
-	Request client.EstimateRequest `json:"request"`
-}
-
-// finalRecord is the persisted terminal outcome.
-type finalRecord struct {
-	Status  string           `json:"status"`
-	Queries int              `json:"queries"`
-	Report  *client.Report   `json:"report,omitempty"`
-	Error   *client.APIError `json:"error,omitempty"`
-}
-
-func (s *Server) jobPath(id string) string {
-	return filepath.Join(s.stateDir, id+".job.json")
-}
-
-func (s *Server) checkpointPath(id string) string {
-	return filepath.Join(s.stateDir, id+".cp.json")
-}
-
-func (s *Server) finalPath(id string) string {
-	return filepath.Join(s.stateDir, id+".final.json")
-}
-
-// persistJob durably records a submission (no-op without a state dir).
+// persistJob durably records a submission (no-op without a store, and
+// after Kill — a dead node writes nothing).
 func (s *Server) persistJob(j *job) error {
-	if s.stateDir == "" {
+	if s.store == nil || s.isKilled() {
 		return nil
 	}
-	b, err := json.Marshal(jobRecord{ID: j.id, Request: j.req})
-	if err != nil {
-		return err
-	}
-	return atomicWrite(s.jobPath(j.id), b)
+	return s.store.PutJob(JobRecord{ID: j.id, Node: s.nodeID, Request: j.req})
 }
 
 // persistFinal durably records a terminal outcome; failures are logged
 // rather than failing the job (the in-memory result is still served).
 func (s *Server) persistFinal(j *job) {
-	if s.stateDir == "" {
+	if s.store == nil || s.isKilled() {
 		return
 	}
 	st := j.snapshot()
-	b, err := json.Marshal(finalRecord{
+	err := s.store.PutFinal(j.id, FinalRecord{
 		Status: st.Status, Queries: st.Queries, Report: st.Report, Error: st.Error,
 	})
-	if err == nil {
-		err = atomicWrite(s.finalPath(j.id), b)
-	}
 	if err != nil {
 		s.logf("sightd: persist final state of %s: %v", j.id, err)
 	}
 }
 
-// atomicWrite writes via a temp file + rename so readers (and crashes)
-// never observe a half-written file.
-func atomicWrite(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-// recoverJobs rebuilds job state from the state directory: finished
-// jobs come back queryable (status, report), unfinished ones are
-// requeued with their checkpoints so they resume where the previous
-// process stopped. Called from New before the server accepts traffic.
+// recoverJobs rebuilds job state from the store: finished jobs come
+// back queryable (status, report), unfinished ones are requeued with
+// their checkpoints so they resume where the previous process stopped.
+// In cluster mode only jobs this node currently owns on the ring are
+// restored; the rest belong to peers (rebalance adopts them if
+// ownership later shifts here). Called from New before the server
+// accepts traffic.
 func (s *Server) recoverJobs() error {
-	if err := os.MkdirAll(s.stateDir, 0o755); err != nil {
-		return err
-	}
-	entries, err := os.ReadDir(s.stateDir)
+	ids, err := s.store.Jobs()
 	if err != nil {
 		return err
 	}
-	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasSuffix(name, ".job.json") {
+	for _, id := range ids {
+		rec, err := s.store.GetJob(id)
+		if err != nil {
+			s.logf("sightd: skip unreadable job record %s: %v", id, err)
 			continue
 		}
-		id := strings.TrimSuffix(name, ".job.json")
-		var rec jobRecord
-		if err := readJSON(s.jobPath(id), &rec); err != nil {
-			s.logf("sightd: skip unreadable job record %s: %v", name, err)
-			continue
-		}
-		if rec.ID == "" {
-			rec.ID = id
-		}
-		j := newJob(rec.ID, rec.Request)
-		s.trackID(rec.ID)
-		var fin finalRecord
-		switch err := readJSON(s.finalPath(id), &fin); {
-		case err == nil:
-			// Finished in a previous process: restore the outcome. The
-			// JSONL trace was in-memory in that process and is gone.
-			j.mu.Lock()
-			j.status = fin.Status
-			j.queries = fin.Queries
-			j.report = fin.Report
-			j.apiErr = fin.Error
-			j.mu.Unlock()
-		case errors.Is(err, os.ErrNotExist):
-			// Unfinished: requeue, resuming from the checkpoint if the
-			// previous process got far enough to write one.
-			var resume *core.Checkpoint
-			if cp, err := core.LoadCheckpointFile(s.checkpointPath(id)); err == nil {
-				resume = cp
-			} else if !errors.Is(err, os.ErrNotExist) {
-				s.logf("sightd: ignore unreadable checkpoint for %s: %v", id, err)
+		if s.cluster != nil {
+			if node, _ := s.cluster.Owner(rec.Request.Owner); node.ID != s.nodeID {
+				continue
 			}
-			adm, err := s.sched.Admit(rec.Request.Tenant)
-			if err != nil {
-				j.fail(&client.APIError{Code: "over_budget", Message: fmt.Sprintf("requeue after restart: %v", err)})
-			} else {
-				s.launch(j, adm, resume)
-			}
-		default:
-			return fmt.Errorf("read %s: %w", s.finalPath(id), err)
 		}
-		s.mu.Lock()
-		s.jobs[rec.ID] = j
-		s.mu.Unlock()
+		if _, err := s.restoreJob(rec); err != nil {
+			return fmt.Errorf("restore %s: %w", id, err)
+		}
 	}
 	return nil
 }
 
+// restoreJob materializes a persisted job into the in-memory table:
+// terminal outcomes come back queryable, unfinished jobs are admitted
+// and relaunched from their checkpoint. Idempotent — an id already in
+// the table is returned as-is. This is the shared path behind restart
+// recovery and cluster adoption.
+func (s *Server) restoreJob(rec JobRecord) (*job, error) {
+	s.mu.Lock()
+	if j := s.jobs[rec.ID]; j != nil {
+		s.mu.Unlock()
+		return j, nil
+	}
+	j := newJob(rec.ID, rec.Request)
+	j.node = s.nodeID
+	s.jobs[rec.ID] = j
+	s.mu.Unlock()
+	s.trackID(rec.ID)
+	fin, err := s.store.GetFinal(rec.ID)
+	switch {
+	case err == nil:
+		// Finished in a previous process: restore the outcome. The JSONL
+		// trace was in-memory in that process and is gone.
+		j.mu.Lock()
+		j.status = fin.Status
+		j.queries = fin.Queries
+		j.report = fin.Report
+		j.apiErr = fin.Error
+		j.mu.Unlock()
+	case errors.Is(err, os.ErrNotExist):
+		// Unfinished: requeue, resuming from the checkpoint if the
+		// previous owner got far enough to write one.
+		var resume *core.Checkpoint
+		if cp, err := s.store.GetCheckpoint(rec.ID); err == nil {
+			resume = cp
+		} else if !errors.Is(err, os.ErrNotExist) {
+			s.logf("sightd: ignore unreadable checkpoint for %s: %v", rec.ID, err)
+		}
+		adm, err := s.sched.Admit(rec.Request.Tenant)
+		if err != nil {
+			j.fail(&client.APIError{Code: "over_budget", Message: fmt.Sprintf("requeue after restart: %v", err)})
+		} else {
+			s.launch(j, adm, resume)
+		}
+	default:
+		return nil, err
+	}
+	return j, nil
+}
+
 // trackID advances the id counter past a recovered job's id so new
-// submissions never collide with persisted ones.
+// submissions never collide with persisted ones. In cluster mode only
+// this node's own "<node>-e<n>" ids count; peer ids live in peer
+// counters.
 func (s *Server) trackID(id string) {
+	if s.nodeID != "" {
+		prefix := s.nodeID + "-"
+		if !strings.HasPrefix(id, prefix) {
+			return
+		}
+		id = strings.TrimPrefix(id, prefix)
+	}
 	n, err := strconv.Atoi(strings.TrimPrefix(id, "e"))
 	if err != nil {
 		return
@@ -168,13 +143,4 @@ func (s *Server) trackID(id string) {
 		s.nextID = n
 	}
 	s.mu.Unlock()
-}
-
-// readJSON reads and unmarshals one file.
-func readJSON(path string, v any) error {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	return json.Unmarshal(b, v)
 }

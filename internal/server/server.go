@@ -35,6 +35,7 @@ import (
 	"sightrisk/internal/graph"
 	"sightrisk/internal/label"
 	"sightrisk/internal/obs"
+	"sightrisk/internal/place"
 )
 
 // maxLongPoll caps the server-side questions wait regardless of the
@@ -57,8 +58,30 @@ type Config struct {
 	Workers int
 	// StateDir, when non-"", persists job records, per-round
 	// checkpoints and final reports so jobs survive server restarts.
-	// "" disables durability.
+	// "" disables durability. Shorthand for Store =
+	// NewDirStore(StateDir); ignored when Store is set.
 	StateDir string
+	// Store overrides the durable state backend. In cluster mode every
+	// replica must share one store (a common directory works) — it is
+	// the channel checkpoints hand off through when a node dies.
+	Store Store
+	// Cluster enables multi-node operation: this replica serves the
+	// shards the placement assigns it and forwards everything else to
+	// the ring owner. nil means single-node (exactly the old behavior).
+	// Requires a Store (or StateDir).
+	Cluster place.Placement
+	// Transport is the HTTP transport for peer forwarding and probing;
+	// nil means http.DefaultTransport. Tests inject fault transports
+	// (faults.Partition) here.
+	Transport http.RoundTripper
+	// OnCheckpoint, when non-nil, runs after each durable checkpoint
+	// write with the job id. Fault harnesses hang node-kill tripwires
+	// off it ("die right after round k checkpoints").
+	OnCheckpoint func(jobID string)
+	// ProbeInterval, when > 0, runs a peer health prober at that period
+	// so node death is detected even without request traffic. Only
+	// meaningful in cluster mode.
+	ProbeInterval time.Duration
 	// Limits holds per-tenant admission limits, applied at startup.
 	Limits map[string]fleet.TenantLimits
 	// Metrics accumulates pipeline counters across all jobs and feeds
@@ -72,11 +95,18 @@ type Config struct {
 // Construct with New, mount via ServeHTTP, stop with Drain.
 type Server struct {
 	runtimes map[string]*dataset.Runtime
-	stateDir string
+	store    Store
 	metrics  *obs.Metrics
 	logf     func(string, ...any)
 	sched    *fleet.Scheduler
 	mux      *http.ServeMux
+
+	// Cluster state: nil cluster means single-node. nodeID caches
+	// cluster.Self().ID (""), forward is the peer HTTP client.
+	cluster      place.Placement
+	nodeID       string
+	forward      *http.Client
+	onCheckpoint func(string)
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -86,6 +116,7 @@ type Server struct {
 	jobs     map[string]*job
 	nextID   int
 	draining bool
+	killed   bool
 }
 
 // New builds a server: it validates the engine defaults, stands up the
@@ -115,14 +146,24 @@ func New(cfg Config) (*Server, error) {
 	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
-		runtimes:   make(map[string]*dataset.Runtime, len(cfg.Datasets)+len(cfg.Runtimes)),
-		stateDir:   cfg.StateDir,
-		metrics:    metrics,
-		logf:       logf,
-		sched:      sched,
-		baseCtx:    baseCtx,
-		baseCancel: baseCancel,
-		jobs:       map[string]*job{},
+		runtimes:     make(map[string]*dataset.Runtime, len(cfg.Datasets)+len(cfg.Runtimes)),
+		store:        cfg.Store,
+		metrics:      metrics,
+		logf:         logf,
+		sched:        sched,
+		cluster:      cfg.Cluster,
+		onCheckpoint: cfg.OnCheckpoint,
+		baseCtx:      baseCtx,
+		baseCancel:   baseCancel,
+		jobs:         map[string]*job{},
+	}
+	if s.store == nil && cfg.StateDir != "" {
+		st, err := NewDirStore(cfg.StateDir)
+		if err != nil {
+			baseCancel()
+			return nil, err
+		}
+		s.store = st
 	}
 	for name, ds := range cfg.Datasets {
 		s.runtimes[name] = ds.Runtime()
@@ -134,12 +175,25 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.runtimes[name] = rt
 	}
+	if s.cluster != nil {
+		if s.store == nil {
+			baseCancel()
+			return nil, fmt.Errorf("server: cluster mode requires a shared store (set Store or StateDir)")
+		}
+		s.nodeID = s.cluster.Self().ID
+		s.forward = &http.Client{Transport: cfg.Transport}
+		s.cluster.OnChange(func(int) { s.scheduleRebalance() })
+	}
 	s.mux = s.routes()
-	if s.stateDir != "" {
+	if s.store != nil {
 		if err := s.recoverJobs(); err != nil {
 			baseCancel()
 			return nil, fmt.Errorf("server: recover state: %w", err)
 		}
+	}
+	if s.cluster != nil && cfg.ProbeInterval > 0 {
+		s.wg.Add(1)
+		go s.probeLoop(cfg.ProbeInterval)
 	}
 	return s, nil
 }
@@ -210,6 +264,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeAPIErr(w, http.StatusBadRequest, apiErr)
 		return
 	}
+	// Cluster routing: the ring owner runs the job. Forwarded requests
+	// are always accepted locally (single hop); if every live owner is
+	// unreachable the ring collapses onto us and we serve the job —
+	// the lone-survivor degradation.
+	if s.clustered() && r.Header.Get(ForwardHeader) == "" {
+		if node, _ := s.cluster.Owner(req.Owner); node.ID != s.nodeID {
+			if s.forwardSubmit(w, r, &req) {
+				return
+			}
+		}
+	}
 	adm, err := s.sched.Admit(req.Tenant)
 	if err != nil {
 		var over *fleet.OverBudgetError
@@ -233,7 +298,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nextID++
-	j := newJob(fmt.Sprintf("e%06d", s.nextID), req)
+	id := fmt.Sprintf("e%06d", s.nextID)
+	if s.nodeID != "" {
+		// Node-prefixed ids keep replicas sharing a store from ever
+		// colliding; single-node ids stay exactly as before.
+		id = s.nodeID + "-" + id
+	}
+	j := newJob(id, req)
+	j.node = s.nodeID
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 	if err := s.persistJob(j); err != nil {
@@ -244,18 +316,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
+	j := s.routeJob(w, r)
 	if j == nil {
-		writeErr(w, http.StatusNotFound, "not_found", "no such estimate", 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
+	j := s.routeJob(w, r)
 	if j == nil {
-		writeErr(w, http.StatusNotFound, "not_found", "no such estimate", 0)
 		return
 	}
 	j.requestCancel()
@@ -263,9 +333,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
+	j := s.routeJob(w, r)
 	if j == nil {
-		writeErr(w, http.StatusNotFound, "not_found", "no such estimate", 0)
 		return
 	}
 	wait := client.DefaultLongPoll
@@ -305,9 +374,8 @@ func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
+	j := s.routeJob(w, r)
 	if j == nil {
-		writeErr(w, http.StatusNotFound, "not_found", "no such estimate", 0)
 		return
 	}
 	var req client.AnswersRequest
@@ -332,9 +400,8 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
+	j := s.routeJob(w, r)
 	if j == nil {
-		writeErr(w, http.StatusNotFound, "not_found", "no such estimate", 0)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -354,7 +421,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if draining {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, client.HealthResponse{Status: status, Draining: draining, Jobs: counts})
+	h := client.HealthResponse{Status: status, Draining: draining, Ready: !draining, Jobs: counts}
+	if s.clustered() {
+		// Shard-ownership and readiness fields: a load balancer (or the
+		// peer prober) reads these to tell a draining replica — reachable
+		// but not accepting work — from a dead one, and to see how much
+		// of the ring each replica currently owns.
+		h.Node = s.nodeID
+		h.RingVersion = s.cluster.Version()
+		h.ShardsOwned = s.cluster.SelfSlots()
+		h.ShardsTotal = s.cluster.RingSize()
+		h.Peers = map[string]string{}
+		for _, m := range s.cluster.Members() {
+			state := "alive"
+			if !m.Alive {
+				state = "dead"
+			}
+			h.Peers[m.Node.ID] = state
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // handleVarz dumps the process-wide expvar registry plus the server's
@@ -382,6 +468,14 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	put("sightd_jobs", counts)
+	if s.clustered() {
+		put("sightd_cluster", map[string]any{
+			"node":         s.nodeID,
+			"ring_version": s.cluster.Version(),
+			"shards_owned": s.cluster.SelfSlots(),
+			"members":      s.cluster.Members(),
+		})
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -582,10 +676,21 @@ func (s *Server) runJob(j *job, adm *fleet.Admission, resume *core.Checkpoint) {
 	ecfg.Observer = j.trace
 	ecfg.Metrics = s.metrics
 	ecfg.Resume = resume
-	if s.stateDir != "" {
-		path := s.checkpointPath(j.id)
+	if s.store != nil {
+		id := j.id
 		ecfg.Checkpoint = func(cp *core.Checkpoint) error {
-			return core.SaveCheckpointFile(path, cp)
+			if s.isKilled() {
+				// A dead node must not keep writing to the shared store —
+				// the run is being torn down anyway.
+				return nil
+			}
+			if err := s.store.PutCheckpoint(id, cp); err != nil {
+				return err
+			}
+			if s.onCheckpoint != nil {
+				s.onCheckpoint(id)
+			}
+			return nil
 		}
 	}
 	var ann active.FallibleAnnotator

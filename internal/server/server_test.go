@@ -54,6 +54,9 @@ func newTestServer(t testing.TB, cfg server.Config) (*server.Server, *httptest.S
 	t.Cleanup(hs.Close)
 	c := client.New(hs.URL)
 	c.LongPoll = 250 * time.Millisecond
+	// The 429/503 tests assert on the first response; retries would turn
+	// those immediate rejections into sleeps.
+	c.NoRetry = true
 	return srv, hs, c
 }
 
