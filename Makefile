@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke race fuzz bench fleet-bench serve-bench scale-bench cluster-bench
+.PHONY: tier1 build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke incremental-smoke race fuzz bench fleet-bench serve-bench scale-bench cluster-bench incremental-bench
 
-tier1: build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke
+tier1: build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke incremental-smoke
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,14 @@ scale-smoke:
 cluster-smoke:
 	$(GO) run ./cmd/riskbench -nodes 2 -workers 2 -cluster-out /tmp/BENCH_cluster_smoke.json
 
+# Incremental smoke test: one small network through the delta
+# pipeline — apply update batches, revise against the prior run, and
+# fail unless the revision is byte-identical to a full recompute. The
+# real speedup curve (BENCH_incremental.json, 10^4-10^5 strangers)
+# comes from `make incremental-bench`.
+incremental-smoke:
+	$(GO) run ./cmd/riskbench -incremental -incr-sizes 2000 -incr-deltas 1,10 -incr-out /tmp/BENCH_incremental_smoke.json
+
 race:
 	$(GO) test -race ./...
 
@@ -96,3 +104,10 @@ scale-bench:
 # "Cluster failover" for methodology).
 cluster-bench:
 	$(GO) run ./cmd/riskbench -nodes 1,2,4 -scale medium
+
+# Incremental speedup curve: delta sizes 1/10/100 against 10^4- and
+# 10^5-stranger networks; writes BENCH_incremental.json (see
+# EXPERIMENTS.md "Incremental re-estimation" for methodology). Takes a
+# few minutes — the 10^5 full recomputes dominate.
+incremental-bench:
+	$(GO) run ./cmd/riskbench -incremental

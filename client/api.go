@@ -190,6 +190,97 @@ type AnswersResponse struct {
 	Accepted int `json:"accepted"`
 }
 
+// Update is one graph or profile change record for POST /v1/updates
+// and estimate revisions — the wire form of the engine's delta
+// records. Kind selects which fields are read:
+//
+//	"edge_add"       A, B  — add the undirected friendship (A, B)
+//	"edge_remove"    A, B  — remove the friendship if present
+//	"node_add"       A     — add the isolated user A
+//	"profile_set"    A, Attr, Value — set a profile attribute
+//	"visibility_set" A, Attr, Visible — flip a benefit item
+type Update struct {
+	// Kind is the record type (see above).
+	Kind string `json:"kind"`
+	// A is the subject user: an edge endpoint, the added node, or the
+	// profile being changed.
+	A int64 `json:"a"`
+	// B is the second edge endpoint (edge kinds only).
+	B int64 `json:"b,omitempty"`
+	// Attr is the profile attribute or benefit item being changed.
+	Attr string `json:"attr,omitempty"`
+	// Value is the new attribute value ("profile_set" only).
+	Value string `json:"value,omitempty"`
+	// Visible is the new visibility ("visibility_set" only).
+	Visible bool `json:"visible,omitempty"`
+}
+
+// UpdatesRequest is the body of POST /v1/updates: a batch of graph or
+// profile changes applied atomically to a server-side dataset.
+type UpdatesRequest struct {
+	// Dataset names the (mutable, graph-backed) dataset to update.
+	Dataset string `json:"dataset"`
+	// Owner is the cluster routing key: in cluster mode the batch is
+	// applied on the replica that owns this user's estimates, so a
+	// follow-up revision for the same owner sees the updated graph.
+	Owner int64 `json:"owner"`
+	// Updates are the change records, applied in order.
+	Updates []Update `json:"updates"`
+}
+
+// UpdatesResponse is the body of a successful POST /v1/updates.
+type UpdatesResponse struct {
+	// Dataset echoes the updated dataset.
+	Dataset string `json:"dataset"`
+	// Applied counts the update records applied.
+	Applied int `json:"applied"`
+	// DirtyOwners lists the dataset's study owners whose standing
+	// estimates the batch may have changed (the conservative dirty
+	// set); owners not listed are guaranteed unaffected.
+	DirtyOwners []int64 `json:"dirty_owners,omitempty"`
+	// Node is the cluster node that applied the batch ("" single-node).
+	Node string `json:"node,omitempty"`
+}
+
+// ReviseRequest is the body of POST /v1/estimates/{id}/revise.
+type ReviseRequest struct {
+	// Updates, when non-empty, are applied to the estimate's dataset
+	// first (exactly like POST /v1/updates) and double as the dirty
+	// filter: a batch that provably cannot reach the owner's 2-hop
+	// view serves the prior report without re-running anything.
+	Updates []Update `json:"updates,omitempty"`
+}
+
+// PoolDelta is one line of the NDJSON stream served by
+// GET /v1/estimates/{id}/stream: a per-pool report delta, emitted as
+// each pool's result becomes final. The terminal line has Done set
+// and carries the job's final status (and report or error).
+type PoolDelta struct {
+	// Seq orders deltas within the job (1-based, strictly increasing).
+	Seq int `json:"seq,omitempty"`
+	// Pool identifies the pool ("" on the terminal line).
+	Pool string `json:"pool,omitempty"`
+	// Index locates the pool in the run's pool order (0-based).
+	Index int `json:"index"`
+	// Total is the run's pool count.
+	Total int `json:"total,omitempty"`
+	// Status is the pool's outcome: "complete" or "partial".
+	Status string `json:"status,omitempty"`
+	// Reused marks pools spliced from the prior run during an
+	// incremental revision (their strangers did not change).
+	Reused bool `json:"reused,omitempty"`
+	// Strangers are the pool members' final risk entries.
+	Strangers []StrangerRisk `json:"strangers,omitempty"`
+	// Done marks the terminal line.
+	Done bool `json:"done,omitempty"`
+	// JobStatus is the job's final status (terminal line only).
+	JobStatus string `json:"job_status,omitempty"`
+	// Report is the final report (terminal line of a done job).
+	Report *Report `json:"report,omitempty"`
+	// Error is the failure (terminal line of a failed job).
+	Error *APIError `json:"error,omitempty"`
+}
+
 // StrangerRisk is one stranger's entry in a wire report; it mirrors
 // sight.StrangerRisk field for field.
 type StrangerRisk struct {

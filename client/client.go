@@ -325,6 +325,83 @@ func (c *Client) Wait(ctx context.Context, id string) (*EstimateStatus, error) {
 	}
 }
 
+// Updates applies a batch of graph/profile updates to a server-side
+// dataset (POST /v1/updates). The response lists the dataset's dirty
+// owners — the standing estimates the batch may have invalidated. The
+// call is not transport-retried (POST semantics); over-budget and
+// draining responses still back off per the retry policy.
+func (c *Client) Updates(ctx context.Context, req *UpdatesRequest) (*UpdatesResponse, error) {
+	var ur UpdatesResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/updates", req, &ur); err != nil {
+		return nil, err
+	}
+	return &ur, nil
+}
+
+// Revise submits an incremental re-estimation of a finished job
+// (POST /v1/estimates/{id}/revise): the request's updates (if any) are
+// applied to the job's dataset, then the estimate re-runs reusing
+// every pool the updates left untouched. The result is a new job whose
+// final report is byte-identical to a from-scratch submission against
+// the updated dataset. Drive/Wait/StreamDeltas the returned job as
+// usual.
+func (c *Client) Revise(ctx context.Context, id string, req *ReviseRequest) (*EstimateStatus, error) {
+	if req == nil {
+		req = &ReviseRequest{}
+	}
+	var st EstimateStatus
+	err := c.do(ctx, http.MethodPost, "/v1/estimates/"+url.PathEscape(id)+"/revise", req, &st)
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// StreamDeltas consumes the job's NDJSON per-pool delta stream
+// (GET /v1/estimates/{id}/stream), calling fn for every pool delta as
+// it arrives — including pools finished before the call — and
+// returning the terminal line (Done set, with the job's final status
+// and report or error). A nil fn just waits for the terminal line.
+// The stream is served from job state, so reconnecting replays every
+// delta from the start.
+func (c *Client) StreamDeltas(ctx context.Context, id string, fn func(PoolDelta) error) (*PoolDelta, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/estimates/"+url.PathEscape(id)+"/stream", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var d PoolDelta
+		if err := dec.Decode(&d); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, fmt.Errorf("client: delta stream ended without a terminal line")
+			}
+			return nil, fmt.Errorf("client: decode delta stream: %w", err)
+		}
+		if d.Done {
+			return &d, nil
+		}
+		if fn != nil {
+			if err := fn(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
 // AnswerFunc supplies the owner's answer for one stranger, using the
 // wire label encoding (1 not risky, 2 risky, 3 very risky). It is the
 // client-side analogue of sight.Annotator; errors abort Run.

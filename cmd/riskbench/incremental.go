@@ -1,0 +1,255 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sightrisk/internal/active"
+	"sightrisk/internal/core"
+	"sightrisk/internal/delta"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+	"sightrisk/internal/synthetic"
+)
+
+// incrRow is one (network size, delta size) measurement: a batch of
+// that many updates applied to the owner's network, then the report
+// recomputed from scratch and via delta.Revise against the prior run.
+type incrRow struct {
+	Strangers   int     `json:"strangers"`
+	Nodes       int     `json:"nodes"`
+	DeltaSize   int     `json:"delta_size"`
+	FullMS      float64 `json:"full_ms"`
+	IncrMS      float64 `json:"incremental_ms"`
+	Speedup     float64 `json:"speedup"`
+	PoolsTotal  int     `json:"pools_total"`
+	PoolsReused int     `json:"pools_reused"`
+	PoolsRerun  int     `json:"pools_rerun"`
+	ByteIdent   bool    `json:"byte_identical"`
+}
+
+// incrBench is the BENCH_incremental.json document.
+type incrBench struct {
+	GeneratedAt string    `json:"generated_at"`
+	Seed        int64     `json:"seed"`
+	Workers     int       `json:"workers"`
+	Rows        []incrRow `json:"rows"`
+}
+
+// incrBatch builds a batch of n updates inside the owner's 2-hop view:
+// stranger profile churn (pool-content changes), stranger–friend edges
+// (NS drift) and — in larger batches — brand-new strangers. Every
+// batch is dirty for the owner, so the measured revision always walks
+// the pipeline: the speedup comes from pool-level reuse, not from the
+// owner-level no-op path.
+//
+// Churned strangers come from the prior run's last pools. Pool order
+// follows the NSG group and Squeezer cluster order, and reuse is
+// index-sensitive (a pool's session seed depends on its position), so
+// a change early in that order cascades re-runs through everything
+// behind it, while a change near the end invalidates only the tail —
+// the steady-state shape of a single profile edit among thousands of
+// strangers. Batches with newcomers (n >= 3) still pay the cascade:
+// a new stranger lands in a low-similarity group near the front.
+func incrBatch(prior *core.OwnerRun, g *graph.Graph, owner graph.UserID, n, round int) delta.Batch {
+	var late []graph.UserID
+	for i := len(prior.Pools) - 1; i >= 0 && len(late) < 2*n+4; i-- {
+		late = append(late, prior.Pools[i].Pool.Members...)
+	}
+	friends := g.Friends(owner)
+	b := make(delta.Batch, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			s := late[(i*7+round*13)%len(late)]
+			b = append(b, delta.Update{Kind: delta.ProfileSet, A: s,
+				Attr: string(profile.AttrLocale), Value: fmt.Sprintf("zz_%d_%d", round, i)})
+		case 1:
+			s := late[(i*11+round*17)%len(late)]
+			f := friends[i%len(friends)]
+			b = append(b, delta.Update{Kind: delta.EdgeAdd, A: s, B: f})
+		default:
+			nc := graph.UserID(900000 + round*1000 + i)
+			b = append(b,
+				delta.Update{Kind: delta.NodeAdd, A: nc},
+				delta.Update{Kind: delta.EdgeAdd, A: nc, B: friends[(i/3)%len(friends)]},
+				delta.Update{Kind: delta.ProfileSet, A: nc,
+					Attr: string(profile.AttrGender), Value: synthetic.GenderFemale})
+		}
+	}
+	return b
+}
+
+// incrStudy generates a single-ego study with the given stranger count.
+func incrStudy(strangers int, seed int64) (*synthetic.Study, *synthetic.Owner, error) {
+	cfg := synthetic.SmallStudyConfig()
+	cfg.Owners = 1
+	cfg.Ego.Strangers = strangers
+	cfg.Seed = seed
+	s, err := synthetic.GenerateStudy(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, s.Owners[0], nil
+}
+
+// runIncrementalBench is -incremental mode: per network size it runs
+// the owner once to completion, then for each delta size applies a
+// fresh update batch and measures a full recompute against
+// delta.Revise on the same post-batch graph — asserting the two runs
+// byte-identical every time. Results go to stdout and to outPath.
+func runIncrementalBench(sizesSpec, deltasSpec string, seed int64, workers int, outPath string) error {
+	var sizes, deltas []int
+	for _, s := range strings.Split(sizesSpec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 50 {
+			return fmt.Errorf("bad -incr-sizes entry %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	for _, s := range strings.Split(deltasSpec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -incr-deltas entry %q", s)
+		}
+		deltas = append(deltas, n)
+	}
+
+	bench := incrBench{GeneratedAt: time.Now().UTC().Format(time.RFC3339), Seed: seed, Workers: workers}
+	fmt.Printf("riskbench: incremental sweep sizes=%v deltas=%v seed=%d workers=%d\n", sizes, deltas, seed, workers)
+	fmt.Printf("%10s %8s %7s %12s %12s %9s %7s %7s %7s %6s\n",
+		"strangers", "nodes", "delta", "full", "incremental", "speedup", "pools", "reused", "rerun", "ident")
+
+	ctx := context.Background()
+	for _, n := range sizes {
+		study, o, err := incrStudy(n, seed)
+		if err != nil {
+			return fmt.Errorf("generate %d: %w", n, err)
+		}
+		ann := active.Infallible(o)
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+
+		prior, err := core.New(cfg).RunOwner(ctx, study.Graph, study.Profiles, o.ID, ann, o.Confidence)
+		if err != nil {
+			return fmt.Errorf("baseline at %d: %w", n, err)
+		}
+
+		for round, d := range deltas {
+			batch := incrBatch(prior, study.Graph, o.ID, d, round)
+			if err := batch.Validate(); err != nil {
+				return err
+			}
+			if err := batch.Apply(study.Graph, study.Profiles); err != nil {
+				return err
+			}
+
+			fullStart := time.Now()
+			ref, err := core.New(cfg).RunOwner(ctx, study.Graph, study.Profiles, o.ID, ann, o.Confidence)
+			if err != nil {
+				return fmt.Errorf("full recompute at %d/%d: %w", n, d, err)
+			}
+			fullT := time.Since(fullStart)
+
+			incrStart := time.Now()
+			revised, st, err := delta.Revise(ctx, cfg, study.Graph, study.Profiles, o.ID, ann, o.Confidence, prior, batch)
+			if err != nil {
+				return fmt.Errorf("revise at %d/%d: %w", n, d, err)
+			}
+			incrT := time.Since(incrStart)
+
+			ident := core.DiffRuns(ref, revised) == ""
+			row := incrRow{
+				Strangers:   n,
+				Nodes:       study.Graph.NumNodes(),
+				DeltaSize:   len(batch),
+				FullMS:      float64(fullT.Microseconds()) / 1000,
+				IncrMS:      float64(incrT.Microseconds()) / 1000,
+				PoolsTotal:  st.PoolsTotal,
+				PoolsReused: st.PoolsReused,
+				PoolsRerun:  st.PoolsRerun,
+				ByteIdent:   ident,
+			}
+			if incrT > 0 {
+				row.Speedup = row.FullMS / row.IncrMS
+			}
+			identCell := "yes"
+			if !ident {
+				identCell = "NO"
+			}
+			fmt.Printf("%10d %8d %7d %12s %12s %8.1fx %7d %7d %7d %6s\n",
+				n, row.Nodes, row.DeltaSize, fullT.Round(time.Millisecond), incrT.Round(time.Millisecond),
+				row.Speedup, row.PoolsTotal, row.PoolsReused, row.PoolsRerun, identCell)
+			bench.Rows = append(bench.Rows, row)
+			if !ident {
+				return fmt.Errorf("incremental at %d strangers / %d updates: revised run differs from full recompute: %s",
+					n, d, core.DiffRuns(ref, revised))
+			}
+			prior = ref // the next batch revises against the post-batch state
+		}
+	}
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bench); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("riskbench: wrote %s (%d rows)\n", outPath, len(bench.Rows))
+	return nil
+}
+
+// auditIncremental is the incremental leg of -audit mode: one mixed
+// update batch applied to a small study, then per worker count a full
+// recompute diffed against delta.Revise on the same graph. Returns the
+// pool count observed per run and a divergence description ("" on
+// pass).
+func auditIncremental(seed int64) (int, string, error) {
+	study, o, err := incrStudy(300, seed)
+	if err != nil {
+		return 0, "", err
+	}
+	ann := active.Infallible(o)
+	base := core.DefaultConfig()
+	prior, err := core.New(base).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, ann, o.Confidence)
+	if err != nil {
+		return 0, "", err
+	}
+	batch := incrBatch(prior, study.Graph, o.ID, 6, 0)
+	if err := batch.Apply(study.Graph, study.Profiles); err != nil {
+		return 0, "", err
+	}
+	pools := 0
+	for _, w := range []int{1, 2, 4} {
+		cfg := core.DefaultConfig()
+		cfg.Workers = w
+		ref, err := core.New(cfg).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, ann, o.Confidence)
+		if err != nil {
+			return 0, "", fmt.Errorf("workers=%d full: %w", w, err)
+		}
+		revised, st, err := delta.Revise(context.Background(), cfg, study.Graph, study.Profiles, o.ID, ann, o.Confidence, prior, batch)
+		if err != nil {
+			return 0, "", fmt.Errorf("workers=%d revise: %w", w, err)
+		}
+		if d := core.DiffRuns(ref, revised); d != "" {
+			return pools, fmt.Sprintf("workers=%d: revised run diverges from full recompute: %s", w, d), nil
+		}
+		if st.PoolsReused == 0 {
+			return pools, fmt.Sprintf("workers=%d: no pools reused — the incremental path was not exercised", w), nil
+		}
+		pools = st.PoolsTotal
+	}
+	return pools, "", nil
+}

@@ -25,6 +25,15 @@
 // endpoint latency plus per-question round-trip cost to
 // BENCH_serve.json.
 //
+// With -incremental it benchmarks the incremental re-estimation
+// engine: per -incr-sizes stranger count it runs one owner to
+// completion, then per -incr-deltas batch size applies that many
+// graph/profile updates and measures a full recompute against
+// delta.Revise on the same post-batch graph. The revised run must be
+// byte-identical to the full recompute every time (non-zero exit
+// otherwise); the full-vs-incremental speedup curve goes to
+// BENCH_incremental.json.
+//
 // With -scale sweep the command runs the million-node scale curve
 // instead: per -scale-sizes population it generates a
 // SNAP-Facebook-like graph straight into CSR, packs it into a
@@ -90,7 +99,19 @@ func main() {
 	scaleSizes := flag.String("scale-sizes", "10000,100000,316000,1000000", "scale-sweep mode (-scale sweep): comma-separated population sizes; sizes that do not fit in available memory are skipped with a message")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "scale-sweep mode: where to write the scale-curve JSON")
 	scaleOwners := flag.Int("scale-owners", 4, "scale-sweep mode: benchmark owners per population size")
+	incremental := flag.Bool("incremental", false, "incremental mode: per network size, apply update batches of each -incr-deltas size and measure a full recompute against delta.Revise on the same graph, asserting byte-identity; writes the speedup curve to -incr-out (skips the experiment steps)")
+	incrSizes := flag.String("incr-sizes", "10000,100000", "incremental mode: comma-separated stranger counts for the owner's network")
+	incrDeltas := flag.String("incr-deltas", "1,10,100", "incremental mode: comma-separated update-batch sizes")
+	incrOut := flag.String("incr-out", "BENCH_incremental.json", "incremental mode: where to write the speedup-curve JSON")
 	flag.Parse()
+
+	if *incremental {
+		if err := runIncrementalBench(*incrSizes, *incrDeltas, *seed, parallel.ResolveWorkers(*workers), *incrOut); err != nil {
+			fmt.Fprintln(os.Stderr, "riskbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scale == "sweep" {
 		if err := runScaleBench(*scaleSizes, *seed, *workers, *scaleOwners, *scaleOut); err != nil {
@@ -361,10 +382,25 @@ func runAudit(seed int64, workers int) error {
 			fmt.Println("  " + line)
 		}
 	}
+	iPools, iDetail, err := auditIncremental(seed)
+	if err != nil {
+		return fmt.Errorf("incremental audit: %w", err)
+	}
+	status = "PASS"
+	if iDetail != "" {
+		status = "DIVERGED"
+		diverged = true
+	}
+	fmt.Printf("audit %-12s %-8s (%d pools per run, revision vs full recompute at workers 1/2/4)\n", "incremental", status, iPools)
+	if iDetail != "" {
+		for _, line := range strings.Split(iDetail, "\n") {
+			fmt.Println("  " + line)
+		}
+	}
 	if diverged {
 		return fmt.Errorf("determinism audit failed")
 	}
-	fmt.Println("determinism audit passed: both runs of every topology were bit-identical, mmap-backed estimates matched in-memory ones bit for bit, and the post-failover cluster report matched the single-node run byte for byte")
+	fmt.Println("determinism audit passed: both runs of every topology were bit-identical, mmap-backed estimates matched in-memory ones bit for bit, the post-failover cluster report matched the single-node run byte for byte, and incremental revisions matched full recomputes at every worker count")
 	return nil
 }
 

@@ -41,6 +41,17 @@
 //	    Write the owner's neighborhood as Graphviz DOT, strangers
 //	    colored by their stored risk labels.
 //
+//	sightctl updates -server URL -dataset NAME [-owner ID] [-file updates.json] [-revise JOBID] [-v]
+//	    Apply a batch of graph/profile updates (a JSON array of
+//	    {"kind","a","b","attr","value","visible"} records, read from
+//	    -file or stdin) to a mutable dataset on a sightd server. With
+//	    -revise the batch is applied through the revision endpoint of a
+//	    finished estimate and the per-pool report deltas are streamed
+//	    as they land — reused pools are marked, so the output shows how
+//	    much of the prior run the updates actually invalidated. The
+//	    revised report is byte-identical to a from-scratch run against
+//	    the updated dataset.
+//
 //	sightctl cluster -server n1=URL,n2=URL,...
 //	    Print per-replica health for a multi-node sightd cluster: node
 //	    id, readiness, ring version, shard ownership and each node's
@@ -56,8 +67,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/signal"
@@ -101,6 +114,8 @@ func main() {
 		err = cmdTune(os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
+	case "updates":
+		err = cmdUpdates(os.Args[2:])
 	case "cluster":
 		err = cmdCluster(os.Args[2:])
 	case "-h", "--help", "help":
@@ -127,6 +142,7 @@ commands:
   crawl      simulate the Sight crawler on a dataset
   tune       mine pipeline parameters (alpha, beta, theta, weights) from a dataset
   export     write an owner's neighborhood as Graphviz DOT, colored by risk label
+  updates    apply a graph/profile delta batch to a sightd dataset, optionally revising an estimate
   cluster    print per-replica health for a multi-node sightd cluster
 `)
 }
@@ -639,6 +655,112 @@ func cmdTune(args []string) error {
 	for _, item := range items {
 		fmt.Printf("    %-10s %.4f\n", item, tuned.Theta[item])
 	}
+	return nil
+}
+
+func cmdUpdates(args []string) error {
+	fs := flag.NewFlagSet("updates", flag.ExitOnError)
+	serverURL := fs.String("server", "", "sightd base URL (or replica list; the first entry is dialed — the server forwards to the ring owner)")
+	dsName := fs.String("dataset", "", "dataset name on the server (required unless -revise)")
+	ownerID := fs.Int64("owner", 0, "owner id the batch routes by in cluster mode")
+	file := fs.String("file", "", "JSON file holding the update array (default: stdin)")
+	reviseID := fs.String("revise", "", "finished estimate id: apply the batch through its revision endpoint and stream the report deltas")
+	verbose := fs.Bool("v", false, "print per-stranger entries from the delta stream")
+	fs.Parse(args)
+
+	if *serverURL == "" {
+		return fmt.Errorf("updates needs -server")
+	}
+	nodes, err := parseServerNodes(*serverURL)
+	if err != nil {
+		return err
+	}
+	c := client.New(nodes[0].URL)
+
+	var updates []client.Update
+	in := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	dec := json.NewDecoder(in)
+	if err := dec.Decode(&updates); err != nil {
+		if *file == "" && errors.Is(err, io.EOF) && *reviseID != "" {
+			updates = nil // pure revision: no batch on stdin is fine
+		} else {
+			return fmt.Errorf("decode updates: %w", err)
+		}
+	}
+	if len(updates) == 0 && *reviseID == "" {
+		return fmt.Errorf("no updates to apply (and no -revise)")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Without -revise: plain batch application.
+	if *reviseID == "" {
+		if *dsName == "" {
+			return fmt.Errorf("updates needs -dataset")
+		}
+		resp, err := c.Updates(ctx, &client.UpdatesRequest{Dataset: *dsName, Owner: *ownerID, Updates: updates})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataset %s: applied %d updates", resp.Dataset, resp.Applied)
+		if resp.Node != "" {
+			fmt.Printf(" on node %s", resp.Node)
+		}
+		fmt.Println()
+		if len(resp.DirtyOwners) > 0 {
+			fmt.Printf("  dirty owners (revise their estimates): %v\n", resp.DirtyOwners)
+		} else {
+			fmt.Println("  no owner's 2-hop view was reached; standing estimates remain exact")
+		}
+		return nil
+	}
+
+	// With -revise: the batch rides the revision request (applied
+	// atomically before the re-estimate), and the per-pool deltas
+	// stream back as they land.
+	st, err := c.Revise(ctx, *reviseID, &client.ReviseRequest{Updates: updates})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("revising %s as %s (%d updates)\n", *reviseID, st.ID, len(updates))
+	reused, recomputed := 0, 0
+	final, err := c.StreamDeltas(ctx, st.ID, func(d client.PoolDelta) error {
+		how := "recomputed"
+		if d.Reused {
+			how = "reused"
+			reused++
+		} else {
+			recomputed++
+		}
+		fmt.Printf("  pool %-14s (%d/%d) %-10s %s, %d strangers\n",
+			d.Pool, d.Index+1, d.Total, d.Status, how, len(d.Strangers))
+		if *verbose {
+			for _, sr := range d.Strangers {
+				fmt.Printf("      stranger %-8d NS=%.3f label=%d\n", sr.User, sr.NetworkSimilarity, sr.Label)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if final.JobStatus != client.StatusDone || final.Report == nil {
+		if final.Error != nil {
+			return fmt.Errorf("revision %s ended %q: %s", st.ID, final.JobStatus, final.Error.Message)
+		}
+		return fmt.Errorf("revision %s ended %q", st.ID, final.JobStatus)
+	}
+	fmt.Printf("revision done: %d pools reused, %d recomputed\n", reused, recomputed)
+	printReport(final.Report.Sight(), dataset.OwnerRecord{}, *verbose)
 	return nil
 }
 

@@ -6,11 +6,31 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"sightrisk/internal/obs"
 	"sightrisk/internal/profile"
 	"sightrisk/internal/similarity"
 )
+
+// Key is the content hash a pool's weight artifacts are cached under:
+// a digest of everything the weight matrix depends on (exponent,
+// attribute list, member ids and every member's attribute values).
+// Two pools map to the same Key exactly when PoolWeights would compute
+// the same matrix for both, which also makes the Key the engine's
+// pool-level invalidation check for incremental re-estimation: a prior
+// pool result is reusable iff its Key still matches.
+type Key [sha256.Size]byte
+
+// IsZero reports whether the key is unset (never computed).
+func (k Key) IsZero() bool { return k == Key{} }
+
+// PoolKey returns the content Key PoolWeights would cache this pool's
+// artifacts under. It never touches the cache; callers use it to test
+// whether a pool's weight content changed between two graph states.
+func PoolKey(store *profile.Store, pool Pool, attrs []profile.Attribute, exponent float64) Key {
+	return weightKey(store, pool, attrs, exponent)
+}
 
 // WeightCache is a process-wide, content-keyed cache for the expensive
 // per-pool similarity artifacts: the PSContext frequency tables and the
@@ -30,21 +50,64 @@ import (
 // Returned matrices and contexts are shared and must be treated as
 // read-only; PoolWeights bakes the exponent in before insertion, and
 // the engine only ever reads the weights.
+//
+// The cache can be bounded with SetMaxEntries; under graph churn stale
+// content keys would otherwise accumulate forever. Eviction never
+// changes results — a victim that is still live simply costs one
+// rebuild on its next lookup — so the determinism invariant holds at
+// any cap.
 type WeightCache struct {
 	mu      sync.RWMutex
-	entries map[[sha256.Size]byte]*weightEntry
-	hits    uint64
-	misses  uint64
-	metrics *obs.Metrics
+	entries map[Key]*weightEntry
+	max     int
+
+	// Hit-path counters are atomics so a cache hit completes under
+	// RLock alone; taking the exclusive lock just to count would
+	// serialize all concurrent readers (it used to).
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	metrics   atomic.Pointer[obs.Metrics]
 }
 
-// SetMetrics mirrors hit/miss counts into m (in addition to the
-// cache's own Stats). The engine wires its configured Metrics in here
-// automatically; passing nil detaches.
+// SetMetrics mirrors hit/miss/eviction counts into m (in addition to
+// the cache's own Stats). The engine wires its configured Metrics in
+// here automatically; passing nil detaches.
 func (c *WeightCache) SetMetrics(m *obs.Metrics) {
+	c.metrics.Store(m)
+}
+
+// SetMaxEntries bounds the cache to at most n entries; inserting past
+// the cap evicts arbitrary existing entries first (cheap map-order
+// eviction — no recency bookkeeping on the hot hit path). n <= 0
+// removes the bound. Shrinking below the current size evicts
+// immediately.
+func (c *WeightCache) SetMaxEntries(n int) {
 	c.mu.Lock()
-	c.metrics = m
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	c.max = n
+	if n > 0 {
+		c.evictLocked(len(c.entries) - n)
+	}
+}
+
+// evictLocked removes n arbitrary entries (mu must be held).
+func (c *WeightCache) evictLocked(n int) {
+	if n <= 0 {
+		return
+	}
+	m := c.metrics.Load()
+	for k := range c.entries {
+		if n <= 0 {
+			break
+		}
+		delete(c.entries, k)
+		c.evictions.Add(1)
+		if m != nil {
+			m.CacheEvictions.Add(1)
+		}
+		n--
+	}
 }
 
 type weightEntry struct {
@@ -54,9 +117,14 @@ type weightEntry struct {
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
+	// Entries is the live entry count.
 	Entries int
-	Hits    uint64
-	Misses  uint64
+	// Hits counts lookups served from the cache.
+	Hits uint64
+	// Misses counts lookups that had to build the artifacts.
+	Misses uint64
+	// Evictions counts entries removed to honor the entry cap.
+	Evictions uint64
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -68,9 +136,10 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// NewWeightCache returns an empty cache, safe for concurrent use.
+// NewWeightCache returns an empty, unbounded cache, safe for
+// concurrent use.
 func NewWeightCache() *WeightCache {
-	return &WeightCache{entries: make(map[[sha256.Size]byte]*weightEntry)}
+	return &WeightCache{entries: make(map[Key]*weightEntry)}
 }
 
 // PoolWeights returns the pool's weight matrix, computing and caching
@@ -95,6 +164,14 @@ func (c *WeightCache) Context(store *profile.Store, pool Pool, attrs []profile.A
 	return e.ctx, nil
 }
 
+// hit counts one cache hit without taking any lock.
+func (c *WeightCache) hit() {
+	c.hits.Add(1)
+	if m := c.metrics.Load(); m != nil {
+		m.CacheHits.Add(1)
+	}
+}
+
 func (c *WeightCache) entry(store *profile.Store, pool Pool, attrs []profile.Attribute, exponent float64) (*weightEntry, error) {
 	key := weightKey(store, pool, attrs, exponent)
 
@@ -102,12 +179,7 @@ func (c *WeightCache) entry(store *profile.Store, pool Pool, attrs []profile.Att
 	e, ok := c.entries[key]
 	c.mu.RUnlock()
 	if ok {
-		c.mu.Lock()
-		c.hits++
-		if c.metrics != nil {
-			c.metrics.CacheHits.Add(1)
-		}
-		c.mu.Unlock()
+		c.hit()
 		return e, nil
 	}
 
@@ -128,34 +200,41 @@ func (c *WeightCache) entry(store *profile.Store, pool Pool, attrs []profile.Att
 	built := &weightEntry{ctx: ctx, weights: weights}
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if prev, raced := c.entries[key]; raced {
 		// Another goroutine built the same content first; keep one copy.
-		c.hits++
-		if c.metrics != nil {
-			c.metrics.CacheHits.Add(1)
-		}
+		c.mu.Unlock()
+		c.hit()
 		return prev, nil
 	}
-	c.misses++
-	if c.metrics != nil {
-		c.metrics.CacheMisses.Add(1)
+	if c.max > 0 {
+		c.evictLocked(len(c.entries) + 1 - c.max)
 	}
 	c.entries[key] = built
+	c.mu.Unlock()
+	c.misses.Add(1)
+	if m := c.metrics.Load(); m != nil {
+		m.CacheMisses.Add(1)
+	}
 	return built, nil
 }
 
 // Stats returns current cache counters.
 func (c *WeightCache) Stats() CacheStats {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+	n := len(c.entries)
+	c.mu.RUnlock()
+	return CacheStats{
+		Entries:   n,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
 }
 
 // weightKey hashes the full content the weight matrix depends on. Every
 // variable-length field is length-prefixed so distinct contents can
 // never produce the same byte stream.
-func weightKey(store *profile.Store, pool Pool, attrs []profile.Attribute, exponent float64) [sha256.Size]byte {
+func weightKey(store *profile.Store, pool Pool, attrs []profile.Attribute, exponent float64) Key {
 	if len(attrs) == 0 {
 		attrs = profile.ClusteringAttributes()
 	}
@@ -187,7 +266,7 @@ func weightKey(store *profile.Store, pool Pool, attrs []profile.Attribute, expon
 			writeString(p.Attr(a))
 		}
 	}
-	var key [sha256.Size]byte
+	var key Key
 	h.Sum(key[:0])
 	return key
 }

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/obs"
+	"sightrisk/internal/profile"
+)
+
+// TestWeightCacheBounded: the entry cap is enforced on insert, every
+// removal is counted, and an evicted entry's re-lookup rebuilds the
+// exact same matrix (eviction only ever costs a rebuild).
+func TestWeightCacheBounded(t *testing.T) {
+	g, store, owner, strangers := testWorld(t, 12, 80)
+	pools, _, err := BuildPools(g, store, owner, strangers, DefaultPoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pools) < 3 {
+		t.Fatalf("need >= 3 pools, got %d", len(pools))
+	}
+	want := make([][][]float64, len(pools))
+	for i, p := range pools {
+		w, err := PoolWeights(store, p, nil, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w
+	}
+
+	cache := NewWeightCache()
+	m := &obs.Metrics{}
+	cache.SetMetrics(m)
+	cache.SetMaxEntries(2)
+	for _, p := range pools {
+		if _, err := cache.PoolWeights(store, p, nil, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Entries > 2 {
+		t.Fatalf("entries = %d, want <= 2", st.Entries)
+	}
+	wantEvict := uint64(len(pools) - 2)
+	if st.Evictions != wantEvict {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, wantEvict)
+	}
+	if got := m.CacheEvictions.Load(); got != wantEvict {
+		t.Fatalf("metrics evictions = %d, want %d", got, wantEvict)
+	}
+
+	// Every pool — evicted or not — still yields the identical matrix.
+	for i, p := range pools {
+		w, err := cache.PoolWeights(store, p, nil, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(w, want[i]) {
+			t.Fatalf("pool %s: matrix after eviction differs from cold build", p.ID())
+		}
+	}
+
+	// Shrinking below the live size evicts immediately.
+	cache.SetMaxEntries(1)
+	if st := cache.Stats(); st.Entries > 1 {
+		t.Fatalf("entries after shrink = %d, want <= 1", st.Entries)
+	}
+	// Removing the bound lets the cache grow again.
+	cache.SetMaxEntries(0)
+	for _, p := range pools {
+		if _, err := cache.PoolWeights(store, p, nil, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.Entries != len(pools) {
+		t.Fatalf("unbounded entries = %d, want %d", st.Entries, len(pools))
+	}
+}
+
+// TestPoolKeyTracksContent: PoolKey is stable for identical content,
+// ignores the pool's label, and changes when a member's attribute
+// value, the attribute list, the exponent, or the membership changes —
+// the exact invalidation rule incremental re-estimation relies on.
+func TestPoolKeyTracksContent(t *testing.T) {
+	store := profile.NewStore()
+	members := []graph.UserID{1, 2, 3}
+	for _, m := range members {
+		p := profile.NewProfile(m)
+		p.SetAttr(profile.AttrGender, "male")
+		p.SetAttr(profile.AttrLocale, "en_US")
+		store.Put(p)
+	}
+	pool := Pool{NSGIndex: 1, ClusterIndex: 1, Members: members}
+	base := PoolKey(store, pool, nil, 4)
+	if base.IsZero() {
+		t.Fatal("PoolKey returned the zero key")
+	}
+	if again := PoolKey(store, pool, nil, 4); again != base {
+		t.Fatal("PoolKey not stable for identical content")
+	}
+	renamed := Pool{NSGIndex: 9, ClusterIndex: 7, Members: members}
+	if PoolKey(store, renamed, nil, 4) != base {
+		t.Fatal("PoolKey depends on the pool label; must be content-only")
+	}
+	if PoolKey(store, pool, nil, 1) == base {
+		t.Fatal("PoolKey ignored the exponent")
+	}
+	if PoolKey(store, pool, []profile.Attribute{profile.AttrGender}, 4) == base {
+		t.Fatal("PoolKey ignored the attribute list")
+	}
+	shrunk := Pool{NSGIndex: 1, ClusterIndex: 1, Members: members[:2]}
+	if PoolKey(store, shrunk, nil, 4) == base {
+		t.Fatal("PoolKey ignored the membership")
+	}
+	store.Get(2).SetAttr(profile.AttrLocale, "it_IT")
+	if PoolKey(store, pool, nil, 4) == base {
+		t.Fatal("PoolKey ignored a member's attribute change")
+	}
+}
+
+// BenchmarkWeightCacheHitParallel measures the hot hit path under
+// concurrent readers. Hits complete under RLock with atomic counters,
+// so throughput should scale with GOMAXPROCS; before the fix every hit
+// took the exclusive lock to bump counters, serializing all readers.
+func BenchmarkWeightCacheHitParallel(b *testing.B) {
+	g, store, owner, strangers := testWorld(b, 12, 200)
+	pools, _, err := BuildPools(g, store, owner, strangers, DefaultPoolConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := pools[0]
+	for _, p := range pools {
+		if len(p.Members) > len(pool.Members) {
+			pool = p
+		}
+	}
+	cache := NewWeightCache()
+	if _, err := cache.PoolWeights(store, pool, nil, 4); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := cache.PoolWeights(store, pool, nil, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -115,6 +115,27 @@ type Config struct {
 	// Tenant stamps every emitted event with a tenant identity; the
 	// fleet scheduler sets it so multi-tenant streams stay attributable.
 	Tenant string
+	// Reuse, when non-nil, is a prior complete OwnerRun for the same
+	// owner, seed and options whose per-pool results may be spliced into
+	// this run (incremental re-estimation). The pipeline still rebuilds
+	// strangers, NSG and pools from the current graph; a rebuilt pool is
+	// then served from the prior run — session skipped entirely — iff it
+	// sits at the same index with the same id and member list and its
+	// weight-content key (cluster.PoolKey) is unchanged. Those conditions
+	// pin every input of the session (members, weight matrix, the
+	// index-derived RNG stream), so with a deterministic annotator and
+	// unchanged Learn options the spliced result is byte-identical to a
+	// full recompute. A Reuse run that does not match (different owner,
+	// seed, or a partial run) is ignored — the engine silently falls back
+	// to computing every pool.
+	Reuse *OwnerRun
+	// OnPool, when non-nil, is invoked once per pool, in pool order, as
+	// results become final: on the serial path right after each pool
+	// finishes (streaming), on the parallel path at merge time after all
+	// sessions complete. Partial pools are reported before fallback
+	// labels are synthesized; the assembled report remains authoritative.
+	// The callback must not mutate the run.
+	OnPool func(run *OwnerRun, pr PoolRun, index, total int)
 }
 
 // DefaultConfig returns the paper's experimental configuration.
@@ -160,6 +181,14 @@ type PoolRun struct {
 	// was synthesized (last predictions or majority/prior) rather than
 	// learned by a finished session. Nil for complete pools.
 	Fallback map[graph.UserID]bool
+	// WeightKey is the content key of the pool's weight artifacts
+	// (cluster.PoolKey) — the pool-level invalidation handle for
+	// incremental re-estimation. Zero on interrupted pools that never
+	// reached their weight build.
+	WeightKey cluster.Key
+	// Reused reports that this pool's Result was spliced from
+	// Config.Reuse instead of re-running its session.
+	Reused bool
 }
 
 // OwnerRun is the outcome of the full pipeline for one owner.
@@ -176,6 +205,10 @@ type OwnerRun struct {
 	// Cause is the interruption behind a partial run (ErrAbandoned or
 	// a context error); nil for complete runs.
 	Cause error
+	// Seed records the Config.Seed the run was produced under, so a
+	// later run can check the per-pool RNG streams line up before
+	// splicing results via Config.Reuse.
+	Seed int64
 }
 
 // Labels gathers the final risk label of every stranger across pools.
@@ -357,7 +390,7 @@ func (e *Engine) RunOwner(ctx context.Context, g *graph.Graph, store *profile.St
 		return nil, fmt.Errorf("core: owner %d: %w", owner, err)
 	}
 
-	run := &OwnerRun{Owner: owner, Strangers: strangers, NSG: nsg}
+	run := &OwnerRun{Owner: owner, Strangers: strangers, NSG: nsg, Seed: e.cfg.Seed}
 	learn := e.cfg.Learn
 	if !math.IsNaN(confidence) {
 		learn.Confidence = confidence
@@ -422,11 +455,12 @@ func (e *Engine) RunOwner(ctx context.Context, g *graph.Graph, store *profile.St
 	if exp == 0 {
 		exp = 4
 	}
+	reuse := e.reusePlan(store, owner, pools, exp)
 	if workers := parallel.ResolveWorkers(e.cfg.Workers); workers > 1 && len(pools) > 1 {
-		if err := e.runPoolsParallel(ctx, run, store, owner, pools, chain, k, learn, exp, workers); err != nil {
+		if err := e.runPoolsParallel(ctx, run, store, owner, pools, chain, k, learn, exp, workers, reuse); err != nil {
 			return nil, err
 		}
-	} else if err := e.runPoolsSerial(ctx, run, store, owner, pools, chain, k, learn, exp); err != nil {
+	} else if err := e.runPoolsSerial(ctx, run, store, owner, pools, chain, k, learn, exp, reuse); err != nil {
 		return nil, err
 	}
 	if run.Partial {
@@ -514,6 +548,76 @@ func (e *Engine) newClassifier() *classify.Harmonic {
 	return h
 }
 
+// reusePlan maps each freshly-built pool index to the prior PoolRun
+// (from Config.Reuse) whose result can be spliced in verbatim, or nil
+// where the pool must run. A pool is reusable iff the prior run
+// matches this one's owner and seed, completed fully, and the pool at
+// the same index has the same id, identical members and an unchanged
+// weight-content key — together those pin every session input: the
+// member list, the weight matrix (content-keyed) and the RNG stream
+// (derived from seed, owner and pool index). Returns nil when nothing
+// is reusable.
+func (e *Engine) reusePlan(store *profile.Store, owner graph.UserID, pools []cluster.Pool, exp float64) []*PoolRun {
+	prior := e.cfg.Reuse
+	if prior == nil || prior.Owner != owner || prior.Seed != e.cfg.Seed || prior.Partial {
+		return nil
+	}
+	var plan []*PoolRun
+	n := len(pools)
+	if len(prior.Pools) < n {
+		n = len(prior.Pools)
+	}
+	for i := 0; i < n; i++ {
+		pp := &prior.Pools[i]
+		if pp.Status != PoolComplete || pp.Result == nil || pp.WeightKey.IsZero() {
+			continue
+		}
+		if pp.Pool.ID() != pools[i].ID() || !sameMembers(pp.Pool.Members, pools[i].Members) {
+			continue
+		}
+		if cluster.PoolKey(store, pools[i], e.cfg.PSAttributes, exp) != pp.WeightKey {
+			continue
+		}
+		if plan == nil {
+			plan = make([]*PoolRun, len(pools))
+		}
+		plan[i] = pp
+	}
+	return plan
+}
+
+// sameMembers reports whether two member lists are identical in
+// content and order (pool order is part of the session's inputs).
+func sameMembers(a, b []graph.UserID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reusedPoolRun splices a prior pool result into the current run.
+func reusedPoolRun(pool cluster.Pool, prior *PoolRun) PoolRun {
+	return PoolRun{
+		Pool:      pool,
+		Result:    prior.Result,
+		Status:    PoolComplete,
+		WeightKey: prior.WeightKey,
+		Reused:    true,
+	}
+}
+
+// emitPool delivers one finalized pool to the OnPool callback.
+func (e *Engine) emitPool(run *OwnerRun, pr PoolRun, index, total int) {
+	if e.cfg.OnPool != nil {
+		e.cfg.OnPool(run, pr, index, total)
+	}
+}
+
 // poolWeights builds (or, with a shared Weights cache configured,
 // fetches) the pool's PS weight matrix. Cached matrices are shared and
 // read-only — identical by content to a fresh build.
@@ -528,18 +632,40 @@ func (e *Engine) poolWeights(store *profile.Store, pool cluster.Pool, exp float6
 // or a single pool). On interruption it stops asking questions: the
 // interrupted pool keeps its partial result and every remaining pool
 // is synthesized as an empty partial run for fillFallbacks to
-// complete.
-func (e *Engine) runPoolsSerial(ctx context.Context, run *OwnerRun, store *profile.Store, owner graph.UserID, pools []cluster.Pool, chain func(string) active.FallibleAnnotator, k *checkpointer, learn active.Config, exp float64) error {
+// complete. Pools with a reuse plan entry splice the prior result and
+// skip their session (and weight build) entirely.
+func (e *Engine) runPoolsSerial(ctx context.Context, run *OwnerRun, store *profile.Store, owner graph.UserID, pools []cluster.Pool, chain func(string) active.FallibleAnnotator, k *checkpointer, learn active.Config, exp float64, reuse []*PoolRun) error {
 	labelsTotal := 0
 	sink := e.cfg.Observer
 	for pi, pool := range pools {
 		poolID := pool.ID()
 		if run.Partial {
-			run.Pools = append(run.Pools, PoolRun{Pool: pool, Result: emptyInterruptedResult(pool), Status: PoolPartial})
+			pr := PoolRun{Pool: pool, Result: emptyInterruptedResult(pool), Status: PoolPartial}
+			run.Pools = append(run.Pools, pr)
 			if sink != nil {
 				sink.Observe(obs.Event{Kind: obs.KindPoolStart, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(pool.Members)})
 				sink.Observe(obs.Event{Kind: obs.KindPoolEnd, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, Note: "interrupted"})
 			}
+			e.emitPool(run, pr, pi, len(pools))
+			if e.cfg.Progress != nil {
+				e.cfg.Progress(pi+1, len(pools), labelsTotal)
+			}
+			continue
+		}
+		if reuse != nil && reuse[pi] != nil {
+			pr := reusedPoolRun(pool, reuse[pi])
+			run.Pools = append(run.Pools, pr)
+			if k != nil {
+				k.markDone(poolID)
+			}
+			if sink != nil {
+				sink.Observe(obs.Event{Kind: obs.KindPoolStart, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(pool.Members)})
+				sink.Observe(obs.Event{Kind: obs.KindPoolEnd, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(pr.Result.Rounds), Note: "reused"})
+			}
+			if m := e.cfg.Metrics; m != nil {
+				m.PoolsReused.Add(1)
+			}
+			e.emitPool(run, pr, pi, len(pools))
 			if e.cfg.Progress != nil {
 				e.cfg.Progress(pi+1, len(pools), labelsTotal)
 			}
@@ -556,6 +682,7 @@ func (e *Engine) runPoolsSerial(ctx context.Context, run *OwnerRun, store *profi
 		if err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
+		wkey := cluster.PoolKey(store, pool, e.cfg.PSAttributes, exp)
 		if sink != nil {
 			sink.Observe(obs.Event{Kind: obs.KindPoolWeights, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(pool.Members), Dur: time.Since(wstart)})
 		}
@@ -579,11 +706,11 @@ func (e *Engine) runPoolsSerial(ctx context.Context, run *OwnerRun, store *profi
 			if k != nil {
 				k.markDone(poolID)
 			}
-			run.Pools = append(run.Pools, PoolRun{Pool: pool, Result: res, Status: PoolComplete})
+			run.Pools = append(run.Pools, PoolRun{Pool: pool, Result: res, Status: PoolComplete, WeightKey: wkey})
 		case isInterrupt(err) && res != nil:
 			run.Partial = true
 			run.Cause = err
-			run.Pools = append(run.Pools, PoolRun{Pool: pool, Result: res, Status: PoolPartial})
+			run.Pools = append(run.Pools, PoolRun{Pool: pool, Result: res, Status: PoolPartial, WeightKey: wkey})
 		default:
 			return fmt.Errorf("core: pool %s: %w", poolID, err)
 		}
@@ -599,6 +726,7 @@ func (e *Engine) runPoolsSerial(ctx context.Context, run *OwnerRun, store *profi
 		// Satellite fix: accumulate the owner-label total instead of
 		// rescanning every finished pool via run.QueriedCount().
 		labelsTotal += res.QueriedCount()
+		e.emitPool(run, run.Pools[len(run.Pools)-1], pi, len(pools))
 		if e.cfg.Progress != nil {
 			e.cfg.Progress(pi+1, len(pools), labelsTotal)
 		}

@@ -48,9 +48,10 @@ import (
 // degraded outcome is as deterministic as a successful one. When ctx
 // is canceled the gate is aborted, so sessions blocked waiting their
 // turn unblock promptly instead of waiting out other pools' compute.
-func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *profile.Store, owner graph.UserID, pools []cluster.Pool, chain func(string) active.FallibleAnnotator, k *checkpointer, learn active.Config, exp float64, workers int) error {
+func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *profile.Store, owner graph.UserID, pools []cluster.Pool, chain func(string) active.FallibleAnnotator, k *checkpointer, learn active.Config, exp float64, workers int, reuse []*PoolRun) error {
 	sink := e.cfg.Observer
 	weights := make([][][]float64, len(pools))
+	wkeys := make([]cluster.Key, len(pools))
 	var durs []time.Duration
 	if sink != nil {
 		durs = make([]time.Duration, len(pools))
@@ -58,6 +59,12 @@ func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *pro
 	build := parallel.NewGroup(workers)
 	for i := range pools {
 		i := i
+		if reuse != nil && reuse[i] != nil {
+			// Reused pools skip their weight build entirely — the spliced
+			// result already carries the content key that proved the
+			// matrix unchanged.
+			continue
+		}
 		build.Go(i, func() error {
 			if build.Canceled() {
 				return parallel.ErrCanceled
@@ -74,6 +81,7 @@ func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *pro
 				durs[i] = time.Since(start)
 			}
 			weights[i] = w
+			wkeys[i] = cluster.PoolKey(store, pools[i], e.cfg.PSAttributes, exp)
 			return nil
 		})
 	}
@@ -130,6 +138,24 @@ func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *pro
 		sessions.Go(i, func() error {
 			defer gate.Done(i)
 			poolID := pools[i].ID()
+			if reuse != nil && reuse[i] != nil {
+				// Splice the prior result; the slot drops out of the query
+				// rotation immediately (via the deferred Done), exactly like
+				// a session that asks no questions.
+				if k != nil {
+					k.markDone(poolID)
+				}
+				runs[i] = reusedPoolRun(pools[i], reuse[i])
+				if bufs != nil {
+					bufs[i].Observe(obs.Event{Kind: obs.KindPoolStart, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(pools[i].Members)})
+					bufs[i].Observe(obs.Event{Kind: obs.KindPoolEnd, Tenant: e.cfg.Tenant, Owner: int64(owner), Pool: poolID, N: len(runs[i].Result.Rounds), Note: "reused"})
+				}
+				if m := e.cfg.Metrics; m != nil {
+					m.PoolsReused.Add(1)
+				}
+				progress(0)
+				return nil
+			}
 			cfg := learn
 			cfg.Rand = rand.New(rand.NewSource(poolSeed(e.cfg.Seed, owner, i)))
 			cfg.Classifier = &limitedClassifier{
@@ -157,10 +183,10 @@ func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *pro
 				if k != nil {
 					k.markDone(poolID)
 				}
-				runs[i] = PoolRun{Pool: pools[i], Result: res, Status: PoolComplete}
+				runs[i] = PoolRun{Pool: pools[i], Result: res, Status: PoolComplete, WeightKey: wkeys[i]}
 			case isInterrupt(err) && res != nil:
 				causes[i] = err
-				runs[i] = PoolRun{Pool: pools[i], Result: res, Status: PoolPartial}
+				runs[i] = PoolRun{Pool: pools[i], Result: res, Status: PoolPartial, WeightKey: wkeys[i]}
 			default:
 				return fmt.Errorf("core: pool %s: %w", poolID, err)
 			}
@@ -193,6 +219,11 @@ func (e *Engine) runPoolsParallel(ctx context.Context, run *OwnerRun, store *pro
 			run.Cause = cause
 			break
 		}
+	}
+	// OnPool fires at merge time, in pool order — the parallel path
+	// cannot stream mid-run without leaking scheduler-dependent order.
+	for i := range runs {
+		e.emitPool(run, runs[i], i, len(runs))
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"sightrisk/internal/delta"
 	"sightrisk/internal/graph"
 	"sightrisk/internal/profile"
 )
@@ -77,6 +78,7 @@ type Crawler struct {
 	seen         map[graph.UserID]bool // queued or resolved strangers
 	pending      []graph.UserID
 	discovered   []graph.UserID
+	updates      delta.Batch
 	ticks        int
 	apiCalls     int
 	failures     int
@@ -188,18 +190,47 @@ func (c *Crawler) Tick() TickReport {
 }
 
 // resolve performs the "query Facebook for its mutual friends/profile
-// information" step for one surfaced stranger.
+// information" step for one surfaced stranger. Each resolution is also
+// recorded as delta.Update records (drained via Updates), so a
+// downstream estimator can revise a standing report incrementally
+// instead of recomputing from the whole known graph.
 func (c *Crawler) resolve(s graph.UserID) {
 	c.known.AddNode(s)
+	c.updates = append(c.updates, delta.Update{Kind: delta.NodeAdd, A: s})
 	for _, m := range c.truth.MutualFriends(c.owner, s) {
 		// Mutual friends are by construction already known (they are
 		// the owner's friends); record the stranger edge.
 		_ = c.known.AddEdge(s, m)
+		c.updates = append(c.updates, delta.Update{Kind: delta.EdgeAdd, A: s, B: m})
 	}
 	if p := c.truthProfile.Get(s); p != nil {
 		c.knownProfile.Put(p)
+		// Attributes and items are emitted in the registry order, which
+		// is fixed, so replaying a crawl yields the same update stream.
+		for _, a := range profile.AllAttributes() {
+			if v := p.Attr(a); v != "" {
+				c.updates = append(c.updates, delta.Update{Kind: delta.ProfileSet, A: s, Attr: string(a), Value: v})
+			}
+		}
+		for _, it := range profile.Items() {
+			if p.IsVisible(it) {
+				c.updates = append(c.updates, delta.Update{Kind: delta.VisibilitySet, A: s, Attr: string(it), Visible: true})
+			}
+		}
 	}
 	c.discovered = append(c.discovered, s)
+}
+
+// Updates drains the update records accumulated since the last drain
+// (or since New), in emission order. The records describe exactly the
+// mutations resolve applied to the known graph and profile store:
+// replaying the drained batches, in order, onto a copy of the install-
+// time view reproduces Known. A tick that resolves no strangers drains
+// an empty batch.
+func (c *Crawler) Updates() delta.Batch {
+	u := c.updates
+	c.updates = nil
+	return u
 }
 
 // RunUntil ticks until at least target strangers are discovered or

@@ -1,0 +1,87 @@
+package delta
+
+import (
+	"sightrisk/internal/graph"
+)
+
+// Affected reports whether the batch can possibly change owner's risk
+// report — the owner-level dirty check. It is conservative (never
+// returns false for a batch that matters) and cheap: one enumeration
+// of the owner's 2-hop view, then a linear scan of the batch.
+//
+// The rule rests on what the report depends on: the stranger set
+// (distance-2 nodes), each stranger's NS score (mutual friends, the
+// owner's and the stranger's degrees, density among mutual friends)
+// and the strangers' profile attributes. Writing R = {owner} ∪
+// friends(owner) ∪ strangers(owner):
+//
+//   - an edge update with neither endpoint in R cannot change any of
+//     those inputs — it cannot create or sever a ≤2-hop path to the
+//     owner without an endpoint in R, and it cannot change the degree
+//     of the owner, a friend, or a stranger;
+//   - a profile update matters only for the owner or a stranger
+//     (pools and weights are built over stranger profiles only);
+//   - node additions are isolated until an edge arrives, and
+//     visibility flips feed benefit scoring, never the report.
+//
+// The check is sound whether g is the graph before or after the batch
+// was applied: a batch that changes the 2-hop view necessarily
+// contains an edge update incident to R in both states. Updates are
+// scanned with an early return, so a batch whose first record touches
+// R costs O(|R|).
+func Affected(g *graph.Graph, owner graph.UserID, b Batch) bool {
+	if g == nil || len(b) == 0 {
+		return false
+	}
+	var reach map[graph.UserID]bool      // {owner} ∪ friends ∪ strangers
+	var profiled map[graph.UserID]bool   // {owner} ∪ strangers
+	build := func() {
+		friends := g.Friends(owner)
+		strangers := g.Strangers(owner)
+		reach = make(map[graph.UserID]bool, 1+len(friends)+len(strangers))
+		profiled = make(map[graph.UserID]bool, 1+len(strangers))
+		reach[owner] = true
+		profiled[owner] = true
+		for _, f := range friends {
+			reach[f] = true
+		}
+		for _, s := range strangers {
+			reach[s] = true
+			profiled[s] = true
+		}
+	}
+	for _, u := range b {
+		switch u.Kind {
+		case EdgeAdd, EdgeRemove:
+			if reach == nil {
+				build()
+			}
+			if reach[u.A] || reach[u.B] {
+				return true
+			}
+		case ProfileSet:
+			if reach == nil {
+				build()
+			}
+			if profiled[u.A] {
+				return true
+			}
+		case NodeAdd, VisibilitySet:
+			// Never dirties a report (see the kind docs).
+		}
+	}
+	return false
+}
+
+// DirtyOwners filters owners down to those the batch can affect,
+// preserving input order. This is the server's fan-out: an update
+// batch invalidates only the dirty owners' prior estimates.
+func DirtyOwners(g *graph.Graph, owners []graph.UserID, b Batch) []graph.UserID {
+	var dirty []graph.UserID
+	for _, o := range owners {
+		if Affected(g, o, b) {
+			dirty = append(dirty, o)
+		}
+	}
+	return dirty
+}

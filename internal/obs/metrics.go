@@ -43,6 +43,12 @@ type Metrics struct {
 	CacheHits atomic.Uint64
 	// CacheMisses counts shared weight-cache misses.
 	CacheMisses atomic.Uint64
+	// CacheEvictions counts weight-cache entries evicted to honor the
+	// entry cap.
+	CacheEvictions atomic.Uint64
+	// PoolsReused counts pools served from a prior run's result during
+	// incremental re-estimation instead of re-running their sessions.
+	PoolsReused atomic.Uint64
 	// FleetDispatched counts jobs the fleet scheduler dispatched.
 	FleetDispatched atomic.Uint64
 	// FleetSkipped counts jobs the fleet scheduler skipped over budgets.
@@ -130,6 +136,8 @@ type MetricsSnapshot struct {
 	HarmonicIters    uint64   `json:"harmonic_iters"`            // see Metrics.HarmonicIters
 	CacheHits        uint64   `json:"cache_hits"`                // see Metrics.CacheHits
 	CacheMisses      uint64   `json:"cache_misses"`              // see Metrics.CacheMisses
+	CacheEvictions   uint64   `json:"cache_evictions"`           // see Metrics.CacheEvictions
+	PoolsReused      uint64   `json:"pools_reused"`              // see Metrics.PoolsReused
 	FleetDispatched  uint64   `json:"fleet_dispatched"`          // see Metrics.FleetDispatched
 	FleetSkipped     uint64   `json:"fleet_skipped"`             // see Metrics.FleetSkipped
 	ClusterForwards  uint64   `json:"cluster_forwards"`          // see Metrics.ClusterForwards
@@ -154,6 +162,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		HarmonicIters:    m.HarmonicIters.Load(),
 		CacheHits:        m.CacheHits.Load(),
 		CacheMisses:      m.CacheMisses.Load(),
+		CacheEvictions:   m.CacheEvictions.Load(),
+		PoolsReused:      m.PoolsReused.Load(),
 		FleetDispatched:  m.FleetDispatched.Load(),
 		FleetSkipped:     m.FleetSkipped.Load(),
 		ClusterForwards:  m.ClusterForwards.Load(),

@@ -107,17 +107,25 @@ func (s *Server) markPeerDead(n place.Node) {
 // between serving locally and erroring); any HTTP response from an
 // owner — success or error — is relayed verbatim and ends the request.
 func (s *Server) forwardSubmit(w http.ResponseWriter, r *http.Request, req *client.EstimateRequest) bool {
-	body, err := json.Marshal(req)
+	return s.forwardOwner(w, r, req.Owner, "POST", "/v1/estimates", req)
+}
+
+// forwardOwner proxies a request to the ring owner of the given user
+// id, with the same retry/dead-marking behavior as forwardSubmit; the
+// updates endpoint routes through it too, so an update batch lands on
+// the replica that will serve the owner's revisions.
+func (s *Server) forwardOwner(w http.ResponseWriter, r *http.Request, owner int64, method, uri string, payload any) bool {
+	body, err := json.Marshal(payload)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "internal", err.Error(), 0)
 		return true
 	}
 	for attempt := 0; attempt < maxRouteAttempts; attempt++ {
-		node, _ := s.cluster.Owner(req.Owner)
+		node, _ := s.cluster.Owner(owner)
 		if node.ID == s.nodeID {
-			return false // ownership collapsed onto us; run locally
+			return false // ownership collapsed onto us; serve locally
 		}
-		if s.proxy(w, r, node, "POST", "/v1/estimates", body) {
+		if s.proxy(w, r, node, method, uri, body) {
 			return true
 		}
 		s.markPeerDead(node)

@@ -1,0 +1,289 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	sight "sightrisk"
+	"sightrisk/client"
+	"sightrisk/internal/dataset"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/server"
+)
+
+// reviseBatch builds an update batch that reaches the owner's 2-hop
+// view: one stranger's clustering attribute changes and a brand-new
+// stranger arrives via one of the owner's friends.
+func reviseBatch(t testing.TB, ds *dataset.Dataset, owner int64) []client.Update {
+	t.Helper()
+	strangers := ds.Graph.Strangers(graph.UserID(owner))
+	friends := ds.Graph.Friends(graph.UserID(owner))
+	if len(strangers) < 5 || len(friends) < 2 {
+		t.Fatal("test dataset too small")
+	}
+	return []client.Update{
+		{Kind: "profile_set", A: int64(strangers[2]), Attr: sight.AttrLocale, Value: "xx_XX"},
+		{Kind: "node_add", A: 900001},
+		{Kind: "edge_add", A: 900001, B: int64(friends[0])},
+		{Kind: "profile_set", A: 900001, Attr: sight.AttrGender, Value: "female"},
+	}
+}
+
+// TestUpdatesAndReviseByteIdentical is the serving layer's tentpole
+// invariant: apply updates, revise the standing estimate, and the
+// revised report is byte-identical to a from-scratch submission
+// against the updated dataset — while the delta stream shows pools
+// actually being reused.
+func TestUpdatesAndReviseByteIdentical(t *testing.T) {
+	ds := testDataset(t, 2, 200, 71)
+	_, _, c := newTestServer(t, server.Config{Datasets: map[string]*dataset.Dataset{"study": ds}, Workers: 2})
+	owner := int64(ds.Owners[0].ID)
+	ctx := context.Background()
+
+	req := &client.EstimateRequest{Dataset: "study", Owner: owner, Annotator: client.AnnotatorStored}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID); err != nil || st.Status != client.StatusDone {
+		t.Fatalf("base job: %v status=%v", err, st)
+	}
+	baseID := st.ID
+
+	ur, err := c.Updates(ctx, &client.UpdatesRequest{Dataset: "study", Owner: owner, Updates: reviseBatch(t, ds, owner)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.Applied != 4 {
+		t.Fatalf("applied = %d, want 4", ur.Applied)
+	}
+	foundDirty := false
+	for _, d := range ur.DirtyOwners {
+		if d == owner {
+			foundDirty = true
+		}
+	}
+	if !foundDirty {
+		t.Fatalf("owner %d missing from dirty set %v", owner, ur.DirtyOwners)
+	}
+
+	// Revise (no further updates: the batch already landed).
+	rst, err := c.Revise(ctx, baseID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := 0
+	final, err := c.StreamDeltas(ctx, rst.ID, func(d client.PoolDelta) error {
+		if d.Reused {
+			reused++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.JobStatus != client.StatusDone || final.Report == nil {
+		t.Fatalf("terminal delta line: %+v", final)
+	}
+	if reused == 0 {
+		t.Fatal("revision reused no pools; incremental path not exercised")
+	}
+
+	// Reference: a from-scratch submission against the updated dataset.
+	ref, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref, err = c.Wait(ctx, ref.ID); err != nil || ref.Status != client.StatusDone {
+		t.Fatalf("reference job: %v status=%v", err, ref)
+	}
+	if !bytes.Equal(wireBytes(t, final.Report), wireBytes(t, ref.Report)) {
+		t.Fatal("revised report differs from from-scratch recompute")
+	}
+}
+
+// TestReviseNoOpServesPrior: revising a finished job with no updates
+// (and none applied since it ran) completes instantly with the prior
+// report — the owner-level fast path.
+func TestReviseNoOpServesPrior(t *testing.T) {
+	ds := testDataset(t, 1, 120, 73)
+	_, _, c := newTestServer(t, server.Config{Datasets: map[string]*dataset.Dataset{"study": ds}, Workers: 1})
+	owner := int64(ds.Owners[0].ID)
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, &client.EstimateRequest{Dataset: "study", Owner: owner, Annotator: client.AnnotatorStored})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID); err != nil || st.Status != client.StatusDone {
+		t.Fatalf("base job: %v status=%v", err, st)
+	}
+	rst, err := c.Revise(ctx, st.ID, &client.ReviseRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.Status != client.StatusDone {
+		t.Fatalf("no-op revision status = %q, want immediate done", rst.Status)
+	}
+	if !bytes.Equal(wireBytes(t, rst.Report), wireBytes(t, st.Report)) {
+		t.Fatal("no-op revision changed the report")
+	}
+	// Its delta stream is just the terminal line.
+	n := 0
+	final, err := c.StreamDeltas(ctx, rst.ID, func(client.PoolDelta) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || !final.Done || final.JobStatus != client.StatusDone {
+		t.Fatalf("no-op stream: %d deltas, final %+v", n, final)
+	}
+}
+
+// TestDeltaStreamMatchesReport: the concatenated pool deltas of a
+// normal job reconstruct the report's stranger list exactly, and the
+// terminal line carries the same report the status endpoint serves.
+func TestDeltaStreamMatchesReport(t *testing.T) {
+	ds := testDataset(t, 1, 120, 75)
+	_, _, c := newTestServer(t, server.Config{Datasets: map[string]*dataset.Dataset{"study": ds}, Workers: 1})
+	owner := int64(ds.Owners[0].ID)
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, &client.EstimateRequest{Dataset: "study", Owner: owner, Annotator: client.AnnotatorStored})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []client.StrangerRisk
+	seq := 0
+	final, err := c.StreamDeltas(ctx, st.ID, func(d client.PoolDelta) error {
+		seq++
+		if d.Seq != seq {
+			t.Errorf("delta seq %d out of order (want %d)", d.Seq, seq)
+		}
+		if d.Status != "complete" {
+			t.Errorf("pool %s streamed status %q", d.Pool, d.Status)
+		}
+		streamed = append(streamed, d.Strangers...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Report == nil {
+		t.Fatalf("terminal line without report: %+v", final)
+	}
+	if len(streamed) != len(final.Report.Strangers) {
+		t.Fatalf("streamed %d strangers, report has %d", len(streamed), len(final.Report.Strangers))
+	}
+	for i, sr := range final.Report.Strangers {
+		if streamed[i] != sr {
+			t.Fatalf("stranger %d: streamed %+v, report %+v", i, streamed[i], sr)
+		}
+	}
+	stNow, err := c.Get(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wireBytes(t, final.Report), wireBytes(t, stNow.Report)) {
+		t.Fatal("stream terminal report differs from status report")
+	}
+}
+
+// TestClusterUpdatesRouteToOwner: an update batch posted to any
+// replica lands on the ring owner of UpdatesRequest.Owner — the same
+// replica that serves the owner's estimates — so a follow-up revision
+// through any front door sees the applied batch and stays
+// byte-identical to a from-scratch submission.
+func TestClusterUpdatesRouteToOwner(t *testing.T) {
+	mk := func() map[string]*dataset.Dataset {
+		return map[string]*dataset.Dataset{"study": testDataset(t, 4, 80, 61)}
+	}
+	tc := newTestCluster(t, 2, t.TempDir(), mk, nil)
+	ds := testDataset(t, 4, 80, 61)
+	ctx := context.Background()
+
+	// Pick an owner the ring places away from the front door, so both
+	// the estimate and the update batch must be forwarded.
+	var owner int64
+	for _, rec := range ds.Owners {
+		if ringOwner(tc.nodes, int64(rec.ID)) != tc.nodes[0].ID {
+			owner = int64(rec.ID)
+			break
+		}
+	}
+	if owner == 0 {
+		t.Skip("every owner hashed onto the front-door node at this seed")
+	}
+	wantNode := ringOwner(tc.nodes, owner)
+
+	front := client.New(tc.nodes[0].URL)
+	front.NoRetry = true
+	front.LongPoll = 250 * time.Millisecond
+
+	st, err := front.Submit(ctx, &client.EstimateRequest{Dataset: "study", Owner: owner, Annotator: client.AnnotatorStored})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = front.Wait(ctx, st.ID); err != nil || st.Status != client.StatusDone {
+		t.Fatalf("base job: %v status=%v", err, st)
+	}
+
+	ur, err := front.Updates(ctx, &client.UpdatesRequest{Dataset: "study", Owner: owner, Updates: reviseBatch(t, ds, owner)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.Node != wantNode {
+		t.Fatalf("updates applied on node %q, ring owner is %q", ur.Node, wantNode)
+	}
+
+	rst, err := front.Revise(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst, err = front.Wait(ctx, rst.ID); err != nil || rst.Status != client.StatusDone {
+		t.Fatalf("revision: %v status=%v", err, rst)
+	}
+	ref, err := front.Submit(ctx, &client.EstimateRequest{Dataset: "study", Owner: owner, Annotator: client.AnnotatorStored})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref, err = front.Wait(ctx, ref.ID); err != nil || ref.Status != client.StatusDone {
+		t.Fatalf("reference job: %v status=%v", err, ref)
+	}
+	if !bytes.Equal(wireBytes(t, rst.Report), wireBytes(t, ref.Report)) {
+		t.Fatal("clustered revision differs from from-scratch recompute on the owning node")
+	}
+}
+
+// TestUpdatesValidation: the updates endpoint rejects unknown
+// datasets, empty and malformed batches with structured 400s.
+func TestUpdatesValidation(t *testing.T) {
+	ds := testDataset(t, 1, 60, 77)
+	_, hs, c := newTestServer(t, server.Config{Datasets: map[string]*dataset.Dataset{"study": ds}, Workers: 1})
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		req  *client.UpdatesRequest
+	}{
+		{"unknown dataset", &client.UpdatesRequest{Dataset: "nope", Updates: []client.Update{{Kind: "node_add", A: 1}}}},
+		{"missing dataset", &client.UpdatesRequest{Updates: []client.Update{{Kind: "node_add", A: 1}}}},
+		{"empty batch", &client.UpdatesRequest{Dataset: "study"}},
+		{"self loop", &client.UpdatesRequest{Dataset: "study", Updates: []client.Update{{Kind: "edge_add", A: 5, B: 5}}}},
+		{"unknown kind", &client.UpdatesRequest{Dataset: "study", Updates: []client.Update{{Kind: "bogus", A: 5}}}},
+		{"unknown attribute", &client.UpdatesRequest{Dataset: "study", Updates: []client.Update{{Kind: "profile_set", A: 5, Attr: "shoe size"}}}},
+	}
+	for _, tc := range cases {
+		if _, err := c.Updates(ctx, tc.req); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	// Revising an unfinished or network-backed job fails cleanly too.
+	resp := postJSON(t, hs.URL+"/v1/estimates/nope/revise", `{}`)
+	if resp.StatusCode != 404 {
+		t.Fatalf("revise of unknown job: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

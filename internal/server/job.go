@@ -6,6 +6,7 @@ import (
 
 	"sightrisk/client"
 	"sightrisk/internal/active"
+	"sightrisk/internal/core"
 	"sightrisk/internal/graph"
 	"sightrisk/internal/label"
 	"sightrisk/internal/obs"
@@ -39,6 +40,17 @@ type job struct {
 	seq     int
 	pending []client.Question
 	answers map[int64]label.Label
+
+	// Incremental re-estimation state (in-memory only — a restarted
+	// server revises with a full recompute, which is still correct):
+	// lastRun is the finished engine run a later revision can splice
+	// pools from; reuse is the prior run this job revises against;
+	// gen is the dataset update generation the run resolved at; deltas
+	// accumulates the per-pool report deltas the stream endpoint serves.
+	lastRun *core.OwnerRun
+	reuse   *core.OwnerRun
+	gen     uint64
+	deltas  []client.PoolDelta
 }
 
 func newJob(id string, req client.EstimateRequest) *job {
@@ -191,6 +203,59 @@ func (j *job) acceptAnswers(answers []client.Answer) int {
 		j.signalLocked()
 	}
 	return accepted
+}
+
+// setGen records the dataset update generation the run resolved at.
+func (j *job) setGen(gen uint64) {
+	j.mu.Lock()
+	j.gen = gen
+	j.mu.Unlock()
+}
+
+// reusable returns the finished run a revision can splice pools from
+// and the update generation it was computed at. Nil until the job
+// completed in this process (recovered jobs revise from scratch).
+func (j *job) reusable() (*core.OwnerRun, uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastRun, j.gen
+}
+
+// setLastRun retains the finished engine run for later revisions.
+func (j *job) setLastRun(run *core.OwnerRun) {
+	j.mu.Lock()
+	j.lastRun = run
+	j.mu.Unlock()
+}
+
+// reuseRun returns the prior run this job revises against (nil for
+// from-scratch jobs).
+func (j *job) reuseRun() *core.OwnerRun {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.reuse
+}
+
+// addPoolDelta appends one per-pool report delta and wakes stream
+// watchers. Called from the engine's OnPool hook, in pool order.
+func (j *job) addPoolDelta(d client.PoolDelta) {
+	j.mu.Lock()
+	d.Seq = len(j.deltas) + 1
+	j.deltas = append(j.deltas, d)
+	j.signalLocked()
+	j.mu.Unlock()
+}
+
+// deltasSince returns the pool deltas past the cursor plus whether the
+// job is terminal (the stream's stop condition).
+func (j *job) deltasSince(cursor int) ([]client.PoolDelta, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []client.PoolDelta
+	if cursor < len(j.deltas) {
+		out = append(out, j.deltas[cursor:]...)
+	}
+	return out, j.status == client.StatusDone || j.status == client.StatusFailed
 }
 
 // countQuery bumps the live owner-label spend shown by GET status.

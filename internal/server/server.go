@@ -117,6 +117,14 @@ type Server struct {
 	nextID   int
 	draining bool
 	killed   bool
+
+	// Dataset update state: updMu serializes /v1/updates batches (the
+	// swap of a runtime's snapshot/profile pointers happens under mu,
+	// so readers never block on an apply); dsGen counts applied batches
+	// per dataset — the freshness check behind revise's owner-level
+	// fast path.
+	updMu sync.Mutex
+	dsGen map[string]uint64
 }
 
 // New builds a server: it validates the engine defaults, stands up the
@@ -156,6 +164,7 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:      baseCtx,
 		baseCancel:   baseCancel,
 		jobs:         map[string]*job{},
+		dsGen:        map[string]uint64{},
 	}
 	if s.store == nil && cfg.StateDir != "" {
 		st, err := NewDirStore(cfg.StateDir)
@@ -212,6 +221,9 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/estimates/{id}/questions", s.handleQuestions)
 	mux.HandleFunc("POST /v1/estimates/{id}/answers", s.handleAnswers)
 	mux.HandleFunc("GET /v1/estimates/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/estimates/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/estimates/{id}/revise", s.handleRevise)
+	mux.HandleFunc("POST /v1/updates", s.handleUpdates)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /varz", s.handleVarz)
 	return mux
@@ -290,24 +302,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "draining", err.Error(), 1)
 		return
 	}
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	j := s.allocJob(req)
+	if j == nil {
 		adm.Cancel()
 		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", 1)
 		return
 	}
-	s.nextID++
-	id := fmt.Sprintf("e%06d", s.nextID)
-	if s.nodeID != "" {
-		// Node-prefixed ids keep replicas sharing a store from ever
-		// colliding; single-node ids stay exactly as before.
-		id = s.nodeID + "-" + id
-	}
-	j := newJob(id, req)
-	j.node = s.nodeID
-	s.jobs[j.id] = j
-	s.mu.Unlock()
 	if err := s.persistJob(j); err != nil {
 		s.logf("sightd: persist job %s: %v", j.id, err)
 	}
@@ -479,6 +479,26 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// allocJob registers a new job under a fresh id, or returns nil when
+// the server is draining. Node-prefixed ids keep replicas sharing a
+// store from ever colliding; single-node ids stay exactly as before.
+func (s *Server) allocJob(req client.EstimateRequest) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil
+	}
+	s.nextID++
+	id := fmt.Sprintf("e%06d", s.nextID)
+	if s.nodeID != "" {
+		id = s.nodeID + "-" + id
+	}
+	j := newJob(id, req)
+	j.node = s.nodeID
+	s.jobs[j.id] = j
+	return j
+}
+
 // job looks a job up by id.
 func (s *Server) job(id string) *job {
 	s.mu.Lock()
@@ -494,6 +514,7 @@ type resolved struct {
 	snap   *graph.Snapshot
 	ecfg   core.Config
 	stored *dataset.StoredAnnotator // nil for wire annotators
+	gen    uint64                   // dataset update generation at resolve time
 }
 
 // resolve validates the request and materializes its network, options
@@ -518,14 +539,18 @@ func (s *Server) resolve(req *client.EstimateRequest) (*resolved, *client.APIErr
 		if !ok {
 			return nil, bad("unknown dataset %q", req.Dataset)
 		}
-		if rt.Graph != nil {
-			res.net = sight.WrapNetwork(rt.Graph, rt.Profiles)
-		} else {
-			// Snapshot-backed (mmap'd .snap file): the engine runs
-			// straight off the mapped CSR pages.
-			res.net = sight.WrapSnapshot(rt.Snapshot, rt.Profiles)
-		}
-		res.snap = rt.Snapshot
+		// Every dataset job runs off the frozen snapshot view — for
+		// mmap'd .snap files because there is no live graph at all, and
+		// for graph-backed datasets so POST /v1/updates can mutate the
+		// live graph without racing running estimates. The snapshot,
+		// profile store and update generation are read under one lock
+		// acquisition, so a job never sees a half-applied batch.
+		s.mu.Lock()
+		snap, profiles, gen := rt.Snapshot, rt.Profiles, s.dsGen[req.Dataset]
+		s.mu.Unlock()
+		res.net = sight.WrapSnapshot(snap, profiles)
+		res.snap = snap
+		res.gen = gen
 	default:
 		net, err := buildNetwork(req.Network)
 		if err != nil {
@@ -671,11 +696,19 @@ func (s *Server) runJob(j *job, adm *fleet.Admission, resume *core.Checkpoint) {
 	}
 	defer cancel()
 	j.setCancel(cancel)
+	j.setGen(res.gen)
 
 	ecfg := res.ecfg
 	ecfg.Observer = j.trace
 	ecfg.Metrics = s.metrics
 	ecfg.Resume = resume
+	// Incremental plumbing: revisions splice unchanged pools from the
+	// prior run, and every job streams per-pool report deltas as its
+	// pools finish (GET /v1/estimates/{id}/stream).
+	ecfg.Reuse = j.reuseRun()
+	ecfg.OnPool = func(run *core.OwnerRun, pr core.PoolRun, index, total int) {
+		j.addPoolDelta(poolDelta(run, pr, index, total))
+	}
 	if s.store != nil {
 		id := j.id
 		ecfg.Checkpoint = func(cp *core.Checkpoint) error {
@@ -738,6 +771,7 @@ func (s *Server) runJob(j *job, adm *fleet.Admission, resume *core.Checkpoint) {
 		return
 	}
 	rep := client.FromReport(sight.AssembleReport(run))
+	j.setLastRun(run)
 	j.complete(rep, run.QueriedCount())
 	s.persistFinal(j)
 }
