@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke incremental-smoke race fuzz bench fleet-bench serve-bench scale-bench cluster-bench incremental-bench
+.PHONY: tier1 build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke incremental-smoke advise-smoke race fuzz bench fleet-bench serve-bench scale-bench cluster-bench incremental-bench advise-bench
 
-tier1: build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke incremental-smoke
+tier1: build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke incremental-smoke advise-smoke
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,15 @@ cluster-smoke:
 incremental-smoke:
 	$(GO) run ./cmd/riskbench -incremental -incr-sizes 2000 -incr-deltas 1,10 -incr-out /tmp/BENCH_incremental_smoke.json
 
+# Advise smoke test: one small network through the pre-acceptance
+# friendship-request evaluator — candidate edge on a cloned graph,
+# counterfactual by delta.Revise against the prior run, byte-identity
+# against a full recompute and across worker counts. The real speedup
+# table (BENCH_advise.json, 10^4 strangers, >=10x required) comes from
+# `make advise-bench`.
+advise-smoke:
+	$(GO) run ./cmd/riskbench -advise -advise-sizes 2000 -advise-out /tmp/BENCH_advise_smoke.json
+
 race:
 	$(GO) test -race ./...
 
@@ -111,3 +120,10 @@ cluster-bench:
 # few minutes — the 10^5 full recomputes dominate.
 incremental-bench:
 	$(GO) run ./cmd/riskbench -incremental
+
+# Advise speedup table: counterfactual friendship-request evaluation vs
+# full recompute at 10^4 strangers; fails unless the counterfactual is
+# at least 10x faster. Writes BENCH_advise.json (see EXPERIMENTS.md
+# "Pre-acceptance advise" for methodology).
+advise-bench:
+	$(GO) run ./cmd/riskbench -advise

@@ -7,11 +7,15 @@ package sight
 // them by hand.
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"sightrisk/internal/advisor"
 	"sightrisk/internal/autotune"
 	"sightrisk/internal/cluster"
+	"sightrisk/internal/core"
+	"sightrisk/internal/delta"
 	"sightrisk/internal/label"
 	"sightrisk/internal/profile"
 	"sightrisk/internal/similarity"
@@ -127,6 +131,182 @@ func TriageFriendRequest(rep *Report, stranger UserID) (FriendRequestAdvice, err
 	}
 	rec := advisor.TriageRequest(ctx)
 	return FriendRequestAdvice{Verdict: string(rec.Verdict), Reason: rec.Reason}, nil
+}
+
+// ItemRiskChange is the change in one profile item's exposure if a
+// friendship request were accepted: the policy-admitted stranger
+// audience before and after the candidate edge, and how much of that
+// audience the risk pipeline flagged.
+type ItemRiskChange struct {
+	// Item is the profile item (see the Item* constants).
+	Item string
+	// MaxLabel is the policy rule: the riskiest stranger label still
+	// admitted to the item (0 = friends only).
+	MaxLabel Label
+	// AudienceBefore counts labeled strangers the policy admits today.
+	AudienceBefore int
+	// AudienceAfter is AudienceBefore on the counterfactual graph with
+	// the candidate edge accepted.
+	AudienceAfter int
+	// RiskyBefore counts admitted strangers labeled risky or very risky
+	// today.
+	RiskyBefore int
+	// RiskyAfter is RiskyBefore on the counterfactual.
+	RiskyAfter int
+	// GainsAccess marks items the candidate cannot see today but would
+	// see after acceptance (friends see everything).
+	GainsAccess bool
+}
+
+// FriendRequestAssessment is the full pre-acceptance evaluation of a
+// friendship request: the triage verdict, the global before/after risk
+// reach, and per-item exposure deltas — everything derived from the
+// owner's current report and the counterfactual report with the
+// candidate edge added.
+type FriendRequestAssessment struct {
+	// Verdict is "accept", "review" or "decline".
+	Verdict string
+	// Reason explains the verdict in one sentence.
+	Reason string
+	// Candidate is the requesting user.
+	Candidate UserID
+	// Label is the candidate's current risk label (0 when the pipeline
+	// never scored them).
+	Label Label
+	// NetworkSimilarity is NS(owner, candidate) from the current report.
+	NetworkSimilarity float64
+	// NewStrangers counts users entering the owner's 2-hop stranger view
+	// through the accepted edge.
+	NewStrangers int
+	// LostStrangers counts users leaving the stranger view (at minimum
+	// the candidate, who becomes a friend).
+	LostStrangers int
+	// RiskyBefore counts strangers labeled risky or very risky today.
+	RiskyBefore int
+	// RiskyAfter is RiskyBefore on the counterfactual.
+	RiskyAfter int
+	// VeryRiskyBefore counts only the very-risky strangers today.
+	VeryRiskyBefore int
+	// VeryRiskyAfter is VeryRiskyBefore on the counterfactual.
+	VeryRiskyAfter int
+	// Items holds one exposure-delta row per policy-covered profile
+	// item, in canonical item order.
+	Items []ItemRiskChange
+}
+
+// reportLabelMap collects a report's per-stranger labels.
+func reportLabelMap(rep *Report) map[UserID]label.Label {
+	m := make(map[UserID]label.Label, len(rep.Strangers))
+	for _, sr := range rep.Strangers {
+		m[sr.User] = sr.Label
+	}
+	return m
+}
+
+// AssessRequest evaluates a friendship request from two already
+// computed reports: the owner's current one and the counterfactual one
+// produced with the candidate edge added (see AdviseRequest for the
+// end-to-end path that also builds the counterfactual). Both reports
+// must be for the same owner. The result is a deterministic function
+// of the two reports and the policy.
+func (p AccessPolicy) AssessRequest(before, after *Report, candidate UserID) (*FriendRequestAssessment, error) {
+	if before == nil || after == nil {
+		return nil, fmt.Errorf("sight: before and after reports must not be nil")
+	}
+	if before.Owner != after.Owner {
+		return nil, fmt.Errorf("sight: reports are for different owners (%d vs %d)", before.Owner, after.Owner)
+	}
+	rctx := advisor.RequestContext{Stranger: candidate}
+	for _, sr := range before.Strangers {
+		if sr.User == candidate {
+			rctx.Label = sr.Label
+			rctx.NetworkSimilarity = sr.NetworkSimilarity
+			rctx.OwnerLabeled = sr.OwnerLabeled
+			rctx.Fallback = sr.Fallback
+			break
+		}
+	}
+	a := advisor.AssessRequest(rctx, reportLabelMap(before), reportLabelMap(after), p.inner)
+	out := &FriendRequestAssessment{
+		Verdict:           string(a.Verdict),
+		Reason:            a.Reason,
+		Candidate:         a.Candidate,
+		Label:             a.Label,
+		NetworkSimilarity: a.NetworkSimilarity,
+		NewStrangers:      a.NewStrangers,
+		LostStrangers:     a.LostStrangers,
+		RiskyBefore:       a.RiskyBefore,
+		RiskyAfter:        a.RiskyAfter,
+		VeryRiskyBefore:   a.VeryRiskyBefore,
+		VeryRiskyAfter:    a.VeryRiskyAfter,
+	}
+	for _, it := range a.Items {
+		out.Items = append(out.Items, ItemRiskChange{
+			Item:           string(it.Item),
+			MaxLabel:       it.MaxLabel,
+			AudienceBefore: it.AudienceBefore,
+			AudienceAfter:  it.AudienceAfter,
+			RiskyBefore:    it.RiskyBefore,
+			RiskyAfter:     it.RiskyAfter,
+			GainsAccess:    it.GainsAccess,
+		})
+	}
+	return out, nil
+}
+
+// AdviseRequest evaluates a pending friendship request end to end
+// before the owner accepts it: run (or reuse) the owner's current
+// estimate, construct the counterfactual network with the candidate
+// edge added, revise the estimate incrementally against the prior run
+// (see internal/delta — only pools the new edge dirties are recomputed)
+// and assess the per-item exposure delta under the policy. The
+// counterfactual path is byte-identical to a full recompute on the
+// modified graph, at any Options.Workers value.
+//
+// prior, when non-nil, is the owner's current report computed earlier
+// with the same options against the same network; passing it skips the
+// baseline run. The network must be graph-backed (ErrReadOnly
+// otherwise) and is not modified: the counterfactual edge lands on a
+// clone.
+func (p AccessPolicy) AdviseRequest(ctx context.Context, n *Network, owner, candidate UserID, ann AnyAnnotator, opts Options) (*FriendRequestAssessment, error) {
+	if n == nil {
+		return nil, fmt.Errorf("sight: network must not be nil")
+	}
+	g := n.Graph()
+	if g == nil {
+		return nil, ErrReadOnly
+	}
+	if owner == candidate {
+		return nil, fmt.Errorf("sight: candidate must differ from owner")
+	}
+	if !g.HasNode(owner) || !g.HasNode(candidate) {
+		return nil, fmt.Errorf("sight: owner %d and candidate %d must both exist in the network", owner, candidate)
+	}
+	if g.HasEdge(owner, candidate) {
+		return nil, fmt.Errorf("sight: users %d and %d are already friends", owner, candidate)
+	}
+	fallible, err := AsFallible(ann)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := opts.EngineConfig()
+	if err != nil {
+		return nil, err
+	}
+	beforeRun, err := core.New(cfg).RunOwner(ctx, g, n.profiles, owner, fallible, math.NaN())
+	if err != nil {
+		return nil, err
+	}
+	gc := g.Clone()
+	batch := delta.Batch{{Kind: delta.EdgeAdd, A: owner, B: candidate}}
+	if err := batch.Apply(gc, n.profiles); err != nil {
+		return nil, err
+	}
+	afterRun, _, err := delta.Revise(ctx, cfg, gc, n.profiles, owner, fallible, math.NaN(), beforeRun, batch)
+	if err != nil {
+		return nil, err
+	}
+	return p.AssessRequest(AssembleReport(beforeRun), AssembleReport(afterRun), candidate)
 }
 
 // SettingsSuggestion is one privacy-settings recommendation, ranked by

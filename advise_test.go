@@ -2,6 +2,8 @@ package sight
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -244,5 +246,88 @@ func TestAccessControllerFacade(t *testing.T) {
 	}
 	if _, err := policy.Enforce(net, nil); err == nil {
 		t.Fatal("nil report accepted")
+	}
+}
+
+// TestAdviseRequestFacade: the pre-acceptance evaluator builds the
+// counterfactual via the delta engine and returns a coherent
+// before/after assessment, deterministically.
+func TestAdviseRequestFacade(t *testing.T) {
+	net, owner := demoNetwork(t, 5, 40)
+	ann := AnnotatorFunc(func(s UserID) Label {
+		if net.Attribute(s, AttrLocale) != "en_US" {
+			return VeryRisky
+		}
+		if net.Attribute(s, AttrGender) == "male" {
+			return Risky
+		}
+		return NotRisky
+	})
+	opts := DefaultOptions()
+	rep, err := EstimateRisk(context.Background(), net, owner, ann, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Strangers) < 3 {
+		t.Fatal("fixture too small")
+	}
+	candidate := rep.Strangers[len(rep.Strangers)/2].User
+	policy := BuildAccessPolicy(DefaultSensitivity())
+
+	a, err := policy.AdviseRequest(context.Background(), net, owner, candidate, ann, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Candidate != candidate {
+		t.Fatalf("candidate echo = %d, want %d", a.Candidate, candidate)
+	}
+	switch a.Verdict {
+	case "accept", "review", "decline":
+	default:
+		t.Fatalf("verdict = %q", a.Verdict)
+	}
+	if a.Reason == "" {
+		t.Fatal("no reason")
+	}
+	if len(a.Items) == 0 {
+		t.Fatal("no per-item deltas")
+	}
+	// The candidate was a 2-hop stranger: accepting them removes them
+	// from the stranger view.
+	if a.LostStrangers < 1 {
+		t.Errorf("LostStrangers = %d, want >= 1 (the candidate leaves the view)", a.LostStrangers)
+	}
+	if a.Label != rep.Label(candidate) {
+		t.Errorf("assessment label %v != report label %v", a.Label, rep.Label(candidate))
+	}
+
+	// The evaluator mutates nothing: a second call returns the same
+	// assessment, field for field.
+	b, err := policy.AdviseRequest(context.Background(), net, owner, candidate, ann, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, bb := fmt.Sprintf("%+v", a), fmt.Sprintf("%+v", b)
+	if ab != bb {
+		t.Fatalf("advise is not deterministic:\n a: %s\n b: %s", ab, bb)
+	}
+
+	// Validation surface.
+	if _, err := policy.AdviseRequest(context.Background(), nil, owner, candidate, ann, opts); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := policy.AdviseRequest(context.Background(), net, owner, owner, ann, opts); err == nil {
+		t.Fatal("self-request accepted")
+	}
+	if _, err := policy.AdviseRequest(context.Background(), net, owner, 987654, ann, opts); err == nil {
+		t.Fatal("unknown candidate accepted")
+	}
+	friend := net.Friends(owner)[0]
+	if _, err := policy.AdviseRequest(context.Background(), net, owner, friend, ann, opts); err == nil {
+		t.Fatal("existing friend accepted as a candidate")
+	}
+	snapNet := WrapSnapshot(net.Graph().Snapshot(), net.profiles)
+	if _, err := policy.AdviseRequest(context.Background(), snapNet, owner, candidate, ann, opts); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("snapshot-backed network: err = %v, want ErrReadOnly", err)
 	}
 }

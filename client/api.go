@@ -55,9 +55,16 @@ type APIError struct {
 	Code string `json:"code"`
 	// Message is the human-readable description.
 	Message string `json:"message"`
-	// RetryAfter, when non-zero, suggests how many seconds to wait
-	// before retrying (also carried in the Retry-After header of 429
-	// and 503 responses).
+	// RetryAfterMillis, when non-zero, suggests how many milliseconds
+	// to wait before retrying. It is the canonical retry hint of the
+	// unified envelope; the Retry-After header of 429 and 503 responses
+	// carries the same hint rounded up to whole seconds.
+	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
+	// RetryAfter is the retry hint in whole seconds.
+	//
+	// Deprecated: the pre-unification field, kept populated (rounded up
+	// from RetryAfterMillis) so existing callers keep working. Use
+	// RetryDelay, which prefers the millisecond field.
 	RetryAfter int `json:"retry_after,omitempty"`
 	// Status is the HTTP status code (filled by the client, not sent
 	// on the wire).
@@ -67,6 +74,16 @@ type APIError struct {
 // Error implements error.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("sightd: %s (%s)", e.Message, e.Code)
+}
+
+// RetryDelay returns the server-suggested wait before retrying: the
+// millisecond hint when present, the legacy whole-second field
+// otherwise, zero when the server sent neither.
+func (e *APIError) RetryDelay() time.Duration {
+	if e.RetryAfterMillis > 0 {
+		return time.Duration(e.RetryAfterMillis) * time.Millisecond
+	}
+	return time.Duration(e.RetryAfter) * time.Second
 }
 
 // errorEnvelope is the wire shape of an error response.
@@ -240,6 +257,11 @@ type UpdatesResponse struct {
 	DirtyOwners []int64 `json:"dirty_owners,omitempty"`
 	// Node is the cluster node that applied the batch ("" single-node).
 	Node string `json:"node,omitempty"`
+	// Merged counts the concurrent update requests coalesced into the
+	// apply that carried this batch (1 when it applied alone). High-rate
+	// feeds see Merged > 1: same-tick batches are merged into a single
+	// graph mutation and a single invalidation.
+	Merged int `json:"merged,omitempty"`
 }
 
 // ReviseRequest is the body of POST /v1/estimates/{id}/revise.
@@ -249,6 +271,93 @@ type ReviseRequest struct {
 	// filter: a batch that provably cannot reach the owner's 2-hop
 	// view serves the prior report without re-running anything.
 	Updates []Update `json:"updates,omitempty"`
+}
+
+// AdviseRequest is the body of POST /v1/advise: evaluate a pending
+// friendship request before the owner accepts it, by scoring the
+// counterfactual graph with the candidate edge added against the
+// owner's current estimate.
+type AdviseRequest struct {
+	// Dataset names the dataset holding the owner's network and stored
+	// labels. It must be mutable (graph-backed): the counterfactual is
+	// built by cloning the live graph, so snapshot-only datasets cannot
+	// be advised on.
+	Dataset string `json:"dataset"`
+	// Owner is the user who received the friendship request; it is also
+	// the cluster routing key — in cluster mode the evaluation runs on
+	// the replica that owns this user's estimates, where the prior run
+	// is most likely held.
+	Owner int64 `json:"owner"`
+	// Candidate is the user asking to become a friend.
+	Candidate int64 `json:"candidate"`
+	// Options tunes the pipeline; nil keeps the paper's defaults. The
+	// seed must match a held prior run for the server to reuse it —
+	// otherwise both sides of the counterfactual are recomputed (same
+	// bytes, more work).
+	Options *OptionsPayload `json:"options,omitempty"`
+}
+
+// AdviseItemDelta is one profile item's exposure change in an advise
+// response: the policy-admitted stranger audience before and after the
+// candidate edge, and the flagged share of that audience.
+type AdviseItemDelta struct {
+	// Item is the profile item (see the sight.Item* constants).
+	Item string `json:"item"`
+	// MaxLabel is the access policy's rule for the item: the riskiest
+	// stranger label still admitted (0 = friends only).
+	MaxLabel int `json:"max_label"`
+	// AudienceBefore counts the labeled strangers admitted today.
+	AudienceBefore int `json:"audience_before"`
+	// AudienceAfter counts the admitted strangers after acceptance.
+	AudienceAfter int `json:"audience_after"`
+	// RiskyBefore counts admitted strangers labeled risky or worse today.
+	RiskyBefore int `json:"risky_before"`
+	// RiskyAfter is RiskyBefore evaluated on the counterfactual.
+	RiskyAfter int `json:"risky_after"`
+	// GainsAccess marks items the candidate cannot see as a stranger
+	// but would see as a friend.
+	GainsAccess bool `json:"gains_access,omitempty"`
+}
+
+// AdviseResponse is the body of a successful POST /v1/advise. It is
+// deliberately free of host- and cache-dependent fields (no node id,
+// no reuse statistics): for a fixed dataset state and request the body
+// is byte-identical whichever replica answers and whether or not a
+// prior run was reused.
+type AdviseResponse struct {
+	// Dataset echoes the evaluated dataset.
+	Dataset string `json:"dataset"`
+	// Owner echoes the request's owner.
+	Owner int64 `json:"owner"`
+	// Candidate echoes the requesting user.
+	Candidate int64 `json:"candidate"`
+	// Verdict is the recommendation: "accept", "review" or "decline".
+	Verdict string `json:"verdict"`
+	// Reason explains the verdict in one sentence.
+	Reason string `json:"reason"`
+	// Label is the candidate's current risk label in the wire encoding
+	// (0 when the pipeline never scored them).
+	Label int `json:"label,omitempty"`
+	// NetworkSimilarity is NS(owner, candidate) from the current run
+	// (0 for a candidate outside the 2-hop view).
+	NetworkSimilarity float64 `json:"ns"`
+	// NewStrangers counts users entering the owner's 2-hop view through
+	// the accepted edge.
+	NewStrangers int `json:"new_strangers"`
+	// LostStrangers counts users leaving the stranger view (at minimum
+	// the candidate, who becomes a friend).
+	LostStrangers int `json:"lost_strangers"`
+	// RiskyBefore counts strangers labeled risky or worse today.
+	RiskyBefore int `json:"risky_before"`
+	// RiskyAfter is RiskyBefore evaluated on the counterfactual.
+	RiskyAfter int `json:"risky_after"`
+	// VeryRiskyBefore counts only the very-risky strangers today.
+	VeryRiskyBefore int `json:"very_risky_before"`
+	// VeryRiskyAfter is VeryRiskyBefore on the counterfactual.
+	VeryRiskyAfter int `json:"very_risky_after"`
+	// Items holds one exposure-delta row per policy-covered profile
+	// item, in the canonical item order.
+	Items []AdviseItemDelta `json:"items"`
 }
 
 // PoolDelta is one line of the NDJSON stream served by

@@ -28,34 +28,117 @@ const (
 // no Retry-After; later attempts double it (jittered, capped at 1s).
 const retryBackoffBase = 50 * time.Millisecond
 
+// EstimateOptions groups the knobs of the estimate/question loop.
+type EstimateOptions struct {
+	// LongPoll is the server-side wait requested by Questions;
+	// DefaultLongPoll when zero.
+	LongPoll time.Duration
+}
+
+// RetryOptions groups the client's automatic retry policy.
+type RetryOptions struct {
+	// Disabled turns automatic retry off: every call maps to exactly
+	// one HTTP request and the first error is returned as-is. Use it
+	// when the caller runs its own retry policy (client.Cluster does).
+	Disabled bool
+	// MaxAttempts bounds the retry attempts after the initial request;
+	// DefaultMaxRetries when zero.
+	MaxAttempts int
+	// MaxWait caps the wait before any single retry; DefaultMaxRetryWait
+	// when zero. A server retry hint above the cap fails fast,
+	// returning the server's error.
+	MaxWait time.Duration
+}
+
+// AdviseOptions groups the knobs of the synchronous advise call.
+type AdviseOptions struct {
+	// Timeout bounds one Advise call (the server evaluates the
+	// counterfactual inline, so a cold call costs a pipeline run);
+	// zero leaves the caller's context in charge.
+	Timeout time.Duration
+}
+
+// Options groups every client knob into per-concern sub-structs,
+// mirroring the library's sight.Options shape.
+type Options struct {
+	// Estimate holds the estimate-loop knobs.
+	Estimate EstimateOptions
+	// Retry holds the automatic retry policy.
+	Retry RetryOptions
+	// Advise holds the advise-call knobs.
+	Advise AdviseOptions
+}
+
 // Client is a typed HTTP client for a sightd server. The zero value is
 // not usable; construct with New. Methods are safe for concurrent use.
 //
 // Calls automatically retry with context-aware jittered backoff: 429
-// and 503 responses honor the server's Retry-After (failing fast when
-// it exceeds MaxRetryWait), and transport-level failures retry for
-// idempotent methods (GET, DELETE) only — a submission that may have
-// been accepted is never replayed. Set NoRetry to opt out.
+// and 503 responses honor the server's retry hint (failing fast when
+// it exceeds Options.Retry.MaxWait), and transport-level failures
+// retry for idempotent methods (GET, DELETE) only — a submission that
+// may have been accepted is never replayed. Set Options.Retry.Disabled
+// to opt out.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8321".
 	BaseURL string
 	// HTTPClient issues the requests; http.DefaultClient when nil.
 	// Long-poll calls need a generous (or zero) Timeout.
 	HTTPClient *http.Client
-	// LongPoll is the server-side wait requested by Questions;
-	// DefaultLongPoll when zero.
+	// Options groups the per-call knobs. A zero-value knob falls back
+	// to the matching deprecated flat field below, then to the default —
+	// so both old and new callers keep working unchanged.
+	Options Options
+
+	// LongPoll is the questions long-poll wait.
+	//
+	// Deprecated: use Options.Estimate.LongPoll.
 	LongPoll time.Duration
-	// NoRetry disables automatic retry: every call maps to exactly one
-	// HTTP request and the first error is returned as-is. Use it when
-	// the caller runs its own retry policy (client.Cluster does).
+	// NoRetry disables automatic retry.
+	//
+	// Deprecated: use Options.Retry.Disabled.
 	NoRetry bool
-	// MaxRetries bounds the retry attempts after the initial request;
-	// DefaultMaxRetries when zero.
+	// MaxRetries bounds the retry attempts.
+	//
+	// Deprecated: use Options.Retry.MaxAttempts.
 	MaxRetries int
-	// MaxRetryWait caps the wait before any single retry;
-	// DefaultMaxRetryWait when zero. A Retry-After above the cap fails
-	// fast, returning the server's error.
+	// MaxRetryWait caps the wait before any single retry.
+	//
+	// Deprecated: use Options.Retry.MaxWait.
 	MaxRetryWait time.Duration
+}
+
+// longPoll resolves the effective questions long-poll wait.
+func (c *Client) longPoll() time.Duration {
+	if c.Options.Estimate.LongPoll > 0 {
+		return c.Options.Estimate.LongPoll
+	}
+	if c.LongPoll > 0 {
+		return c.LongPoll
+	}
+	return DefaultLongPoll
+}
+
+// retryPolicy resolves the effective retry policy, folding the
+// deprecated flat fields under the grouped options.
+func (c *Client) retryPolicy() (maxRetries int, maxWait time.Duration) {
+	maxRetries = c.Options.Retry.MaxAttempts
+	if maxRetries <= 0 {
+		maxRetries = c.MaxRetries
+	}
+	if maxRetries <= 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	if c.Options.Retry.Disabled || c.NoRetry {
+		maxRetries = 0
+	}
+	maxWait = c.Options.Retry.MaxWait
+	if maxWait <= 0 {
+		maxWait = c.MaxRetryWait
+	}
+	if maxWait <= 0 {
+		maxWait = DefaultMaxRetryWait
+	}
+	return maxRetries, maxWait
 }
 
 // New returns a client for the server at baseURL (scheme + host, no
@@ -76,17 +159,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		body = b
 	}
-	maxRetries := c.MaxRetries
-	if maxRetries <= 0 {
-		maxRetries = DefaultMaxRetries
-	}
-	if c.NoRetry {
-		maxRetries = 0
-	}
-	maxWait := c.MaxRetryWait
-	if maxWait <= 0 {
-		maxWait = DefaultMaxRetryWait
-	}
+	maxRetries, maxWait := c.retryPolicy()
 	for attempt := 0; ; attempt++ {
 		err := c.doOnce(ctx, method, path, body, in != nil, out)
 		if err == nil {
@@ -155,7 +228,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, h
 
 // retryWait decides whether the error is worth retrying and how long
 // to wait first. 429/503 responses are retryable, preferring the
-// server's Retry-After (fail fast when it exceeds maxWait); transport
+// server's retry hint (fail fast when it exceeds maxWait); transport
 // errors are retryable for idempotent methods only.
 func retryWait(method string, err error, attempt int, maxWait time.Duration) (time.Duration, bool) {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -166,8 +239,7 @@ func retryWait(method string, err error, attempt int, maxWait time.Duration) (ti
 		if apiErr.Status != http.StatusTooManyRequests && apiErr.Status != http.StatusServiceUnavailable {
 			return 0, false
 		}
-		if apiErr.RetryAfter > 0 {
-			wait := time.Duration(apiErr.RetryAfter) * time.Second
+		if wait := apiErr.RetryDelay(); wait > 0 {
 			if wait > maxWait {
 				// Waiting that long inline would stall the caller; let it
 				// see the budget error and decide.
@@ -213,10 +285,17 @@ func decodeError(resp *http.Response) error {
 	var env errorEnvelope
 	if err := json.Unmarshal(b, &env); err == nil && env.Error != nil {
 		env.Error.Status = resp.StatusCode
-		if env.Error.RetryAfter == 0 {
+		if env.Error.RetryAfterMillis == 0 && env.Error.RetryAfter == 0 {
 			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
 				env.Error.RetryAfter = ra
 			}
+		}
+		// Keep both retry fields coherent whichever one the server (or
+		// the header fallback) filled.
+		if env.Error.RetryAfterMillis == 0 && env.Error.RetryAfter > 0 {
+			env.Error.RetryAfterMillis = int64(env.Error.RetryAfter) * 1000
+		} else if env.Error.RetryAfter == 0 && env.Error.RetryAfterMillis > 0 {
+			env.Error.RetryAfter = int((env.Error.RetryAfterMillis + 999) / 1000)
 		}
 		return env.Error
 	}
@@ -254,12 +333,8 @@ func (c *Client) Get(ctx context.Context, id string) (*EstimateStatus, error) {
 // whichever comes first. An empty Questions slice with a non-terminal
 // Status means "nothing yet, poll again".
 func (c *Client) Questions(ctx context.Context, id string) (*QuestionsResponse, error) {
-	wait := c.LongPoll
-	if wait <= 0 {
-		wait = DefaultLongPoll
-	}
 	path := "/v1/estimates/" + url.PathEscape(id) + "/questions?wait_ms=" +
-		strconv.FormatInt(wait.Milliseconds(), 10)
+		strconv.FormatInt(c.longPoll().Milliseconds(), 10)
 	var qr QuestionsResponse
 	if err := c.do(ctx, http.MethodGet, path, nil, &qr); err != nil {
 		return nil, err
@@ -355,6 +430,25 @@ func (c *Client) Revise(ctx context.Context, id string, req *ReviseRequest) (*Es
 		return nil, err
 	}
 	return &st, nil
+}
+
+// Advise evaluates a pending friendship request (POST /v1/advise): the
+// server scores the counterfactual graph with the candidate edge added
+// against the owner's current estimate and returns the per-item
+// exposure delta plus an accept/review/decline verdict. The call is
+// synchronous — a cold call (no prior run held server-side) costs a
+// full pipeline run; Options.Advise.Timeout bounds it.
+func (c *Client) Advise(ctx context.Context, req *AdviseRequest) (*AdviseResponse, error) {
+	if t := c.Options.Advise.Timeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	var ar AdviseResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/advise", req, &ar); err != nil {
+		return nil, err
+	}
+	return &ar, nil
 }
 
 // StreamDeltas consumes the job's NDJSON per-pool delta stream

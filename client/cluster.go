@@ -33,8 +33,9 @@ type ClusterNode struct {
 // Methods mirror *Client and are safe for concurrent use.
 type Cluster struct {
 	// Clients holds the per-node clients, keyed by node id. They are
-	// created with NoRetry set (the cluster layer is the retry policy);
-	// callers may tune fields like LongPoll before issuing calls.
+	// created with retries disabled (the cluster layer is the retry
+	// policy); callers may tune knobs like Options.Estimate.LongPoll
+	// before issuing calls.
 	Clients map[string]*Client
 
 	nodes []ClusterNode
@@ -61,7 +62,7 @@ func NewCluster(nodes []ClusterNode) (*Cluster, error) {
 		if _, dup := cl.Clients[n.ID]; dup {
 			return nil, fmt.Errorf("client: duplicate cluster node id %q", n.ID)
 		}
-		cl.Clients[n.ID] = &Client{BaseURL: n.URL, NoRetry: true}
+		cl.Clients[n.ID] = &Client{BaseURL: n.URL, Options: Options{Retry: RetryOptions{Disabled: true}}}
 	}
 	return cl, nil
 }
@@ -284,6 +285,22 @@ func (cl *Cluster) Drive(ctx context.Context, id string, answer AnswerFunc) (*Re
 		return nil, fmt.Errorf("client: job %s failed", id)
 	}
 	return st.Report, nil
+}
+
+// Advise evaluates a pending friendship request on any live replica;
+// the receiving node forwards it to the ring owner of the request's
+// owner, where the prior run is most likely held. The evaluation is
+// read-only and deterministic, so a retried call is safe and returns
+// the same bytes whichever replica ends up answering. See
+// Client.Advise.
+func (cl *Cluster) Advise(ctx context.Context, req *AdviseRequest) (*AdviseResponse, error) {
+	var ar *AdviseResponse
+	err := cl.try(ctx, "", func(c *Client) error {
+		var err error
+		ar, err = c.Advise(ctx, req)
+		return err
+	})
+	return ar, err
 }
 
 // Health fetches every replica's health summary, keyed by node id.

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	sight "sightrisk"
+	"sightrisk/internal/active"
+	"sightrisk/internal/core"
+	"sightrisk/internal/delta"
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+// adviseRow is one network-size measurement of the pre-acceptance
+// counterfactual: the candidate edge applied to a clone of the owner's
+// graph, then the counterfactual report computed from scratch and via
+// delta.Revise against the owner's current run.
+type adviseRow struct {
+	Strangers   int     `json:"strangers"`
+	Nodes       int     `json:"nodes"`
+	Candidate   int64   `json:"candidate"`
+	Verdict     string  `json:"verdict"`
+	FullMS      float64 `json:"full_ms"`
+	CounterMS   float64 `json:"counterfactual_ms"`
+	Speedup     float64 `json:"speedup"`
+	PoolsTotal  int     `json:"pools_total"`
+	PoolsReused int     `json:"pools_reused"`
+	PoolsRerun  int     `json:"pools_rerun"`
+	ByteIdent   bool    `json:"byte_identical"`
+}
+
+// adviseBench is the BENCH_advise.json document.
+type adviseBench struct {
+	GeneratedAt string      `json:"generated_at"`
+	Seed        int64       `json:"seed"`
+	Workers     int         `json:"workers"`
+	Rows        []adviseRow `json:"rows"`
+}
+
+// adviseCandidate picks the request's candidate deterministically: the
+// best-connected stranger, ties broken by smallest ID. Triadic closure
+// makes this the modal friend request — the people who actually send
+// one are the 2-hop neighbours with the most mutual friends, not the
+// periphery. It is also the case the delta engine is built for: a
+// well-connected candidate sits in the small high-similarity pools, so
+// accepting them perturbs little of the pool partition, whereas a leaf
+// stranger lives in the large low-similarity pools and its counterfactual
+// approaches a full recompute (the bench reports pools reused so that
+// cost model stays visible).
+func adviseCandidate(g *graph.Graph, prior *core.OwnerRun) graph.UserID {
+	best := prior.Strangers[0]
+	for _, s := range prior.Strangers[1:] {
+		if d, bd := g.Degree(s), g.Degree(best); d > bd || (d == bd && s < best) {
+			best = s
+		}
+	}
+	return best
+}
+
+// counterfactual builds the post-acceptance graph: a clone of g with
+// the (owner, candidate) edge added, plus the batch describing it.
+func counterfactual(g *graph.Graph, store *profile.Store, owner, cand graph.UserID) (*graph.Graph, delta.Batch, error) {
+	gc := g.Clone()
+	batch := delta.Batch{{Kind: delta.EdgeAdd, A: owner, B: cand}}
+	if err := batch.Apply(gc, store); err != nil {
+		return nil, nil, err
+	}
+	return gc, batch, nil
+}
+
+// assessBytes renders the (before, after) run pair as the canonical
+// JSON advise assessment — the determinism probe: two runs that would
+// serve different /v1/advise bodies produce different bytes here.
+func assessBytes(before, after *core.OwnerRun, cand graph.UserID) ([]byte, error) {
+	policy := sight.BuildAccessPolicy(sight.DefaultSensitivity())
+	a, err := policy.AssessRequest(sight.AssembleReport(before), sight.AssembleReport(after), cand)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(a)
+}
+
+// runAdviseBench is -advise mode: per network size it runs the owner
+// once to completion, picks a friendship-request candidate from the
+// stranger list, and measures the counterfactual (candidate edge on a
+// cloned graph) computed from scratch against delta.Revise riding the
+// prior run — asserting the two byte-identical, pinning the advise
+// assessment bytes across worker counts 1/2/4, and requiring the >=10x
+// speedup at 10^4 strangers and above. Results go to stdout and to
+// outPath.
+func runAdviseBench(sizesSpec string, seed int64, workers int, outPath string) error {
+	var sizes []int
+	for _, s := range strings.Split(sizesSpec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 50 {
+			return fmt.Errorf("bad -advise-sizes entry %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+
+	bench := adviseBench{GeneratedAt: time.Now().UTC().Format(time.RFC3339), Seed: seed, Workers: workers}
+	fmt.Printf("riskbench: advise sweep sizes=%v seed=%d workers=%d\n", sizes, seed, workers)
+	fmt.Printf("%10s %8s %10s %8s %12s %14s %9s %7s %7s %6s\n",
+		"strangers", "nodes", "candidate", "verdict", "full", "counterfactual", "speedup", "pools", "reused", "ident")
+
+	ctx := context.Background()
+	for _, n := range sizes {
+		study, o, err := incrStudy(n, seed)
+		if err != nil {
+			return fmt.Errorf("generate %d: %w", n, err)
+		}
+		ann := active.Infallible(o)
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+
+		prior, err := core.New(cfg).RunOwner(ctx, study.Graph, study.Profiles, o.ID, ann, o.Confidence)
+		if err != nil {
+			return fmt.Errorf("baseline at %d: %w", n, err)
+		}
+		cand := adviseCandidate(study.Graph, prior)
+		gc, batch, err := counterfactual(study.Graph, study.Profiles, o.ID, cand)
+		if err != nil {
+			return err
+		}
+
+		fullStart := time.Now()
+		ref, err := core.New(cfg).RunOwner(ctx, gc, study.Profiles, o.ID, ann, o.Confidence)
+		if err != nil {
+			return fmt.Errorf("full counterfactual at %d: %w", n, err)
+		}
+		fullT := time.Since(fullStart)
+
+		incrStart := time.Now()
+		revised, st, err := delta.Revise(ctx, cfg, gc, study.Profiles, o.ID, ann, o.Confidence, prior, batch)
+		if err != nil {
+			return fmt.Errorf("revise at %d: %w", n, err)
+		}
+		incrT := time.Since(incrStart)
+
+		ident := core.DiffRuns(ref, revised) == ""
+		if !ident {
+			return fmt.Errorf("advise at %d strangers: counterfactual revision differs from full recompute: %s",
+				n, core.DiffRuns(ref, revised))
+		}
+
+		// Pin the served bytes across worker counts: every Workers value
+		// must yield the same advise assessment as the reference.
+		refBytes, err := assessBytes(prior, ref, cand)
+		if err != nil {
+			return err
+		}
+		for _, w := range []int{1, 2, 4} {
+			wcfg := core.DefaultConfig()
+			wcfg.Workers = w
+			revW, _, err := delta.Revise(ctx, wcfg, gc, study.Profiles, o.ID, ann, o.Confidence, prior, batch)
+			if err != nil {
+				return fmt.Errorf("workers=%d revise at %d: %w", w, n, err)
+			}
+			if d := core.DiffRuns(ref, revW); d != "" {
+				return fmt.Errorf("workers=%d at %d strangers: counterfactual diverges: %s", w, n, d)
+			}
+			gotBytes, err := assessBytes(prior, revW, cand)
+			if err != nil {
+				return err
+			}
+			if string(gotBytes) != string(refBytes) {
+				return fmt.Errorf("workers=%d at %d strangers: advise assessment bytes diverge", w, n)
+			}
+		}
+
+		var verdict string
+		{
+			policy := sight.BuildAccessPolicy(sight.DefaultSensitivity())
+			a, err := policy.AssessRequest(sight.AssembleReport(prior), sight.AssembleReport(ref), cand)
+			if err != nil {
+				return err
+			}
+			verdict = a.Verdict
+		}
+
+		row := adviseRow{
+			Strangers:   n,
+			Nodes:       study.Graph.NumNodes(),
+			Candidate:   int64(cand),
+			Verdict:     verdict,
+			FullMS:      float64(fullT.Microseconds()) / 1000,
+			CounterMS:   float64(incrT.Microseconds()) / 1000,
+			PoolsTotal:  st.PoolsTotal,
+			PoolsReused: st.PoolsReused,
+			PoolsRerun:  st.PoolsRerun,
+			ByteIdent:   ident,
+		}
+		if incrT > 0 {
+			row.Speedup = row.FullMS / row.CounterMS
+		}
+		fmt.Printf("%10d %8d %10d %8s %12s %14s %8.1fx %7d %7d %6s\n",
+			n, row.Nodes, cand, verdict, fullT.Round(time.Millisecond), incrT.Round(time.Millisecond),
+			row.Speedup, row.PoolsTotal, row.PoolsReused, "yes")
+		bench.Rows = append(bench.Rows, row)
+		if n >= 10000 && row.Speedup < 10 {
+			return fmt.Errorf("advise at %d strangers: counterfactual speedup %.1fx is below the required 10x", n, row.Speedup)
+		}
+	}
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bench); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("riskbench: wrote %s (%d rows)\n", outPath, len(bench.Rows))
+	return nil
+}
+
+// auditAdvise is the advise leg of -audit mode: a small study, one
+// candidate edge, and per worker count a full counterfactual recompute
+// diffed against delta.Revise plus a byte-compare of the rendered
+// advise assessment. Returns the pool count per run and a divergence
+// description ("" on pass).
+func auditAdvise(seed int64) (int, string, error) {
+	study, o, err := incrStudy(300, seed)
+	if err != nil {
+		return 0, "", err
+	}
+	ann := active.Infallible(o)
+	prior, err := core.New(core.DefaultConfig()).RunOwner(context.Background(), study.Graph, study.Profiles, o.ID, ann, o.Confidence)
+	if err != nil {
+		return 0, "", err
+	}
+	cand := adviseCandidate(study.Graph, prior)
+	gc, batch, err := counterfactual(study.Graph, study.Profiles, o.ID, cand)
+	if err != nil {
+		return 0, "", err
+	}
+	var refBytes []byte
+	pools := 0
+	for _, w := range []int{1, 2, 4} {
+		cfg := core.DefaultConfig()
+		cfg.Workers = w
+		ref, err := core.New(cfg).RunOwner(context.Background(), gc, study.Profiles, o.ID, ann, o.Confidence)
+		if err != nil {
+			return 0, "", fmt.Errorf("workers=%d full: %w", w, err)
+		}
+		revised, st, err := delta.Revise(context.Background(), cfg, gc, study.Profiles, o.ID, ann, o.Confidence, prior, batch)
+		if err != nil {
+			return 0, "", fmt.Errorf("workers=%d revise: %w", w, err)
+		}
+		if d := core.DiffRuns(ref, revised); d != "" {
+			return pools, fmt.Sprintf("workers=%d: counterfactual revision diverges from full recompute: %s", w, d), nil
+		}
+		got, err := assessBytes(prior, revised, cand)
+		if err != nil {
+			return 0, "", err
+		}
+		if refBytes == nil {
+			refBytes = got
+		} else if string(got) != string(refBytes) {
+			return pools, fmt.Sprintf("workers=%d: advise assessment bytes diverge from workers=1", w), nil
+		}
+		pools = st.PoolsTotal
+	}
+	return pools, "", nil
+}

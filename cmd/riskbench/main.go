@@ -34,6 +34,18 @@
 // otherwise); the full-vs-incremental speedup curve goes to
 // BENCH_incremental.json.
 //
+// With -advise it benchmarks the pre-acceptance friendship-request
+// evaluator behind POST /v1/advise: per -advise-sizes stranger count
+// it runs one owner to completion, picks a candidate from the
+// stranger list, applies the (owner, candidate) edge to a clone of the
+// graph, and measures a full counterfactual recompute against
+// delta.Revise riding the prior run. The revision must be
+// byte-identical to the full recompute, the rendered advise assessment
+// must be byte-identical at workers 1, 2 and 4, and at 10^4 strangers
+// and above the counterfactual must be at least 10x faster than the
+// full recompute (non-zero exit otherwise); the speedup table goes to
+// BENCH_advise.json.
+//
 // With -scale sweep the command runs the million-node scale curve
 // instead: per -scale-sizes population it generates a
 // SNAP-Facebook-like graph straight into CSR, packs it into a
@@ -103,7 +115,18 @@ func main() {
 	incrSizes := flag.String("incr-sizes", "10000,100000", "incremental mode: comma-separated stranger counts for the owner's network")
 	incrDeltas := flag.String("incr-deltas", "1,10,100", "incremental mode: comma-separated update-batch sizes")
 	incrOut := flag.String("incr-out", "BENCH_incremental.json", "incremental mode: where to write the speedup-curve JSON")
+	advise := flag.Bool("advise", false, "advise mode: per network size, evaluate one pre-acceptance friendship request by full counterfactual recompute and by delta.Revise, asserting byte-identity and the >=10x speedup at 10^4 strangers; writes the table to -advise-out (skips the experiment steps)")
+	adviseSizes := flag.String("advise-sizes", "2000,10000", "advise mode: comma-separated stranger counts for the owner's network")
+	adviseOut := flag.String("advise-out", "BENCH_advise.json", "advise mode: where to write the speedup JSON")
 	flag.Parse()
+
+	if *advise {
+		if err := runAdviseBench(*adviseSizes, *seed, parallel.ResolveWorkers(*workers), *adviseOut); err != nil {
+			fmt.Fprintln(os.Stderr, "riskbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *incremental {
 		if err := runIncrementalBench(*incrSizes, *incrDeltas, *seed, parallel.ResolveWorkers(*workers), *incrOut); err != nil {
@@ -397,10 +420,25 @@ func runAudit(seed int64, workers int) error {
 			fmt.Println("  " + line)
 		}
 	}
+	aPools, aDetail, err := auditAdvise(seed)
+	if err != nil {
+		return fmt.Errorf("advise audit: %w", err)
+	}
+	status = "PASS"
+	if aDetail != "" {
+		status = "DIVERGED"
+		diverged = true
+	}
+	fmt.Printf("audit %-12s %-8s (%d pools per run, counterfactual vs full recompute at workers 1/2/4)\n", "advise", status, aPools)
+	if aDetail != "" {
+		for _, line := range strings.Split(aDetail, "\n") {
+			fmt.Println("  " + line)
+		}
+	}
 	if diverged {
 		return fmt.Errorf("determinism audit failed")
 	}
-	fmt.Println("determinism audit passed: both runs of every topology were bit-identical, mmap-backed estimates matched in-memory ones bit for bit, the post-failover cluster report matched the single-node run byte for byte, and incremental revisions matched full recomputes at every worker count")
+	fmt.Println("determinism audit passed: both runs of every topology were bit-identical, mmap-backed estimates matched in-memory ones bit for bit, the post-failover cluster report matched the single-node run byte for byte, incremental revisions matched full recomputes at every worker count, and the advise counterfactual matched its full recompute byte for byte at every worker count")
 	return nil
 }
 

@@ -52,6 +52,15 @@
 //	    revised report is byte-identical to a from-scratch run against
 //	    the updated dataset.
 //
+//	sightctl advise -server URL -dataset NAME -owner ID -candidate ID [-seed N] [-v]
+//	    Evaluate a pending friendship request before accepting it: the
+//	    server scores the counterfactual graph with the (owner,
+//	    candidate) edge added against the owner's current estimate —
+//	    riding the incremental delta engine, so only the pools the new
+//	    edge dirties are recomputed — and prints the accept/review/
+//	    decline verdict with the before/after risk reach and, with -v,
+//	    the per-item exposure table.
+//
 //	sightctl cluster -server n1=URL,n2=URL,...
 //	    Print per-replica health for a multi-node sightd cluster: node
 //	    id, readiness, ring version, shard ownership and each node's
@@ -116,6 +125,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "updates":
 		err = cmdUpdates(os.Args[2:])
+	case "advise":
+		err = cmdAdvise(os.Args[2:])
 	case "cluster":
 		err = cmdCluster(os.Args[2:])
 	case "-h", "--help", "help":
@@ -143,6 +154,7 @@ commands:
   tune       mine pipeline parameters (alpha, beta, theta, weights) from a dataset
   export     write an owner's neighborhood as Graphviz DOT, colored by risk label
   updates    apply a graph/profile delta batch to a sightd dataset, optionally revising an estimate
+  advise     evaluate a pending friendship request against the counterfactual graph on a sightd server
   cluster    print per-replica health for a multi-node sightd cluster
 `)
 }
@@ -761,6 +773,64 @@ func cmdUpdates(args []string) error {
 	}
 	fmt.Printf("revision done: %d pools reused, %d recomputed\n", reused, recomputed)
 	printReport(final.Report.Sight(), dataset.OwnerRecord{}, *verbose)
+	return nil
+}
+
+// adviseAPI is the slice of the client surface cmdAdvise needs — both
+// *client.Client and *client.Cluster implement it.
+type adviseAPI interface {
+	Advise(ctx context.Context, req *client.AdviseRequest) (*client.AdviseResponse, error)
+}
+
+func cmdAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	serverURL := fs.String("server", "", "sightd base URL or comma-separated replica list (URLs or id=url); the request routes to the replica owning -owner")
+	dsName := fs.String("dataset", "", "dataset name on the server (required; must be mutable)")
+	ownerID := fs.Int64("owner", 0, "owner who received the friendship request (required)")
+	candID := fs.Int64("candidate", 0, "user asking to become a friend (required)")
+	seed := fs.Int64("seed", 1, "sampling seed; match the owner's standing estimate so the server can reuse it")
+	verbose := fs.Bool("v", false, "print the per-item exposure table")
+	fs.Parse(args)
+
+	if *serverURL == "" || *dsName == "" || *ownerID == 0 || *candID == 0 {
+		return fmt.Errorf("advise needs -server, -dataset, -owner and -candidate")
+	}
+	api, err := dialServers(*serverURL)
+	if err != nil {
+		return err
+	}
+	adv, ok := api.(adviseAPI)
+	if !ok {
+		return fmt.Errorf("internal: %T does not implement advise", api)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	resp, err := adv.Advise(ctx, &client.AdviseRequest{
+		Dataset:   *dsName,
+		Owner:     *ownerID,
+		Candidate: *candID,
+		Options:   &client.OptionsPayload{Seed: seed},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("owner %d, request from %d: %s\n", resp.Owner, resp.Candidate, strings.ToUpper(resp.Verdict))
+	fmt.Printf("  %s\n", resp.Reason)
+	fmt.Printf("  candidate: label=%d NS=%.3f\n", resp.Label, resp.NetworkSimilarity)
+	fmt.Printf("  stranger view if accepted: +%d new, -%d leave\n", resp.NewStrangers, resp.LostStrangers)
+	fmt.Printf("  risky reach %d -> %d, very risky %d -> %d\n",
+		resp.RiskyBefore, resp.RiskyAfter, resp.VeryRiskyBefore, resp.VeryRiskyAfter)
+	if *verbose {
+		fmt.Println("  per-item exposure (policy-admitted strangers):")
+		for _, it := range resp.Items {
+			access := ""
+			if it.GainsAccess {
+				access = "  candidate gains access"
+			}
+			fmt.Printf("    %-10s max_label=%d audience %d -> %d risky %d -> %d%s\n",
+				it.Item, it.MaxLabel, it.AudienceBefore, it.AudienceAfter, it.RiskyBefore, it.RiskyAfter, access)
+		}
+	}
 	return nil
 }
 

@@ -56,6 +56,7 @@ func DefaultSensitivity() Sensitivity {
 // MaxLabel = NotRisky means "only strangers I consider not risky";
 // MaxLabel = 0 means "no stranger at all" (friends only).
 type Policy struct {
+	// Rules maps each covered item to the riskiest admitted label.
 	Rules map[profile.Item]label.Label
 }
 
@@ -130,6 +131,7 @@ const (
 // RequestContext is everything known about an incoming friendship
 // request from a stranger.
 type RequestContext struct {
+	// Stranger is the requesting user.
 	Stranger graph.UserID
 	// Label is the risk label the pipeline assigned.
 	Label label.Label
@@ -146,8 +148,10 @@ type RequestContext struct {
 
 // Recommendation is the advisor's answer to a friendship request.
 type Recommendation struct {
+	// Verdict is the accept/review/decline outcome.
 	Verdict Verdict
-	Reason  string
+	// Reason explains the verdict in one sentence.
+	Reason string
 }
 
 // TriageRequest recommends how to handle a friendship request:
@@ -189,6 +193,7 @@ func TriageRequest(ctx RequestContext) Recommendation {
 // Exposure quantifies how much of the owner's risky audience one
 // profile item reaches under a given audience setting.
 type Exposure struct {
+	// Item is the profile item the row describes.
 	Item profile.Item
 	// RiskyReach is the number of risky or very-risky strangers that
 	// would see the item if it were visible to friends of friends.

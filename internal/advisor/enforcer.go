@@ -10,7 +10,9 @@ import (
 
 // Decision is the outcome of an access check.
 type Decision struct {
-	Allow  bool
+	// Allow reports whether access is granted.
+	Allow bool
+	// Reason explains the decision in one sentence.
 	Reason string
 }
 

@@ -1,0 +1,161 @@
+package advisor
+
+import (
+	"fmt"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/label"
+	"sightrisk/internal/profile"
+)
+
+// ItemRiskDelta is the change in one profile item's exposure if a
+// friendship request were accepted: the policy-admitted stranger
+// audience before and after the candidate edge is added, and how much
+// of that audience the risk pipeline flagged.
+type ItemRiskDelta struct {
+	// Item is the profile item the row describes.
+	Item profile.Item
+	// MaxLabel is the policy rule for the item: the riskiest stranger
+	// label still admitted (0 = friends only).
+	MaxLabel label.Label
+	// AudienceBefore counts the labeled strangers the policy admits to
+	// the item today.
+	AudienceBefore int
+	// AudienceAfter counts the admitted strangers in the counterfactual
+	// graph with the candidate edge accepted.
+	AudienceAfter int
+	// RiskyBefore counts the admitted strangers labeled risky or very
+	// risky today (non-zero only for items whose rule admits them).
+	RiskyBefore int
+	// RiskyAfter is RiskyBefore evaluated on the counterfactual.
+	RiskyAfter int
+	// GainsAccess marks items the candidate cannot see today but would
+	// see after acceptance: friends see every item, while a stranger is
+	// admitted per item only when their label passes the policy bar.
+	GainsAccess bool
+}
+
+// RequestAssessment is the full pre-acceptance evaluation of a
+// friendship request: the triage verdict, the global before/after risk
+// reach, and a per-item exposure delta, all derived from the owner's
+// current run and the counterfactual run with the candidate edge added.
+type RequestAssessment struct {
+	// Verdict is the accept/review/decline recommendation.
+	Verdict Verdict
+	// Reason explains the verdict in one sentence.
+	Reason string
+	// Candidate is the requesting stranger.
+	Candidate graph.UserID
+	// Label is the candidate's current risk label (0 when the pipeline
+	// never scored them — e.g. a requester outside the 2-hop view).
+	Label label.Label
+	// NetworkSimilarity is NS(owner, candidate) from the current run.
+	NetworkSimilarity float64
+	// NewStrangers counts users who enter the owner's 2-hop stranger
+	// view through the accepted edge (the candidate's friends).
+	NewStrangers int
+	// LostStrangers counts users who leave the stranger view (at
+	// minimum the candidate, who becomes a friend).
+	LostStrangers int
+	// RiskyBefore counts strangers labeled risky or very risky today.
+	RiskyBefore int
+	// RiskyAfter is RiskyBefore evaluated on the counterfactual.
+	RiskyAfter int
+	// VeryRiskyBefore counts only the very-risky strangers today.
+	VeryRiskyBefore int
+	// VeryRiskyAfter is VeryRiskyBefore on the counterfactual.
+	VeryRiskyAfter int
+	// Items holds the per-item exposure deltas in the canonical
+	// profile.Items order, one row per item the policy covers.
+	Items []ItemRiskDelta
+}
+
+// riskReach tallies a label map: strangers labeled at least risky, and
+// the very-risky subset.
+func riskReach(m map[graph.UserID]label.Label) (risky, very int) {
+	for _, l := range m {
+		switch l {
+		case label.Risky:
+			risky++
+		case label.VeryRisky:
+			risky++
+			very++
+		}
+	}
+	return risky, very
+}
+
+// itemReach tallies the strangers a policy admits to one item, and the
+// at-least-risky subset of that audience.
+func itemReach(m map[graph.UserID]label.Label, p Policy, item profile.Item) (audience, risky int) {
+	for _, l := range m {
+		if !p.Allows(item, l) {
+			continue
+		}
+		audience++
+		if l >= label.Risky {
+			risky++
+		}
+	}
+	return audience, risky
+}
+
+// AssessRequest evaluates a friendship request against the
+// counterfactual run: before and after are the per-stranger label maps
+// of the owner's current run and of the run with the candidate edge
+// added (the candidate is absent from after — acceptance makes them a
+// friend). The verdict starts from TriageRequest and is escalated from
+// accept to review when the counterfactual shows the accepted edge
+// pulling new very-risky strangers into the owner's 2-hop view. Item
+// rows come out in the canonical profile.Items order, so the
+// assessment is deterministic for fixed inputs.
+func AssessRequest(ctx RequestContext, before, after map[graph.UserID]label.Label, policy Policy) RequestAssessment {
+	riskyB, veryB := riskReach(before)
+	riskyA, veryA := riskReach(after)
+
+	a := RequestAssessment{
+		Candidate:         ctx.Stranger,
+		Label:             ctx.Label,
+		NetworkSimilarity: ctx.NetworkSimilarity,
+		RiskyBefore:       riskyB,
+		RiskyAfter:        riskyA,
+		VeryRiskyBefore:   veryB,
+		VeryRiskyAfter:    veryA,
+	}
+	for s := range after {
+		if _, ok := before[s]; !ok {
+			a.NewStrangers++
+		}
+	}
+	for s := range before {
+		if _, ok := after[s]; !ok {
+			a.LostStrangers++
+		}
+	}
+
+	for _, item := range profile.Items() {
+		maxL, ok := policy.Rules[item]
+		if !ok {
+			continue
+		}
+		audB, rB := itemReach(before, policy, item)
+		audA, rA := itemReach(after, policy, item)
+		a.Items = append(a.Items, ItemRiskDelta{
+			Item:           item,
+			MaxLabel:       maxL,
+			AudienceBefore: audB,
+			AudienceAfter:  audA,
+			RiskyBefore:    rB,
+			RiskyAfter:     rA,
+			GainsAccess:    !policy.Allows(item, ctx.Label),
+		})
+	}
+
+	rec := TriageRequest(ctx)
+	if rec.Verdict == Accept && veryA > veryB {
+		rec = Recommendation{Review, fmt.Sprintf(
+			"labeled not risky, but accepting adds %d very-risky stranger(s) to your extended circle", veryA-veryB)}
+	}
+	a.Verdict, a.Reason = rec.Verdict, rec.Reason
+	return a
+}

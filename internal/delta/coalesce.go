@@ -1,0 +1,66 @@
+package delta
+
+import "fmt"
+
+// coalesceKey collapses an update to the state cell it writes: the
+// (unordered) edge for EdgeAdd/EdgeRemove, the (user, attribute) cell
+// for ProfileSet, the (owner, item) bit for VisibilitySet, and the
+// node for NodeAdd. Updates sharing a key overwrite each other, so
+// only the last one matters.
+func coalesceKey(u Update) string {
+	switch u.Kind {
+	case EdgeAdd, EdgeRemove:
+		a, b := u.A, u.B
+		if b < a {
+			a, b = b, a
+		}
+		return fmt.Sprintf("e|%d|%d", a, b)
+	case ProfileSet:
+		return fmt.Sprintf("p|%d|%s", u.A, u.Attr)
+	case VisibilitySet:
+		return fmt.Sprintf("v|%d|%s", u.A, u.Attr)
+	case NodeAdd:
+		return fmt.Sprintf("n|%d", u.A)
+	default:
+		return fmt.Sprintf("?|%s|%d|%d|%s", u.Kind, u.A, u.B, u.Attr)
+	}
+}
+
+// Coalesce merges a sequence of batches — e.g. every tick's worth of
+// crawler feed that arrived while an apply was in flight — into one
+// batch equivalent to applying them back to back. Each update is a
+// state write, not an increment, so when several updates target the
+// same cell (the same edge, the same profile attribute, the same
+// visibility bit) only the last write survives; relative order of the
+// surviving updates is preserved. Applying the coalesced batch once
+// therefore leaves the graph and store exactly as the original
+// sequence would, while costing a single generation bump and a single
+// dirty-owner invalidation.
+func Coalesce(batches []Batch) Batch {
+	n := 0
+	for _, b := range batches {
+		n += len(b)
+	}
+	if n == 0 {
+		return nil
+	}
+	last := make(map[string]int, n)
+	i := 0
+	for _, b := range batches {
+		for _, u := range b {
+			last[coalesceKey(u)] = i
+			i++
+		}
+	}
+	out := make(Batch, 0, len(last))
+	i = 0
+	for _, b := range batches {
+		for _, u := range b {
+			if last[coalesceKey(u)] == i {
+				out = append(out, u)
+			}
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package delta
+
+import (
+	"reflect"
+	"testing"
+
+	"sightrisk/internal/graph"
+	"sightrisk/internal/profile"
+)
+
+// TestCoalesceLastWriteWins: updates targeting the same state cell
+// collapse to the last write, in original relative order.
+func TestCoalesceLastWriteWins(t *testing.T) {
+	batches := []Batch{
+		{
+			{Kind: EdgeAdd, A: 1, B: 2},
+			{Kind: ProfileSet, A: 3, Attr: string(profile.AttrLocale), Value: "aa"},
+		},
+		{
+			{Kind: EdgeRemove, A: 2, B: 1}, // same unordered edge as EdgeAdd above
+			{Kind: ProfileSet, A: 3, Attr: string(profile.AttrLocale), Value: "bb"},
+			{Kind: ProfileSet, A: 3, Attr: string(profile.AttrGender), Value: "male"},
+		},
+		{
+			{Kind: VisibilitySet, A: 3, Attr: string(profile.ItemWall), Visible: true},
+			{Kind: VisibilitySet, A: 3, Attr: string(profile.ItemWall), Visible: false},
+			{Kind: NodeAdd, A: 9},
+			{Kind: NodeAdd, A: 9},
+		},
+	}
+	got := Coalesce(batches)
+	want := Batch{
+		{Kind: EdgeRemove, A: 2, B: 1},
+		{Kind: ProfileSet, A: 3, Attr: string(profile.AttrLocale), Value: "bb"},
+		{Kind: ProfileSet, A: 3, Attr: string(profile.AttrGender), Value: "male"},
+		{Kind: VisibilitySet, A: 3, Attr: string(profile.ItemWall), Visible: false},
+		{Kind: NodeAdd, A: 9},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Coalesce = %+v, want %+v", got, want)
+	}
+	if Coalesce(nil) != nil {
+		t.Fatalf("Coalesce(nil) should be nil")
+	}
+	if Coalesce([]Batch{{}, {}}) != nil {
+		t.Fatalf("Coalesce of empty batches should be nil")
+	}
+}
+
+// TestCoalesceEquivalentToSequential: applying the coalesced batch to
+// one copy of a graph/store pair leaves it identical to applying the
+// original batches back to back on another copy.
+func TestCoalesceEquivalentToSequential(t *testing.T) {
+	mk := func() (*graph.Graph, *profile.Store) {
+		g := graph.New()
+		for id := graph.UserID(1); id <= 4; id++ {
+			g.AddNode(id)
+		}
+		if err := g.AddEdge(1, 2); err != nil {
+			t.Fatal(err)
+		}
+		return g, profile.NewStore()
+	}
+	batches := []Batch{
+		{
+			{Kind: EdgeAdd, A: 2, B: 3},
+			{Kind: ProfileSet, A: 2, Attr: string(profile.AttrLocale), Value: "xx"},
+		},
+		{
+			{Kind: EdgeRemove, A: 2, B: 3},
+			{Kind: EdgeAdd, A: 3, B: 4},
+			{Kind: ProfileSet, A: 2, Attr: string(profile.AttrLocale), Value: "yy"},
+			{Kind: VisibilitySet, A: 2, Attr: string(profile.ItemPhoto), Visible: true},
+		},
+	}
+
+	gSeq, sSeq := mk()
+	for _, b := range batches {
+		if err := b.Apply(gSeq, sSeq); err != nil {
+			t.Fatalf("sequential apply: %v", err)
+		}
+	}
+	gOne, sOne := mk()
+	if err := Coalesce(batches).Apply(gOne, sOne); err != nil {
+		t.Fatalf("coalesced apply: %v", err)
+	}
+
+	for id := graph.UserID(1); id <= 4; id++ {
+		if a, b := gSeq.Friends(id), gOne.Friends(id); !reflect.DeepEqual(a, b) {
+			t.Errorf("friends of %d: sequential %v vs coalesced %v", id, a, b)
+		}
+	}
+	pSeq, pOne := sSeq.Get(2), sOne.Get(2)
+	if (pSeq == nil) != (pOne == nil) {
+		t.Fatalf("profile presence differs: %v vs %v", pSeq != nil, pOne != nil)
+	}
+	if v1, v2 := pSeq.Attr(profile.AttrLocale), pOne.Attr(profile.AttrLocale); v1 != v2 {
+		t.Errorf("locale: sequential %q vs coalesced %q", v1, v2)
+	}
+	if v1, v2 := pSeq.IsVisible(profile.ItemPhoto), pOne.IsVisible(profile.ItemPhoto); v1 != v2 {
+		t.Errorf("photo visibility: sequential %v vs coalesced %v", v1, v2)
+	}
+}

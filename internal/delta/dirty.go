@@ -33,8 +33,8 @@ func Affected(g *graph.Graph, owner graph.UserID, b Batch) bool {
 	if g == nil || len(b) == 0 {
 		return false
 	}
-	var reach map[graph.UserID]bool      // {owner} ∪ friends ∪ strangers
-	var profiled map[graph.UserID]bool   // {owner} ∪ strangers
+	var reach map[graph.UserID]bool    // {owner} ∪ friends ∪ strangers
+	var profiled map[graph.UserID]bool // {owner} ∪ strangers
 	build := func() {
 		friends := g.Friends(owner)
 		strangers := g.Strangers(owner)

@@ -196,7 +196,7 @@ func (s *Server) routeJob(w http.ResponseWriter, r *http.Request) *job {
 func (s *Server) adoptForRequest(w http.ResponseWriter, rec JobRecord) *job {
 	j, err := s.adoptJob(rec)
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "draining", err.Error(), 1)
+		writeErr(w, http.StatusServiceUnavailable, "draining", err.Error(), time.Second)
 		return nil
 	}
 	return j

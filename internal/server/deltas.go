@@ -78,7 +78,7 @@ func poolDelta(run *core.OwnerRun, pr core.PoolRun, index, total int) client.Poo
 // sees the updated graph.
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", 1)
+		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", time.Second)
 		return
 	}
 	var req client.UpdatesRequest
@@ -126,15 +126,84 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// applyUpdates applies a validated batch to the dataset: the live
+// updWaiter is one queued update request awaiting a drain: its batch,
+// a channel closed when the drain carrying it lands, and the drain's
+// shared outcome.
+type updWaiter struct {
+	batch delta.Batch
+	done  chan struct{}
+	resp  *client.UpdatesResponse
+	gen   uint64
+	err   error
+}
+
+// updQueue is one dataset's same-tick batch queue: pending holds the
+// requests that arrived while a drain was in flight, active marks a
+// drain leader at work. Guarded by Server.updMu.
+type updQueue struct {
+	active  bool
+	pending []*updWaiter
+}
+
+// applyUpdates hands a validated batch to the dataset's drain queue.
+// The first arrival becomes the drain leader: it repeatedly takes
+// everything pending — its own batch plus whatever queued while the
+// previous drain was applying — merges the batches into one
+// (delta.Coalesce) and applies that once. High-rate crawler feeds
+// therefore cost one graph mutation, one snapshot, one generation bump
+// and one dirty-owner invalidation per drain, however many requests
+// merged into it. Followers just enqueue and wait; every request
+// merged into a drain shares its response, with Merged counting the
+// requests. Returns the wire response and the dataset's new
+// generation.
+func (s *Server) applyUpdates(name string, rt *dataset.Runtime, b delta.Batch) (*client.UpdatesResponse, uint64, error) {
+	wtr := &updWaiter{batch: b, done: make(chan struct{})}
+	s.updMu.Lock()
+	q := s.updQ[name]
+	if q == nil {
+		q = &updQueue{}
+		s.updQ[name] = q
+	}
+	q.pending = append(q.pending, wtr)
+	if q.active {
+		s.updMu.Unlock()
+		<-wtr.done
+		return wtr.resp, wtr.gen, wtr.err
+	}
+	q.active = true
+	for len(q.pending) > 0 {
+		drain := q.pending
+		q.pending = nil
+		s.updMu.Unlock()
+		if s.updDrainHook != nil {
+			s.updDrainHook(name, len(drain))
+		}
+		batches := make([]delta.Batch, len(drain))
+		for i, dw := range drain {
+			batches[i] = dw.batch
+		}
+		resp, gen, err := s.applyDrain(name, rt, delta.Coalesce(batches), len(drain))
+		for _, dw := range drain {
+			dw.resp, dw.gen, dw.err = resp, gen, err
+			close(dw.done)
+		}
+		s.updMu.Lock()
+	}
+	q.active = false
+	s.updMu.Unlock()
+	return wtr.resp, wtr.gen, wtr.err
+}
+
+// applyDrain applies one coalesced drain to the dataset: the live
 // graph mutates in place (no running job reads it — they all hold the
 // previous frozen snapshot), the profile store is replaced by a
 // copy-on-write clone, and a fresh snapshot is swapped in under the
-// server mutex together with the bumped update generation. Returns the
-// wire response and the dataset's new generation.
-func (s *Server) applyUpdates(name string, rt *dataset.Runtime, b delta.Batch) (*client.UpdatesResponse, uint64, error) {
-	s.updMu.Lock()
-	defer s.updMu.Unlock()
+// server mutex together with the bumped update generation. applyMu is
+// held across the mutation so readers that need a consistent clone of
+// the live graph (/v1/advise) can quiesce it.
+func (s *Server) applyDrain(name string, rt *dataset.Runtime, b delta.Batch, merged int) (*client.UpdatesResponse, uint64, error) {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
 	s.mu.Lock()
 	store := rt.Profiles
 	s.mu.Unlock()
@@ -156,8 +225,8 @@ func (s *Server) applyUpdates(name string, rt *dataset.Runtime, b delta.Batch) (
 	s.dsGen[name]++
 	gen := s.dsGen[name]
 	s.mu.Unlock()
-	s.logf("sightd: dataset %s: applied %d updates (gen %d, %d dirty owners)", name, len(b), gen, len(dirty))
-	return &client.UpdatesResponse{Dataset: name, Applied: len(b), DirtyOwners: dirty, Node: s.nodeID}, gen, nil
+	s.logf("sightd: dataset %s: applied %d updates from %d request(s) (gen %d, %d dirty owners)", name, len(b), merged, gen, len(dirty))
+	return &client.UpdatesResponse{Dataset: name, Applied: len(b), DirtyOwners: dirty, Node: s.nodeID, Merged: merged}, gen, nil
 }
 
 // handleRevise re-estimates a finished job as a new job, reusing
@@ -174,7 +243,7 @@ func (s *Server) applyUpdates(name string, rt *dataset.Runtime, b delta.Batch) (
 //     content changed.
 func (s *Server) handleRevise(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", 1)
+		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", time.Second)
 		return
 	}
 	j := s.routeJob(w, r)
@@ -210,33 +279,37 @@ func (s *Server) handleRevise(w http.ResponseWriter, r *http.Request) {
 	}
 	prior, priorGen := j.reusable()
 	var genNow uint64
+	solo := true // our batch (if any) was the only request in its drain
 	if len(batch) > 0 {
 		if rt.Graph == nil {
 			writeErr(w, http.StatusBadRequest, "bad_request",
 				fmt.Sprintf("dataset %q is snapshot-backed and read-only; updates need a mutable dataset", j.req.Dataset), 0)
 			return
 		}
-		var err error
-		if _, genNow, err = s.applyUpdates(j.req.Dataset, rt, batch); err != nil {
+		resp, gen, err := s.applyUpdates(j.req.Dataset, rt, batch)
+		if err != nil {
 			writeErr(w, http.StatusInternalServerError, "internal", err.Error(), 0)
 			return
 		}
+		genNow, solo = gen, resp.Merged <= 1
 	} else {
 		s.mu.Lock()
 		genNow = s.dsGen[j.req.Dataset]
 		s.mu.Unlock()
 	}
 	// Owner-level fast path: the prior run is current (the only updates
-	// since it ran are this request's, if any) and the batch cannot
-	// reach the owner's 2-hop view.
+	// since it ran are this request's, if any — a drain that merged
+	// other requests' batches disqualifies, since their updates share
+	// our generation bump) and the batch cannot reach the owner's 2-hop
+	// view.
 	expectGen := priorGen
 	if len(batch) > 0 {
 		expectGen++
 	}
-	if prior != nil && !prior.Partial && genNow == expectGen && !delta.Affected(rt.Graph, j.owner, batch) {
+	if prior != nil && !prior.Partial && genNow == expectGen && solo && !delta.Affected(rt.Graph, j.owner, batch) {
 		j2 := s.allocJob(j.req)
 		if j2 == nil {
-			writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", 1)
+			writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", time.Second)
 			return
 		}
 		j2.setGen(genNow)
@@ -255,21 +328,21 @@ func (s *Server) handleRevise(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var over *fleet.OverBudgetError
 		if errors.As(err, &over) {
-			retry := int(over.RetryAfter / time.Second)
-			if retry < 1 {
-				retry = 1
+			retry := over.RetryAfter
+			if retry <= 0 {
+				retry = time.Second
 			}
 			writeErr(w, http.StatusTooManyRequests, "over_budget",
 				fmt.Sprintf("tenant %q over budget: %s", over.Tenant, over.Reason), retry)
 			return
 		}
-		writeErr(w, http.StatusServiceUnavailable, "draining", err.Error(), 1)
+		writeErr(w, http.StatusServiceUnavailable, "draining", err.Error(), time.Second)
 		return
 	}
 	j2 := s.allocJob(j.req)
 	if j2 == nil {
 		adm.Cancel()
-		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", 1)
+		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", time.Second)
 		return
 	}
 	j2.reuse = prior // set before launch; never mutated afterwards

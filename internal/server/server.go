@@ -118,13 +118,23 @@ type Server struct {
 	draining bool
 	killed   bool
 
-	// Dataset update state: updMu serializes /v1/updates batches (the
-	// swap of a runtime's snapshot/profile pointers happens under mu,
-	// so readers never block on an apply); dsGen counts applied batches
-	// per dataset — the freshness check behind revise's owner-level
-	// fast path.
-	updMu sync.Mutex
-	dsGen map[string]uint64
+	// Dataset update state: updMu guards the per-dataset coalescing
+	// queues and dsGen; applyMu is held only while a drained batch
+	// actually mutates a runtime (and by /v1/advise while it clones a
+	// quiescent graph). The swap of a runtime's snapshot/profile
+	// pointers happens under mu, so readers never block on an apply.
+	// dsGen counts applied drains per dataset — the freshness check
+	// behind revise's owner-level fast path. Batches that arrive while
+	// an apply is in flight queue up and are merged (delta.Coalesce)
+	// into the next drain: one graph mutation, one generation bump, one
+	// dirty-owner invalidation per drain, however fast the crawler feed
+	// posts. updDrainHook, when non-nil, observes each drain before it
+	// applies (tests only).
+	updMu        sync.Mutex
+	updQ         map[string]*updQueue
+	applyMu      sync.Mutex
+	dsGen        map[string]uint64
+	updDrainHook func(dataset string, merged int)
 }
 
 // New builds a server: it validates the engine defaults, stands up the
@@ -164,6 +174,7 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:      baseCtx,
 		baseCancel:   baseCancel,
 		jobs:         map[string]*job{},
+		updQ:         map[string]*updQueue{},
 		dsGen:        map[string]uint64{},
 	}
 	if s.store == nil && cfg.StateDir != "" {
@@ -224,6 +235,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/estimates/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/estimates/{id}/revise", s.handleRevise)
 	mux.HandleFunc("POST /v1/updates", s.handleUpdates)
+	mux.HandleFunc("POST /v1/advise", s.handleAdvise)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /varz", s.handleVarz)
 	return mux
@@ -262,7 +274,7 @@ func (s *Server) isDraining() bool {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", 1)
+		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", time.Second)
 		return
 	}
 	var req client.EstimateRequest
@@ -291,21 +303,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var over *fleet.OverBudgetError
 		if errors.As(err, &over) {
-			retry := int(over.RetryAfter / time.Second)
-			if retry < 1 {
-				retry = 1
+			retry := over.RetryAfter
+			if retry <= 0 {
+				retry = time.Second
 			}
 			writeErr(w, http.StatusTooManyRequests, "over_budget",
 				fmt.Sprintf("tenant %q over budget: %s", over.Tenant, over.Reason), retry)
 			return
 		}
-		writeErr(w, http.StatusServiceUnavailable, "draining", err.Error(), 1)
+		writeErr(w, http.StatusServiceUnavailable, "draining", err.Error(), time.Second)
 		return
 	}
 	j := s.allocJob(req)
 	if j == nil {
 		adm.Cancel()
-		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", 1)
+		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica", time.Second)
 		return
 	}
 	if err := s.persistJob(j); err != nil {
@@ -786,17 +798,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// writeErr writes the structured error envelope (docs/API.md), with a
-// Retry-After header when retryAfter > 0 seconds.
-func writeErr(w http.ResponseWriter, status int, code, msg string, retryAfter int) {
-	writeAPIErrRetry(w, status, &client.APIError{Code: code, Message: msg, RetryAfter: retryAfter})
+// writeErr writes the unified error envelope (docs/API.md):
+// {"error":{"code","message","retry_after_ms"}}. retryAfter > 0 adds
+// the millisecond retry hint plus a Retry-After header (whole seconds,
+// rounded up); zero means no hint. Every /v1 endpoint reports failures
+// through this one shape.
+func writeErr(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	apiErr := &client.APIError{Code: code, Message: msg}
+	if retryAfter > 0 {
+		apiErr.RetryAfterMillis = retryAfter.Milliseconds()
+		if apiErr.RetryAfterMillis == 0 {
+			apiErr.RetryAfterMillis = 1 // sub-millisecond hints still round up to a hint
+		}
+	}
+	writeAPIErr(w, status, apiErr)
 }
 
+// writeAPIErr writes an already built APIError in the unified
+// envelope, filling whichever of the two retry fields (canonical
+// milliseconds, legacy whole seconds) is missing so clients of either
+// generation see a coherent hint.
 func writeAPIErr(w http.ResponseWriter, status int, apiErr *client.APIError) {
-	writeAPIErrRetry(w, status, apiErr)
-}
-
-func writeAPIErrRetry(w http.ResponseWriter, status int, apiErr *client.APIError) {
+	if apiErr.RetryAfterMillis == 0 && apiErr.RetryAfter > 0 {
+		apiErr.RetryAfterMillis = int64(apiErr.RetryAfter) * 1000
+	}
+	if apiErr.RetryAfter == 0 && apiErr.RetryAfterMillis > 0 {
+		apiErr.RetryAfter = int((apiErr.RetryAfterMillis + 999) / 1000)
+	}
 	if apiErr.RetryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(apiErr.RetryAfter))
 	}
