@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke incremental-smoke advise-smoke race fuzz bench fleet-bench serve-bench scale-bench cluster-bench incremental-bench advise-bench
+.PHONY: tier1 build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke incremental-smoke advise-smoke stats-smoke race fuzz bench fleet-bench serve-bench scale-bench cluster-bench incremental-bench advise-bench ldp-bench
 
-tier1: build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke incremental-smoke advise-smoke
+tier1: build vet test bench-smoke audit docs serve-smoke scale-smoke cluster-smoke incremental-smoke advise-smoke stats-smoke
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,14 @@ incremental-smoke:
 advise-smoke:
 	$(GO) run ./cmd/riskbench -advise -advise-sizes 2000 -advise-out /tmp/BENCH_advise_smoke.json
 
+# LDP analytics smoke test: a short ε sweep of the /v1/stats estimator
+# stack — visibility-aware noise must beat the all-edge baseline for
+# every statistic at every ε, and repeated (tenant, dataset, epoch)
+# triples must reproduce byte-identical releases. The real sweep
+# (BENCH_ldp.json, 200 trials per cell) comes from `make ldp-bench`.
+stats-smoke:
+	$(GO) run ./cmd/riskbench -ldp -ldp-trials 40 -ldp-strangers 800 -ldp-out /tmp/BENCH_ldp_smoke.json
+
 race:
 	$(GO) test -race ./...
 
@@ -127,3 +135,10 @@ incremental-bench:
 # "Pre-acceptance advise" for methodology).
 advise-bench:
 	$(GO) run ./cmd/riskbench -advise
+
+# ε-vs-accuracy sweep for the differentially private analytics:
+# visibility-aware noise against the all-edge baseline at ε in
+# {0.5, 1, 2, 4}; writes BENCH_ldp.json (see EXPERIMENTS.md
+# "ε vs accuracy" for methodology).
+ldp-bench:
+	$(GO) run ./cmd/riskbench -ldp

@@ -360,6 +360,119 @@ type AdviseResponse struct {
 	Items []AdviseItemDelta `json:"items"`
 }
 
+// StatsRequest is the body of POST /v1/stats (GET /v1/stats carries
+// the same fields as query parameters): one privacy-preserving
+// aggregate-statistics release over a dataset, computed under
+// edge-level local differential privacy with visibility-aware noise
+// (docs/ANALYTICS.md).
+type StatsRequest struct {
+	// Dataset names the dataset to release statistics for. It is also
+	// the cluster routing key: all releases for one dataset are served
+	// by its ring owner, which keeps the ε ledger in one place.
+	Dataset string `json:"dataset"`
+	// Tenant attributes the release to a tenant's ε budget and salts
+	// the release seed. Optional; empty shares the anonymous budget.
+	Tenant string `json:"tenant,omitempty"`
+	// Epoch versions the release. The (tenant, dataset, epoch) triple
+	// seeds the noise: repeating a query with the same triple re-serves
+	// the identical bytes and costs no budget, while a new epoch draws
+	// fresh noise and is charged. Defaults to 0.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Epsilon is the per-mechanism privacy budget. One release invokes
+	// six mechanisms, so it debits 6·Epsilon from the tenant's ledger.
+	// Defaults to 1.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Noise selects the regime: "visibility_aware" (default — public
+	// edges exact, private edges noised) or "all_edge" (every report
+	// noised; the strictly less accurate baseline, kept for
+	// comparison). Exact statistics are never served.
+	Noise string `json:"noise,omitempty"`
+}
+
+// StatsEstimate is one scalar statistic in a stats release.
+type StatsEstimate struct {
+	// Value is the unbiased estimate (un-clamped: noise may push it
+	// below zero or past structural bounds).
+	Value float64 `json:"value"`
+	// SE is the analytic standard error of the mechanism's noise.
+	SE float64 `json:"se"`
+	// NoisedUsers counts the users whose reports were randomized.
+	NoisedUsers int `json:"noised_users"`
+}
+
+// StatsBucket is one degree-histogram cell of a stats release.
+type StatsBucket struct {
+	// Label names the degree range, e.g. "4-7".
+	Label string `json:"label"`
+	// Count is the estimated number of users in the range.
+	Count float64 `json:"count"`
+}
+
+// StatsItemRate is one benefit item's estimated visibility rate — the
+// paper's Table IV/V statistic under LDP.
+type StatsItemRate struct {
+	// Item is the benefit item name ("wall", "photo", "friend", ...).
+	Item string `json:"item"`
+	// Rate is the estimated fraction of profiled users with the item
+	// visible to non-friends.
+	Rate float64 `json:"rate"`
+	// SE is the standard error of the rate.
+	SE float64 `json:"se"`
+}
+
+// StatsResponse is the body of a successful /v1/stats call. For a
+// fixed (tenant, dataset, epoch, epsilon, noise) request at an
+// unchanged dataset generation the body is byte-identical on every
+// call and on every replica — the release is deterministic, so
+// repeats re-serve the same noise instead of leaking more. Budget
+// state is deliberately not in the body (it would break that
+// identity); read it from /varz ("sightd_ldp").
+type StatsResponse struct {
+	// Dataset echoes the released dataset.
+	Dataset string `json:"dataset"`
+	// Tenant echoes the charged tenant ("" = anonymous).
+	Tenant string `json:"tenant,omitempty"`
+	// Epoch echoes the release epoch.
+	Epoch uint64 `json:"epoch"`
+	// Generation is the dataset's update generation at release time.
+	// Applied update batches bump it; a bump refreshes the ε ledger and
+	// changes the release (same epoch, new data, new exact parts).
+	Generation uint64 `json:"generation"`
+	// Noise is the regime the release was computed under.
+	Noise string `json:"noise"`
+	// Epsilon is the per-mechanism budget used.
+	Epsilon float64 `json:"epsilon"`
+	// Nodes is the graph's node count (public metadata).
+	Nodes int `json:"nodes"`
+	// Profiles is the number of users carrying a profile.
+	Profiles int `json:"profiles"`
+	// PublicUsers counts users whose friend list is visible to
+	// non-friends (visibility policies are public metadata).
+	PublicUsers int `json:"public_users"`
+	// PublicEdges is the exact public-edge count.
+	PublicEdges int `json:"public_edges"`
+	// DegreeCap is the sensitivity cap used by the star mechanisms.
+	DegreeCap int `json:"degree_cap"`
+	// TriangleCap is the sensitivity cap of the triangle mechanism.
+	TriangleCap int `json:"triangle_cap"`
+	// EdgeCount estimates the undirected edge count.
+	EdgeCount StatsEstimate `json:"edge_count"`
+	// Triangles estimates the triangle count.
+	Triangles StatsEstimate `json:"triangles"`
+	// TwoStars estimates the 2-star (length-2 path) count.
+	TwoStars StatsEstimate `json:"two_stars"`
+	// ThreeStars estimates the 3-star (claw) count.
+	ThreeStars StatsEstimate `json:"three_stars"`
+	// DegreeHist estimates the degree distribution over fixed
+	// log-scale buckets.
+	DegreeHist []StatsBucket `json:"degree_hist"`
+	// DegreeHistSE is the per-bucket worst-case standard error of the
+	// histogram.
+	DegreeHistSE float64 `json:"degree_hist_se"`
+	// Visibility estimates the per-item visibility rates.
+	Visibility []StatsItemRate `json:"visibility"`
+}
+
 // PoolDelta is one line of the NDJSON stream served by
 // GET /v1/estimates/{id}/stream: a per-pool report delta, emitted as
 // each pool's result becomes final. The terminal line has Done set

@@ -58,6 +58,14 @@ type AdviseOptions struct {
 	Timeout time.Duration
 }
 
+// StatsOptions groups the knobs of the synchronous stats call.
+type StatsOptions struct {
+	// Timeout bounds one Stats call (the first release for a dataset
+	// generation builds the estimator, which enumerates triangles);
+	// zero leaves the caller's context in charge.
+	Timeout time.Duration
+}
+
 // Options groups every client knob into per-concern sub-structs,
 // mirroring the library's sight.Options shape.
 type Options struct {
@@ -67,6 +75,8 @@ type Options struct {
 	Retry RetryOptions
 	// Advise holds the advise-call knobs.
 	Advise AdviseOptions
+	// Stats holds the stats-call knobs.
+	Stats StatsOptions
 }
 
 // Client is a typed HTTP client for a sightd server. The zero value is
@@ -449,6 +459,26 @@ func (c *Client) Advise(ctx context.Context, req *AdviseRequest) (*AdviseRespons
 		return nil, err
 	}
 	return &ar, nil
+}
+
+// Stats requests one privacy-preserving statistics release
+// (POST /v1/stats): aggregate graph and visibility statistics under
+// edge-level local differential privacy with visibility-aware noise
+// (docs/ANALYTICS.md). Repeating a call with the same (tenant,
+// dataset, epoch) returns byte-identical bytes and spends no extra
+// budget; a new epoch draws fresh noise and debits the tenant ledger
+// (6·epsilon per release, 429 with a retry hint when exhausted).
+func (c *Client) Stats(ctx context.Context, req *StatsRequest) (*StatsResponse, error) {
+	if t := c.Options.Stats.Timeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	var sr StatsResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/stats", req, &sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
 }
 
 // StreamDeltas consumes the job's NDJSON per-pool delta stream

@@ -303,6 +303,22 @@ func (cl *Cluster) Advise(ctx context.Context, req *AdviseRequest) (*AdviseRespo
 	return ar, err
 }
 
+// Stats requests a privacy-preserving statistics release on any live
+// replica; the receiving node forwards it to the dataset's ring owner,
+// which holds the dataset's ε ledger. The release is deterministic for
+// a fixed (tenant, dataset, epoch), so a retried call is safe and
+// returns the same bytes whichever replica ends up answering. See
+// Client.Stats.
+func (cl *Cluster) Stats(ctx context.Context, req *StatsRequest) (*StatsResponse, error) {
+	var sr *StatsResponse
+	err := cl.try(ctx, "", func(c *Client) error {
+		var err error
+		sr, err = c.Stats(ctx, req)
+		return err
+	})
+	return sr, err
+}
+
 // Health fetches every replica's health summary, keyed by node id.
 // Unreachable replicas map to a nil entry instead of failing the call —
 // that is the "dead vs draining" distinction a balancer needs.

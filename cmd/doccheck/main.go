@@ -25,7 +25,7 @@ import (
 // plus the serving stack they are built on.
 var defaultDirs = []string{
 	".", "./client",
-	"./internal/advisor", "./internal/delta",
+	"./internal/advisor", "./internal/delta", "./internal/ldp",
 	"./internal/fleet", "./internal/server", "./internal/obs", "./internal/dataset",
 	"./internal/graph", "./internal/graph/snapfile", "./internal/synthetic",
 	"./internal/place",

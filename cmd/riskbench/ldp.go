@@ -1,0 +1,245 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sightrisk/internal/ldp"
+	"sightrisk/internal/profile"
+)
+
+// ldpRow is one (epsilon, statistic) cell of the ε-vs-accuracy sweep:
+// RMS relative error of the visibility-aware release against the
+// all-edge baseline, both measured over the same trial epochs with
+// common random numbers (the shared private users draw identical
+// noise in both modes, so the comparison is paired, not two
+// independent Monte Carlo estimates).
+type ldpRow struct {
+	Epsilon     float64 `json:"epsilon"`
+	Stat        string  `json:"stat"`
+	VARelErr    float64 `json:"visibility_aware_rel_err"`
+	AllRelErr   float64 `json:"all_edge_rel_err"`
+	Improvement float64 `json:"improvement"` // all_edge / visibility_aware
+}
+
+// ldpBench is the BENCH_ldp.json document.
+type ldpBench struct {
+	GeneratedAt string   `json:"generated_at"`
+	Seed        int64    `json:"seed"`
+	Trials      int      `json:"trials"`
+	Strangers   int      `json:"strangers"`
+	Nodes       int      `json:"nodes"`
+	PublicUsers int      `json:"public_users"`
+	PublicEdges int      `json:"public_edges"`
+	Edges       int64    `json:"edges"`
+	Rows        []ldpRow `json:"rows"`
+}
+
+// ldpStatNames fixes the statistic order of the sweep table.
+var ldpStatNames = []string{"edge_count", "triangles", "2stars", "3stars", "degree_hist", "visibility"}
+
+// ldpErrors maps one release to per-statistic relative errors against
+// the exact truth: |estimate-truth|/truth for the scalar counts, L1
+// distance over the degree histogram normalised by the node count, and
+// mean absolute error over the per-item visibility rates.
+func ldpErrors(exact, r *ldp.Report, nodes int) map[string]float64 {
+	rel := func(e, x ldp.Estimate) float64 {
+		if x.Value == 0 {
+			return math.Abs(e.Value)
+		}
+		return math.Abs(e.Value-x.Value) / x.Value
+	}
+	histL1 := 0.0
+	for i := range r.DegreeHist {
+		histL1 += math.Abs(r.DegreeHist[i].Count - exact.DegreeHist[i].Count)
+	}
+	visMAE := 0.0
+	for i := range r.Visibility {
+		visMAE += math.Abs(r.Visibility[i].Rate - exact.Visibility[i].Rate)
+	}
+	visMAE /= float64(len(profile.Items()))
+	return map[string]float64{
+		"edge_count":  rel(r.EdgeCount, exact.EdgeCount),
+		"triangles":   rel(r.Triangles, exact.Triangles),
+		"2stars":      rel(r.TwoStars, exact.TwoStars),
+		"3stars":      rel(r.ThreeStars, exact.ThreeStars),
+		"degree_hist": histL1 / float64(nodes),
+		"visibility":  visMAE,
+	}
+}
+
+// ldpReportBytes renders one release as canonical JSON — the
+// reproducibility probe: two computations that would serve different
+// /v1/stats bodies produce different bytes here.
+func ldpReportBytes(e *ldp.Estimator, p ldp.Params, seed ldp.Seed) ([]byte, error) {
+	r, err := e.Report(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(r)
+}
+
+// runLDPBench is -ldp mode: on one synthetic population with the
+// generator's realistic visibility mix it sweeps ε over -ldp-eps and,
+// per ε, measures the RMS relative error of every released statistic
+// over -ldp-trials noise epochs — visibility-aware noise against the
+// all-edge baseline. The sweep must show visibility-aware strictly
+// more accurate for every statistic at every ε (non-zero exit
+// otherwise), and the same (tenant, dataset, epoch) triple must
+// reproduce byte-identical releases. The table goes to stdout and to
+// outPath.
+func runLDPBench(epsSpec string, trials, strangers int, seed int64, outPath string) error {
+	var epsilons []float64
+	for _, s := range strings.Split(epsSpec, ",") {
+		e, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || e <= 0 {
+			return fmt.Errorf("bad -ldp-eps entry %q", s)
+		}
+		epsilons = append(epsilons, e)
+	}
+	if trials < 10 {
+		return fmt.Errorf("-ldp-trials %d is too few for a stable RMS estimate", trials)
+	}
+
+	study, _, err := incrStudy(strangers, seed)
+	if err != nil {
+		return fmt.Errorf("generate %d: %w", strangers, err)
+	}
+	est := ldp.NewEstimator(study.Graph.Snapshot(), study.Profiles)
+	if est.PublicUsers() == 0 || est.PublicUsers() == est.Nodes() {
+		return fmt.Errorf("population has no visibility mix (%d/%d public); the sweep would be vacuous",
+			est.PublicUsers(), est.Nodes())
+	}
+	exact := est.Exact()
+
+	// Reproducibility leg: the same triple serves identical bytes, a
+	// fresh epoch draws fresh noise.
+	p1 := ldp.Params{Epsilon: 1, Mode: ldp.ModeVisibilityAware}
+	a, err := ldpReportBytes(est, p1, ldp.SeedFor("bench", "ldp", 1))
+	if err != nil {
+		return err
+	}
+	b, err := ldpReportBytes(est, p1, ldp.SeedFor("bench", "ldp", 1))
+	if err != nil {
+		return err
+	}
+	c, err := ldpReportBytes(est, p1, ldp.SeedFor("bench", "ldp", 2))
+	if err != nil {
+		return err
+	}
+	if string(a) != string(b) {
+		return fmt.Errorf("reproducibility: identical (tenant, dataset, epoch) produced different releases")
+	}
+	if string(a) == string(c) {
+		return fmt.Errorf("reproducibility: a fresh epoch reproduced the previous noise")
+	}
+
+	bench := ldpBench{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        seed,
+		Trials:      trials,
+		Strangers:   strangers,
+		Nodes:       est.Nodes(),
+		PublicUsers: est.PublicUsers(),
+		PublicEdges: est.PublicEdges(),
+		Edges:       int64(exact.EdgeCount.Value),
+	}
+	fmt.Printf("riskbench: ldp sweep eps=%v trials=%d strangers=%d nodes=%d public=%d (%d public / %d total friendships)\n",
+		epsilons, trials, strangers, bench.Nodes, bench.PublicUsers, bench.PublicEdges, bench.Edges)
+	fmt.Printf("%8s %-12s %18s %14s %8s\n", "epsilon", "stat", "visibility-aware", "all-edge", "gain")
+
+	for _, eps := range epsilons {
+		rms := map[ldp.Mode]map[string]float64{ldp.ModeVisibilityAware: {}, ldp.ModeAllEdge: {}}
+		for mode, acc := range rms {
+			for k := 0; k < trials; k++ {
+				r, err := est.Report(ldp.Params{Epsilon: eps, Mode: mode}, ldp.SeedFor("bench", "ldp", uint64(k)))
+				if err != nil {
+					return err
+				}
+				for stat, e := range ldpErrors(exact, r, bench.Nodes) {
+					acc[stat] += e * e
+				}
+			}
+			for stat := range acc {
+				acc[stat] = math.Sqrt(acc[stat] / float64(trials))
+			}
+		}
+		for _, stat := range ldpStatNames {
+			va, all := rms[ldp.ModeVisibilityAware][stat], rms[ldp.ModeAllEdge][stat]
+			row := ldpRow{Epsilon: eps, Stat: stat, VARelErr: va, AllRelErr: all}
+			if va > 0 {
+				row.Improvement = all / va
+			}
+			fmt.Printf("%8g %-12s %17.4f%% %13.4f%% %7.2fx\n", eps, stat, 100*va, 100*all, row.Improvement)
+			bench.Rows = append(bench.Rows, row)
+			if va >= all {
+				return fmt.Errorf("ldp sweep at eps=%g: visibility-aware %s error %.6f is not below the all-edge baseline %.6f",
+					eps, stat, va, all)
+			}
+		}
+	}
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bench); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("riskbench: wrote %s (%d rows)\n", outPath, len(bench.Rows))
+	return nil
+}
+
+// auditLDP is the ldp leg of -audit mode: a small population, and per
+// parameter set two independent release computations byte-compared
+// (same seed must reproduce, the next epoch must not). Returns the
+// number of releases checked and a divergence description ("" on
+// pass).
+func auditLDP(seed int64) (int, string, error) {
+	study, _, err := incrStudy(300, seed)
+	if err != nil {
+		return 0, "", err
+	}
+	est := ldp.NewEstimator(study.Graph.Snapshot(), study.Profiles)
+	releases := 0
+	for _, p := range []ldp.Params{
+		{Epsilon: 0.5, Mode: ldp.ModeVisibilityAware},
+		{Epsilon: 1, Mode: ldp.ModeVisibilityAware},
+		{Epsilon: 2, Mode: ldp.ModeAllEdge},
+	} {
+		for epoch := uint64(0); epoch < 3; epoch++ {
+			s := ldp.SeedFor("audit", "ldp", epoch)
+			a, err := ldpReportBytes(est, p, s)
+			if err != nil {
+				return releases, "", err
+			}
+			b, err := ldpReportBytes(est, p, s)
+			if err != nil {
+				return releases, "", err
+			}
+			if string(a) != string(b) {
+				return releases, fmt.Sprintf("eps=%g mode=%s epoch=%d: repeated release is not byte-identical", p.Epsilon, p.Mode, epoch), nil
+			}
+			next, err := ldpReportBytes(est, p, ldp.SeedFor("audit", "ldp", epoch+100))
+			if err != nil {
+				return releases, "", err
+			}
+			if string(a) == string(next) {
+				return releases, fmt.Sprintf("eps=%g mode=%s epoch=%d: a different epoch reproduced the same noise", p.Epsilon, p.Mode, epoch), nil
+			}
+			releases++
+		}
+	}
+	return releases, "", nil
+}

@@ -46,6 +46,16 @@
 // full recompute (non-zero exit otherwise); the speedup table goes to
 // BENCH_advise.json.
 //
+// With -ldp it benchmarks the differentially private analytics behind
+// GET/POST /v1/stats (internal/ldp): on one synthetic population it
+// sweeps ε over -ldp-eps and measures, per ε and per released
+// statistic, the RMS relative error of the visibility-aware release
+// against the all-edge baseline over -ldp-trials noise epochs —
+// asserting visibility-aware strictly more accurate for every
+// statistic at every ε and that repeated (tenant, dataset, epoch)
+// triples reproduce byte-identical releases (non-zero exit otherwise).
+// The sweep goes to BENCH_ldp.json.
+//
 // With -scale sweep the command runs the million-node scale curve
 // instead: per -scale-sizes population it generates a
 // SNAP-Facebook-like graph straight into CSR, packs it into a
@@ -118,7 +128,20 @@ func main() {
 	advise := flag.Bool("advise", false, "advise mode: per network size, evaluate one pre-acceptance friendship request by full counterfactual recompute and by delta.Revise, asserting byte-identity and the >=10x speedup at 10^4 strangers; writes the table to -advise-out (skips the experiment steps)")
 	adviseSizes := flag.String("advise-sizes", "2000,10000", "advise mode: comma-separated stranger counts for the owner's network")
 	adviseOut := flag.String("advise-out", "BENCH_advise.json", "advise mode: where to write the speedup JSON")
+	ldpMode := flag.Bool("ldp", false, "ldp mode: sweep ε over -ldp-eps and measure the RMS relative error of every /v1/stats statistic under visibility-aware noise against the all-edge baseline, asserting visibility-aware strictly more accurate everywhere plus seeded reproducibility; writes the sweep to -ldp-out (skips the experiment steps)")
+	ldpEps := flag.String("ldp-eps", "0.5,1,2,4", "ldp mode: comma-separated ε values for the accuracy sweep")
+	ldpTrials := flag.Int("ldp-trials", 200, "ldp mode: noise epochs per (ε, mode) cell of the sweep")
+	ldpStrangers := flag.Int("ldp-strangers", 2000, "ldp mode: strangers in the synthetic population")
+	ldpOut := flag.String("ldp-out", "BENCH_ldp.json", "ldp mode: where to write the ε-vs-accuracy JSON")
 	flag.Parse()
+
+	if *ldpMode {
+		if err := runLDPBench(*ldpEps, *ldpTrials, *ldpStrangers, *seed, *ldpOut); err != nil {
+			fmt.Fprintln(os.Stderr, "riskbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *advise {
 		if err := runAdviseBench(*adviseSizes, *seed, parallel.ResolveWorkers(*workers), *adviseOut); err != nil {
@@ -435,10 +458,25 @@ func runAudit(seed int64, workers int) error {
 			fmt.Println("  " + line)
 		}
 	}
+	lReleases, lDetail, err := auditLDP(seed)
+	if err != nil {
+		return fmt.Errorf("ldp audit: %w", err)
+	}
+	status = "PASS"
+	if lDetail != "" {
+		status = "DIVERGED"
+		diverged = true
+	}
+	fmt.Printf("audit %-12s %-8s (%d releases checked, repeated seeds vs fresh epochs)\n", "ldp", status, lReleases)
+	if lDetail != "" {
+		for _, line := range strings.Split(lDetail, "\n") {
+			fmt.Println("  " + line)
+		}
+	}
 	if diverged {
 		return fmt.Errorf("determinism audit failed")
 	}
-	fmt.Println("determinism audit passed: both runs of every topology were bit-identical, mmap-backed estimates matched in-memory ones bit for bit, the post-failover cluster report matched the single-node run byte for byte, incremental revisions matched full recomputes at every worker count, and the advise counterfactual matched its full recompute byte for byte at every worker count")
+	fmt.Println("determinism audit passed: both runs of every topology were bit-identical, mmap-backed estimates matched in-memory ones bit for bit, the post-failover cluster report matched the single-node run byte for byte, incremental revisions matched full recomputes at every worker count, the advise counterfactual matched its full recompute byte for byte at every worker count, and repeated differentially private releases reproduced byte for byte while fresh epochs drew fresh noise")
 	return nil
 }
 

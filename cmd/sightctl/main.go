@@ -61,6 +61,15 @@
 //	    decline verdict with the before/after risk reach and, with -v,
 //	    the per-item exposure table.
 //
+//	sightctl stats -server URL -dataset NAME [-tenant T] [-epoch N] [-epsilon E] [-noise visibility_aware|all_edge]
+//	    Fetch one privacy-preserving statistics release for a dataset:
+//	    edge count, degree histogram, triangle and k-star counts and
+//	    per-item visibility rates under edge-level local differential
+//	    privacy with visibility-aware noise (docs/ANALYTICS.md). The
+//	    noise is seeded by (tenant, dataset, epoch): repeating the same
+//	    query re-serves identical numbers without spending more of the
+//	    tenant's ε budget, while a new epoch buys a fresh draw.
+//
 //	sightctl cluster -server n1=URL,n2=URL,...
 //	    Print per-replica health for a multi-node sightd cluster: node
 //	    id, readiness, ring version, shard ownership and each node's
@@ -127,6 +136,8 @@ func main() {
 		err = cmdUpdates(os.Args[2:])
 	case "advise":
 		err = cmdAdvise(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
 	case "cluster":
 		err = cmdCluster(os.Args[2:])
 	case "-h", "--help", "help":
@@ -155,6 +166,7 @@ commands:
   export     write an owner's neighborhood as Graphviz DOT, colored by risk label
   updates    apply a graph/profile delta batch to a sightd dataset, optionally revising an estimate
   advise     evaluate a pending friendship request against the counterfactual graph on a sightd server
+  stats      fetch a differentially private statistics release for a dataset from a sightd server
   cluster    print per-replica health for a multi-node sightd cluster
 `)
 }
@@ -830,6 +842,68 @@ func cmdAdvise(args []string) error {
 			fmt.Printf("    %-10s max_label=%d audience %d -> %d risky %d -> %d%s\n",
 				it.Item, it.MaxLabel, it.AudienceBefore, it.AudienceAfter, it.RiskyBefore, it.RiskyAfter, access)
 		}
+	}
+	return nil
+}
+
+// statsAPI is the slice of the client surface cmdStats needs — both
+// *client.Client and *client.Cluster implement it.
+type statsAPI interface {
+	Stats(ctx context.Context, req *client.StatsRequest) (*client.StatsResponse, error)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	serverURL := fs.String("server", "", "sightd base URL or comma-separated replica list (URLs or id=url); the request routes to the replica owning the dataset's ε ledger")
+	dsName := fs.String("dataset", "", "dataset name on the server (required)")
+	tenant := fs.String("tenant", "", "tenant the release is charged to")
+	epoch := fs.Uint64("epoch", 0, "noise epoch: repeating an epoch re-serves identical numbers for free, a new epoch buys a fresh draw")
+	epsilon := fs.Float64("epsilon", 0, "per-mechanism privacy budget ε (0 = server default of 1); one release charges 6ε")
+	noise := fs.String("noise", "", "noise mode: visibility_aware (default) or all_edge")
+	fs.Parse(args)
+
+	if *serverURL == "" || *dsName == "" {
+		return fmt.Errorf("stats needs -server and -dataset")
+	}
+	api, err := dialServers(*serverURL)
+	if err != nil {
+		return err
+	}
+	st, ok := api.(statsAPI)
+	if !ok {
+		return fmt.Errorf("internal: %T does not implement stats", api)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	resp, err := st.Stats(ctx, &client.StatsRequest{
+		Dataset: *dsName,
+		Tenant:  *tenant,
+		Epoch:   *epoch,
+		Epsilon: *epsilon,
+		Noise:   *noise,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s generation %d: %s release at epsilon=%g (epoch %d, tenant %q)\n",
+		resp.Dataset, resp.Generation, resp.Noise, resp.Epsilon, resp.Epoch, resp.Tenant)
+	fmt.Printf("  population   %d users, %d with profiles, %d public (%d public friendships exact)\n",
+		resp.Nodes, resp.Profiles, resp.PublicUsers, resp.PublicEdges)
+	fmt.Printf("  sensitivity  degree cap %d, triangle cap %d\n", resp.DegreeCap, resp.TriangleCap)
+	printStatsEstimate := func(name string, e client.StatsEstimate) {
+		fmt.Printf("  %-12s %14.1f  (se %.1f, %d users noised)\n", name, e.Value, e.SE, e.NoisedUsers)
+	}
+	printStatsEstimate("friendships", resp.EdgeCount)
+	printStatsEstimate("triangles", resp.Triangles)
+	printStatsEstimate("2-stars", resp.TwoStars)
+	printStatsEstimate("3-stars", resp.ThreeStars)
+	fmt.Printf("  degree histogram (se %.1f per bucket):\n", resp.DegreeHistSE)
+	for _, b := range resp.DegreeHist {
+		fmt.Printf("    %-8s %12.1f\n", b.Label, b.Count)
+	}
+	fmt.Println("  visibility rates (share of profiled users exposing each item):")
+	for _, ir := range resp.Visibility {
+		fmt.Printf("    %-10s %s  (se %.3f)\n", ir.Item, stats.Pct(ir.Rate), ir.SE)
 	}
 	return nil
 }

@@ -21,6 +21,10 @@
 //	POST   /v1/estimates/{id}/answers   post owner answers
 //	GET    /v1/estimates/{id}/trace     JSONL run trace (internal/obs events)
 //	DELETE /v1/estimates/{id}           cancel (degrades to a partial report)
+//	POST   /v1/updates                  ingest a graph delta batch
+//	POST   /v1/estimates/{id}/revise    revise a report against applied deltas
+//	POST   /v1/advise                   pre-acceptance friendship-request risk
+//	GET    /v1/stats                    differentially private tenant analytics (POST for inline ε/noise params)
 //	GET    /healthz                     liveness + drain state + job counts
 //	GET    /varz                        expvar dump + pipeline metrics + scheduler stats
 //
@@ -157,6 +161,7 @@ func run() error {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
 		nodeID       = flag.String("node", "", "cluster mode: this replica's cluster-unique id (requires -peer entries including self and a shared -state)")
 		probe        = flag.Duration("probe", 2*time.Second, "cluster mode: peer health-probe interval (0 disables probing; deaths are then learned from failed forwards only)")
+		statsBudget  = flag.Float64("stats-budget", 0, "per-(tenant, dataset) ε capacity for /v1/stats releases (0 = default; see docs/ANALYTICS.md)")
 	)
 	flag.Var(datasets, "dataset", "preloaded dataset as name=path (repeatable)")
 	flag.Var(limits, "limit", "tenant admission limits as tenant=maxActive:maxQueries (repeatable, 0 = unlimited)")
@@ -206,6 +211,7 @@ func run() error {
 		Limits:        limits,
 		Cluster:       cluster,
 		ProbeInterval: *probe,
+		StatsBudget:   *statsBudget,
 	})
 	if err != nil {
 		return err

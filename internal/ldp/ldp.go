@@ -1,0 +1,139 @@
+// Package ldp estimates aggregate graph and visibility statistics
+// under edge-level local differential privacy (edge-LDP) with
+// visibility-aware noise.
+//
+// The paper's core observation is that privacy risk flows through
+// visibility: what a stranger can see of a user's neighborhood is
+// exactly what that user chose to expose. The same observation powers
+// the estimators here. Every user is classified as *public* (their
+// friend list is visible to non-friends, i.e. the "friend" benefit
+// item of profile.Item is visible) or *private*. An edge is public
+// when either endpoint is public — one exposed friend list suffices
+// for a non-friend to observe the edge — and private only when both
+// endpoints hide their lists.
+//
+// Public edges carry no secret, so their contribution to any statistic
+// is reported exactly. Only the private remainder is protected by an
+// ε-LDP mechanism (Laplace noise on counts, randomized response on
+// categorical reports). Users whose local view contains no private
+// contribution report exactly and consume no noise at all. The
+// resulting estimators are unbiased with strictly smaller variance
+// than the conventional all-edge baseline, which noises every user's
+// report regardless of visibility; package riskbench's -ldp mode
+// measures the gap across ε.
+//
+// Five statistic families are estimated, mirroring the aggregate
+// tables of the source paper: edge count, degree distribution
+// (log-scale histogram), triangle count, k-star counts (k = 2, 3) and
+// the per-item visibility rates of Tables IV/V.
+//
+// All randomness is drawn from deterministic counter-based streams
+// keyed by (seed, statistic, user). Given the same Seed — derived from
+// (tenant, dataset, epoch) via SeedFor — a Report is bit-for-bit
+// reproducible, so repeated queries re-serve the *same* noisy release
+// instead of drawing fresh noise. That is what makes repeated queries
+// free under sequential composition: no new randomness, no new
+// leakage, no extra ε spent (see docs/ANALYTICS.md).
+package ldp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Mode selects which noise regime a Report is computed under.
+type Mode string
+
+// The supported noise regimes.
+const (
+	// ModeVisibilityAware reports public contributions exactly and
+	// noises only private ones — the package's reason to exist.
+	ModeVisibilityAware Mode = "visibility_aware"
+	// ModeAllEdge is the conventional edge-LDP baseline: every user
+	// noises their full local view, visible or not. It satisfies the
+	// same ε-LDP guarantee with strictly more variance; it exists for
+	// the benchmark comparison.
+	ModeAllEdge Mode = "all_edge"
+	// ModeExact computes the true statistics with no noise. Library
+	// only: the server never serves it, since exact private counts are
+	// precisely what the mechanism exists to protect.
+	ModeExact Mode = "exact"
+)
+
+// ParseMode maps a wire string to a Mode. The empty string selects
+// ModeVisibilityAware. ModeExact is deliberately not parseable from
+// the wire; it is reachable only by constructing Params directly.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", string(ModeVisibilityAware):
+		return ModeVisibilityAware, nil
+	case string(ModeAllEdge):
+		return ModeAllEdge, nil
+	default:
+		return "", fmt.Errorf("ldp: unknown noise mode %q (want %q or %q)",
+			s, ModeVisibilityAware, ModeAllEdge)
+	}
+}
+
+// Mechanisms is the number of independent ε-LDP mechanisms one full
+// Report invokes: edge count, degree histogram, triangles, 2-stars,
+// 3-stars and the visibility-rate report. Under sequential composition
+// a Report at per-mechanism budget ε therefore costs Mechanisms·ε of a
+// tenant's total budget (see the server's ledger).
+const Mechanisms = 6
+
+// Params configures one Report.
+type Params struct {
+	// Epsilon is the per-mechanism privacy budget. Required (finite,
+	// > 0) for the noised modes; ignored by ModeExact.
+	Epsilon float64
+	// Mode selects the noise regime. Empty means ModeVisibilityAware.
+	Mode Mode
+}
+
+// Validate reports the first problem with the parameters, or nil.
+func (p Params) Validate() error {
+	switch p.Mode {
+	case ModeExact:
+		return nil
+	case "", ModeVisibilityAware, ModeAllEdge:
+		if math.IsNaN(p.Epsilon) || math.IsInf(p.Epsilon, 0) || p.Epsilon <= 0 {
+			return fmt.Errorf("ldp: epsilon must be a finite positive number, got %v", p.Epsilon)
+		}
+		return nil
+	default:
+		return fmt.Errorf("ldp: unknown mode %q", p.Mode)
+	}
+}
+
+// mode returns the effective mode with the empty-string default
+// applied.
+func (p Params) mode() Mode {
+	if p.Mode == "" {
+		return ModeVisibilityAware
+	}
+	return p.Mode
+}
+
+// Seed keys every noise stream of one Report. Equal seeds yield
+// bit-identical reports; distinct seeds yield independent noise.
+type Seed uint64
+
+// SeedFor derives the canonical release seed for a (tenant, dataset,
+// epoch) triple: FNV-1a over the NUL-separated tenant and dataset
+// names followed by the big-endian epoch. The same triple always maps
+// to the same seed — the property the server's free-replay rule and
+// the reproducibility audit both rest on.
+func SeedFor(tenant, dataset string, epoch uint64) Seed {
+	h := fnv.New64a()
+	h.Write([]byte(tenant))
+	h.Write([]byte{0})
+	h.Write([]byte(dataset))
+	h.Write([]byte{0})
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], epoch)
+	h.Write(e[:])
+	return Seed(h.Sum64())
+}

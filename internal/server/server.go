@@ -84,6 +84,11 @@ type Config struct {
 	ProbeInterval time.Duration
 	// Limits holds per-tenant admission limits, applied at startup.
 	Limits map[string]fleet.TenantLimits
+	// StatsBudget caps the ε a (tenant, dataset) pair may spend on
+	// /v1/stats releases within one dataset generation; <= 0 selects
+	// DefaultStatsBudget. See docs/ANALYTICS.md for the accounting
+	// rules.
+	StatsBudget float64
 	// Metrics accumulates pipeline counters across all jobs and feeds
 	// /varz; a private one is created when nil.
 	Metrics *obs.Metrics
@@ -135,6 +140,14 @@ type Server struct {
 	applyMu      sync.Mutex
 	dsGen        map[string]uint64
 	updDrainHook func(dataset string, merged int)
+
+	// LDP analytics state (stats.go): per-dataset estimator cache keyed
+	// by update generation and the per-(tenant, dataset) ε ledgers.
+	// statsBudget is immutable after New.
+	ldpMu       sync.Mutex
+	ldpEst      map[string]*ldpEntry
+	ldpLedgers  map[string]*ldpLedger
+	statsBudget float64
 }
 
 // New builds a server: it validates the engine defaults, stands up the
@@ -176,6 +189,12 @@ func New(cfg Config) (*Server, error) {
 		jobs:         map[string]*job{},
 		updQ:         map[string]*updQueue{},
 		dsGen:        map[string]uint64{},
+		ldpEst:       map[string]*ldpEntry{},
+		ldpLedgers:   map[string]*ldpLedger{},
+		statsBudget:  cfg.StatsBudget,
+	}
+	if s.statsBudget <= 0 {
+		s.statsBudget = DefaultStatsBudget
 	}
 	if s.store == nil && cfg.StateDir != "" {
 		st, err := NewDirStore(cfg.StateDir)
@@ -236,6 +255,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/estimates/{id}/revise", s.handleRevise)
 	mux.HandleFunc("POST /v1/updates", s.handleUpdates)
 	mux.HandleFunc("POST /v1/advise", s.handleAdvise)
+	mux.HandleFunc("GET /v1/stats", s.handleStatsGet)
+	mux.HandleFunc("POST /v1/stats", s.handleStatsPost)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /varz", s.handleVarz)
 	return mux
@@ -480,6 +501,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	put("sightd_jobs", counts)
+	put("sightd_ldp", s.ldpVarz())
 	if s.clustered() {
 		put("sightd_cluster", map[string]any{
 			"node":         s.nodeID,
