@@ -373,10 +373,12 @@ type StatsRequest struct {
 	// Tenant attributes the release to a tenant's ε budget and salts
 	// the release seed. Optional; empty shares the anonymous budget.
 	Tenant string `json:"tenant,omitempty"`
-	// Epoch versions the release. The (tenant, dataset, epoch) triple
-	// seeds the noise: repeating a query with the same triple re-serves
-	// the identical bytes and costs no budget, while a new epoch draws
-	// fresh noise and is charged. Defaults to 0.
+	// Epoch versions the release. The noise is seeded by the full
+	// release identity — (tenant, dataset, epoch, epsilon, noise) at
+	// the dataset's current generation: repeating an identical query
+	// re-serves the identical bytes and costs no budget, while a new
+	// epoch (or any other changed coordinate) draws fresh, independent
+	// noise and is charged. Defaults to 0.
 	Epoch uint64 `json:"epoch,omitempty"`
 	// Epsilon is the per-mechanism privacy budget. One release invokes
 	// six mechanisms, so it debits 6·Epsilon from the tenant's ledger.

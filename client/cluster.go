@@ -306,8 +306,9 @@ func (cl *Cluster) Advise(ctx context.Context, req *AdviseRequest) (*AdviseRespo
 // Stats requests a privacy-preserving statistics release on any live
 // replica; the receiving node forwards it to the dataset's ring owner,
 // which holds the dataset's ε ledger. The release is deterministic for
-// a fixed (tenant, dataset, epoch), so a retried call is safe and
-// returns the same bytes whichever replica ends up answering. See
+// a fixed (tenant, dataset, epoch, epsilon, noise) request at an
+// unchanged dataset generation, so a retried call is safe and returns
+// the same bytes whichever replica ends up answering. See
 // Client.Stats.
 func (cl *Cluster) Stats(ctx context.Context, req *StatsRequest) (*StatsResponse, error) {
 	var sr *StatsResponse

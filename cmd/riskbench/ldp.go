@@ -90,9 +90,10 @@ func ldpReportBytes(e *ldp.Estimator, p ldp.Params, seed ldp.Seed) ([]byte, erro
 // over -ldp-trials noise epochs — visibility-aware noise against the
 // all-edge baseline. The sweep must show visibility-aware strictly
 // more accurate for every statistic at every ε (non-zero exit
-// otherwise), and the same (tenant, dataset, epoch) triple must
-// reproduce byte-identical releases. The table goes to stdout and to
-// outPath.
+// otherwise), the same release identity must reproduce byte-identical
+// releases while a fresh epoch, a bumped generation or a different ε
+// must not, and two ε at one epoch must not be linearly solvable for
+// the exact truth. The table goes to stdout and to outPath.
 func runLDPBench(epsSpec string, trials, strangers int, seed int64, outPath string) error {
 	var epsilons []float64
 	for _, s := range strings.Split(epsSpec, ",") {
@@ -117,26 +118,50 @@ func runLDPBench(epsSpec string, trials, strangers int, seed int64, outPath stri
 	}
 	exact := est.Exact()
 
-	// Reproducibility leg: the same triple serves identical bytes, a
-	// fresh epoch draws fresh noise.
+	// Reproducibility leg: the same release identity serves identical
+	// bytes; a fresh epoch or a bumped dataset generation draws fresh
+	// noise.
 	p1 := ldp.Params{Epsilon: 1, Mode: ldp.ModeVisibilityAware}
-	a, err := ldpReportBytes(est, p1, ldp.SeedFor("bench", "ldp", 1))
+	a, err := ldpReportBytes(est, p1, ldp.SeedFor("bench", "ldp", 1, 0, p1))
 	if err != nil {
 		return err
 	}
-	b, err := ldpReportBytes(est, p1, ldp.SeedFor("bench", "ldp", 1))
+	b, err := ldpReportBytes(est, p1, ldp.SeedFor("bench", "ldp", 1, 0, p1))
 	if err != nil {
 		return err
 	}
-	c, err := ldpReportBytes(est, p1, ldp.SeedFor("bench", "ldp", 2))
+	c, err := ldpReportBytes(est, p1, ldp.SeedFor("bench", "ldp", 2, 0, p1))
 	if err != nil {
 		return err
 	}
 	if string(a) != string(b) {
-		return fmt.Errorf("reproducibility: identical (tenant, dataset, epoch) produced different releases")
+		return fmt.Errorf("reproducibility: identical release identity produced different releases")
 	}
 	if string(a) == string(c) {
 		return fmt.Errorf("reproducibility: a fresh epoch reproduced the previous noise")
+	}
+	g, err := ldpReportBytes(est, p1, ldp.SeedFor("bench", "ldp", 1, 1, p1))
+	if err != nil {
+		return err
+	}
+	if string(a) == string(g) {
+		return fmt.Errorf("reproducibility: a bumped dataset generation reproduced the previous noise")
+	}
+	// Correlated-noise probe: if two ε at the same epoch shared their
+	// standardized draws, T = (ε₁v₁ − ε₂v₂)/(ε₁ − ε₂) would recover the
+	// exact edge count (docs/ANALYTICS.md §3). It must not.
+	p2 := ldp.Params{Epsilon: 2, Mode: ldp.ModeVisibilityAware}
+	r1, err := est.Report(p1, ldp.SeedFor("bench", "ldp", 1, 0, p1))
+	if err != nil {
+		return err
+	}
+	r2, err := est.Report(p2, ldp.SeedFor("bench", "ldp", 1, 0, p2))
+	if err != nil {
+		return err
+	}
+	recon := (p1.Epsilon*r1.EdgeCount.Value - p2.Epsilon*r2.EdgeCount.Value) / (p1.Epsilon - p2.Epsilon)
+	if math.Abs(recon-exact.EdgeCount.Value) < 1e-6 {
+		return fmt.Errorf("correlated noise: two-ε reconstruction recovered the exact edge count %g", exact.EdgeCount.Value)
 	}
 
 	bench := ldpBench{
@@ -157,7 +182,15 @@ func runLDPBench(epsSpec string, trials, strangers int, seed int64, outPath stri
 		rms := map[ldp.Mode]map[string]float64{ldp.ModeVisibilityAware: {}, ldp.ModeAllEdge: {}}
 		for mode, acc := range rms {
 			for k := 0; k < trials; k++ {
-				r, err := est.Report(ldp.Params{Epsilon: eps, Mode: mode}, ldp.SeedFor("bench", "ldp", uint64(k)))
+				// One raw seed shared by both modes per trial: the
+				// common-random-numbers pairing (noise.go) that makes
+				// the strict ordering below deterministic rather than
+				// sampled. Only the benchmark may share a seed across
+				// parameter combinations — it already holds the exact
+				// truth. Served releases derive seeds via ldp.SeedFor,
+				// which folds (ε, mode, generation) in precisely so no
+				// two wire releases ever share draws.
+				r, err := est.Report(ldp.Params{Epsilon: eps, Mode: mode}, ldp.Seed(uint64(k)+1))
 				if err != nil {
 					return err
 				}
@@ -203,9 +236,11 @@ func runLDPBench(epsSpec string, trials, strangers int, seed int64, outPath stri
 
 // auditLDP is the ldp leg of -audit mode: a small population, and per
 // parameter set two independent release computations byte-compared
-// (same seed must reproduce, the next epoch must not). Returns the
-// number of releases checked and a divergence description ("" on
-// pass).
+// (same release identity must reproduce; a fresh epoch or a bumped
+// dataset generation must not), plus the correlated-noise probe — two
+// ε at one epoch must not be linearly solvable for the exact private
+// edge count. Returns the number of releases checked and a divergence
+// description ("" on pass).
 func auditLDP(seed int64) (int, string, error) {
 	study, _, err := incrStudy(300, seed)
 	if err != nil {
@@ -219,7 +254,7 @@ func auditLDP(seed int64) (int, string, error) {
 		{Epsilon: 2, Mode: ldp.ModeAllEdge},
 	} {
 		for epoch := uint64(0); epoch < 3; epoch++ {
-			s := ldp.SeedFor("audit", "ldp", epoch)
+			s := ldp.SeedFor("audit", "ldp", epoch, 0, p)
 			a, err := ldpReportBytes(est, p, s)
 			if err != nil {
 				return releases, "", err
@@ -231,15 +266,40 @@ func auditLDP(seed int64) (int, string, error) {
 			if string(a) != string(b) {
 				return releases, fmt.Sprintf("eps=%g mode=%s epoch=%d: repeated release is not byte-identical", p.Epsilon, p.Mode, epoch), nil
 			}
-			next, err := ldpReportBytes(est, p, ldp.SeedFor("audit", "ldp", epoch+100))
+			next, err := ldpReportBytes(est, p, ldp.SeedFor("audit", "ldp", epoch+100, 0, p))
 			if err != nil {
 				return releases, "", err
 			}
 			if string(a) == string(next) {
 				return releases, fmt.Sprintf("eps=%g mode=%s epoch=%d: a different epoch reproduced the same noise", p.Epsilon, p.Mode, epoch), nil
 			}
+			bumped, err := ldpReportBytes(est, p, ldp.SeedFor("audit", "ldp", epoch, 1, p))
+			if err != nil {
+				return releases, "", err
+			}
+			if string(a) == string(bumped) {
+				return releases, fmt.Sprintf("eps=%g mode=%s epoch=%d: a bumped generation reproduced the same noise", p.Epsilon, p.Mode, epoch), nil
+			}
 			releases++
 		}
 	}
+	// Correlated-noise probe (docs/ANALYTICS.md §3): with ε folded
+	// into the seed, T = (ε₁v₁ − ε₂v₂)/(ε₁ − ε₂) must miss the truth.
+	p1 := ldp.Params{Epsilon: 1, Mode: ldp.ModeVisibilityAware}
+	p2 := ldp.Params{Epsilon: 2, Mode: ldp.ModeVisibilityAware}
+	r1, err := est.Report(p1, ldp.SeedFor("audit", "ldp", 0, 0, p1))
+	if err != nil {
+		return releases, "", err
+	}
+	r2, err := est.Report(p2, ldp.SeedFor("audit", "ldp", 0, 0, p2))
+	if err != nil {
+		return releases, "", err
+	}
+	truth := est.Exact().EdgeCount.Value
+	recon := (p1.Epsilon*r1.EdgeCount.Value - p2.Epsilon*r2.EdgeCount.Value) / (p1.Epsilon - p2.Epsilon)
+	if math.Abs(recon-truth) < 1e-6 {
+		return releases, fmt.Sprintf("correlated noise: two-ε reconstruction recovered the exact edge count %g", truth), nil
+	}
+	releases += 2
 	return releases, "", nil
 }

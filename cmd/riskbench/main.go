@@ -52,9 +52,10 @@
 // statistic, the RMS relative error of the visibility-aware release
 // against the all-edge baseline over -ldp-trials noise epochs —
 // asserting visibility-aware strictly more accurate for every
-// statistic at every ε and that repeated (tenant, dataset, epoch)
-// triples reproduce byte-identical releases (non-zero exit otherwise).
-// The sweep goes to BENCH_ldp.json.
+// statistic at every ε and that repeated release identities reproduce
+// byte-identical releases while fresh epochs, bumped generations and
+// different ε draw independent noise (non-zero exit otherwise). The
+// sweep goes to BENCH_ldp.json.
 //
 // With -scale sweep the command runs the million-node scale curve
 // instead: per -scale-sizes population it generates a
@@ -467,7 +468,7 @@ func runAudit(seed int64, workers int) error {
 		status = "DIVERGED"
 		diverged = true
 	}
-	fmt.Printf("audit %-12s %-8s (%d releases checked, repeated seeds vs fresh epochs)\n", "ldp", status, lReleases)
+	fmt.Printf("audit %-12s %-8s (%d releases checked: replays identical; fresh epochs, generations and ε independent)\n", "ldp", status, lReleases)
 	if lDetail != "" {
 		for _, line := range strings.Split(lDetail, "\n") {
 			fmt.Println("  " + line)
@@ -476,7 +477,7 @@ func runAudit(seed int64, workers int) error {
 	if diverged {
 		return fmt.Errorf("determinism audit failed")
 	}
-	fmt.Println("determinism audit passed: both runs of every topology were bit-identical, mmap-backed estimates matched in-memory ones bit for bit, the post-failover cluster report matched the single-node run byte for byte, incremental revisions matched full recomputes at every worker count, the advise counterfactual matched its full recompute byte for byte at every worker count, and repeated differentially private releases reproduced byte for byte while fresh epochs drew fresh noise")
+	fmt.Println("determinism audit passed: both runs of every topology were bit-identical, mmap-backed estimates matched in-memory ones bit for bit, the post-failover cluster report matched the single-node run byte for byte, incremental revisions matched full recomputes at every worker count, the advise counterfactual matched its full recompute byte for byte at every worker count, and repeated differentially private releases reproduced byte for byte while fresh epochs, bumped generations and different ε all drew independent noise")
 	return nil
 }
 

@@ -66,9 +66,11 @@
 //	    edge count, degree histogram, triangle and k-star counts and
 //	    per-item visibility rates under edge-level local differential
 //	    privacy with visibility-aware noise (docs/ANALYTICS.md). The
-//	    noise is seeded by (tenant, dataset, epoch): repeating the same
-//	    query re-serves identical numbers without spending more of the
-//	    tenant's ε budget, while a new epoch buys a fresh draw.
+//	    noise is seeded by the full release identity (tenant, dataset,
+//	    epoch, epsilon, noise mode, dataset generation): repeating the
+//	    same query re-serves identical numbers without spending more of
+//	    the tenant's ε budget, while a new epoch — or any other changed
+//	    coordinate — buys a fresh, independent draw.
 //
 //	sightctl cluster -server n1=URL,n2=URL,...
 //	    Print per-replica health for a multi-node sightd cluster: node

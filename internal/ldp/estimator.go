@@ -473,6 +473,10 @@ func (e *Estimator) stars(r *Report, mode Mode, eps float64, seed Seed) {
 // private users answer each item with binary randomized response and
 // the positive counts are debiased. Users without a profile are
 // outside the population (they have no visibility settings at all).
+// Each item bit is an independent ε mechanism, so the protected unit
+// is a single bit — the analog of a single edge in the graph
+// mechanisms — not the whole 7-bit vector, which is 7ε-LDP by basic
+// composition (docs/ANALYTICS.md §2).
 func (e *Estimator) visibility(r *Report, mode Mode, eps float64, seed Seed) {
 	items := profile.Items()
 	exact := make([]int, len(items))

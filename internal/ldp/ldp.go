@@ -28,12 +28,17 @@
 // the per-item visibility rates of Tables IV/V.
 //
 // All randomness is drawn from deterministic counter-based streams
-// keyed by (seed, statistic, user). Given the same Seed — derived from
-// (tenant, dataset, epoch) via SeedFor — a Report is bit-for-bit
+// keyed by (seed, statistic, user). Given the same Seed — derived via
+// SeedFor from the full release identity (tenant, dataset, epoch,
+// dataset generation, ε, mode) — a Report is bit-for-bit
 // reproducible, so repeated queries re-serve the *same* noisy release
 // instead of drawing fresh noise. That is what makes repeated queries
 // free under sequential composition: no new randomness, no new
-// leakage, no extra ε spent (see docs/ANALYTICS.md).
+// leakage, no extra ε spent. Conversely, releases that differ in ANY
+// identity coordinate — a new epoch, a new dataset generation, a
+// different ε or mode — draw independent noise; correlated noise
+// across distinct charged releases would let them be combined to
+// cancel the noise out (see docs/ANALYTICS.md §3).
 package ldp
 
 import (
@@ -82,6 +87,15 @@ func ParseMode(s string) (Mode, error) {
 // 3-stars and the visibility-rate report. Under sequential composition
 // a Report at per-mechanism budget ε therefore costs Mechanisms·ε of a
 // tenant's total budget (see the server's ledger).
+//
+// The ε of each mechanism is per protected *unit*, and the unit is
+// deliberately fine-grained: one edge for the graph mechanisms
+// (edge-LDP, not node-LDP) and, analogously, one visibility item bit
+// for the visibility report — each of a profile's items is randomized
+// independently at the full ε, so the whole 7-bit vector is only
+// 7ε-LDP by basic composition. A tenant needing whole-vector (or
+// whole-neighborhood) protection at level ε must divide the requested
+// ε accordingly; docs/ANALYTICS.md §2 spells this out.
 const Mechanisms = 6
 
 // Params configures one Report.
@@ -119,14 +133,36 @@ func (p Params) mode() Mode {
 
 // Seed keys every noise stream of one Report. Equal seeds yield
 // bit-identical reports; distinct seeds yield independent noise.
+//
+// A raw Seed deliberately does NOT encode the Params it is used with,
+// so a caller that passes one Seed to Report under two different
+// Params gets common random numbers: the shared users draw the same
+// standardized noise in both releases. That is a feature for paired
+// benchmarking against ground truth the caller already holds
+// (riskbench -ldp) and a privacy hazard everywhere else — two
+// released values T + G/ε₁ and T + G/ε₂ with shared G solve exactly
+// for the private T. Production releases must therefore derive seeds
+// with SeedFor, which folds the parameters in.
 type Seed uint64
 
-// SeedFor derives the canonical release seed for a (tenant, dataset,
-// epoch) triple: FNV-1a over the NUL-separated tenant and dataset
-// names followed by the big-endian epoch. The same triple always maps
-// to the same seed — the property the server's free-replay rule and
-// the reproducibility audit both rest on.
-func SeedFor(tenant, dataset string, epoch uint64) Seed {
+// SeedFor derives the canonical seed for one release identity: the
+// (tenant, dataset, epoch) coordinates chosen by the caller, the
+// dataset's update generation, and the noise parameters (ε bits and
+// normalized mode). FNV-1a over the NUL-separated names followed by
+// the big-endian epoch, generation and float64 bits of ε, then the
+// mode string.
+//
+// The same identity always maps to the same seed — the property the
+// server's free-replay rule and the reproducibility audit rest on.
+// Just as load-bearing is the converse: identities differing in any
+// coordinate draw independent noise. ε and mode are folded in so two
+// charged releases at the same epoch can never share standardized
+// draws (shared draws would make the pair linearly solvable for the
+// exact private counts, invalidating sequential-composition
+// accounting); the generation is folded in so noise is re-drawn when
+// the data changes (re-serving old noise against new truth would
+// reveal v_new − v_old = T_new − T_old, the exact private delta).
+func SeedFor(tenant, dataset string, epoch, generation uint64, p Params) Seed {
 	h := fnv.New64a()
 	h.Write([]byte(tenant))
 	h.Write([]byte{0})
@@ -135,5 +171,10 @@ func SeedFor(tenant, dataset string, epoch uint64) Seed {
 	var e [8]byte
 	binary.BigEndian.PutUint64(e[:], epoch)
 	h.Write(e[:])
+	binary.BigEndian.PutUint64(e[:], generation)
+	h.Write(e[:])
+	binary.BigEndian.PutUint64(e[:], math.Float64bits(p.Epsilon))
+	h.Write(e[:])
+	h.Write([]byte(p.mode()))
 	return Seed(h.Sum64())
 }

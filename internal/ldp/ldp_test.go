@@ -103,7 +103,8 @@ func TestAllPublicIsExact(t *testing.T) {
 	snap, store := buildFixture(t, k4plusTail(), allPublic(1, 2, 3, 4, 5))
 	e := NewEstimator(snap, store)
 	exact := e.Exact()
-	noised, err := e.Report(Params{Epsilon: 0.5, Mode: ModeVisibilityAware}, SeedFor("t", "d", 3))
+	p := Params{Epsilon: 0.5, Mode: ModeVisibilityAware}
+	noised, err := e.Report(p, SeedFor("t", "d", 3, 0, p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestSeededReproducibility(t *testing.T) {
 	study, snap := studyFixture(t, 300, 7)
 	e := NewEstimator(snap, study.Profiles)
 	p := Params{Epsilon: 1, Mode: ModeVisibilityAware}
-	seed := SeedFor("tenant-a", "study", 42)
+	seed := SeedFor("tenant-a", "study", 42, 0, p)
 	r1, err := e.Report(p, seed)
 	if err != nil {
 		t.Fatal(err)
@@ -164,7 +165,7 @@ func TestSeededReproducibility(t *testing.T) {
 	if string(b1) != string(b2) {
 		t.Fatalf("same seed produced different releases:\n%s\n%s", b1, b2)
 	}
-	r3, err := e.Report(p, SeedFor("tenant-a", "study", 43))
+	r3, err := e.Report(p, SeedFor("tenant-a", "study", 43, 0, p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,8 +173,88 @@ func TestSeededReproducibility(t *testing.T) {
 	if string(b1) == string(b3) {
 		t.Fatal("different epochs produced identical noise")
 	}
-	if SeedFor("a", "b", 1) == SeedFor("b", "a", 1) || SeedFor("a", "b", 1) == SeedFor("a", "b", 2) {
-		t.Fatal("SeedFor collides on swapped or shifted inputs")
+}
+
+// TestSeedForBindsReleaseIdentity: the seed must distinguish every
+// coordinate of the release identity — tenant, dataset, epoch,
+// generation, ε and mode — while normalizing the empty-string mode
+// default. Distinct seeds per (ε, mode, generation) are the defense
+// against the correlated-noise attacks of docs/ANALYTICS.md §3.
+func TestSeedForBindsReleaseIdentity(t *testing.T) {
+	p := Params{Epsilon: 1, Mode: ModeVisibilityAware}
+	base := SeedFor("a", "b", 1, 0, p)
+	for name, other := range map[string]Seed{
+		"swapped names":  SeedFor("b", "a", 1, 0, p),
+		"shifted epoch":  SeedFor("a", "b", 2, 0, p),
+		"bumped gen":     SeedFor("a", "b", 1, 1, p),
+		"different eps":  SeedFor("a", "b", 1, 0, Params{Epsilon: 2, Mode: ModeVisibilityAware}),
+		"different mode": SeedFor("a", "b", 1, 0, Params{Epsilon: 1, Mode: ModeAllEdge}),
+	} {
+		if other == base {
+			t.Errorf("SeedFor collides on %s", name)
+		}
+	}
+	if SeedFor("a", "b", 1, 0, Params{Epsilon: 1}) != base {
+		t.Error("SeedFor does not normalize the empty mode to visibility_aware")
+	}
+}
+
+// TestDistinctEpsilonsDrawIndependentNoise pins the fix for the
+// correlated-noise attack: when two charged releases at the same
+// (tenant, dataset, epoch, generation) share their uniform draws, the
+// Laplace noise is one standardized draw G scaled by 1/ε — so
+// v₁ = T + N/ε₁ and v₂ = T + N/ε₂ solve exactly as
+// T = (ε₁v₁ − ε₂v₂)/(ε₁ − ε₂), recovering the true private count at a
+// ledger cost of only 6(ε₁+ε₂). With ε folded into the seed the
+// reconstruction must miss.
+func TestDistinctEpsilonsDrawIndependentNoise(t *testing.T) {
+	study, snap := studyFixture(t, 250, 19)
+	e := NewEstimator(snap, study.Profiles)
+	truth := e.Exact().EdgeCount.Value
+	p1 := Params{Epsilon: 1, Mode: ModeVisibilityAware}
+	p2 := Params{Epsilon: 2, Mode: ModeVisibilityAware}
+	r1, err := e.Report(p1, SeedFor("t", "d", 5, 0, p1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Report(p2, SeedFor("t", "d", 5, 0, p2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := (p1.Epsilon*r1.EdgeCount.Value - p2.Epsilon*r2.EdgeCount.Value) / (p1.Epsilon - p2.Epsilon)
+	if math.Abs(recon-truth) < 1e-6 {
+		t.Fatalf("two-ε linear reconstruction recovered the exact edge count %v — ε is not salted into the noise seed", truth)
+	}
+	// Sanity: had the draws been shared, the reconstruction would be
+	// exact — verify by replaying both ε through one raw seed.
+	raw := Seed(12345)
+	c1, _ := e.Report(p1, raw)
+	c2, _ := e.Report(p2, raw)
+	shared := (p1.Epsilon*c1.EdgeCount.Value - p2.Epsilon*c2.EdgeCount.Value) / (p1.Epsilon - p2.Epsilon)
+	if math.Abs(shared-truth) > 1e-6 {
+		t.Fatalf("attack model check: shared-seed reconstruction = %v, want exact truth %v", shared, truth)
+	}
+}
+
+// TestGenerationDrawsFreshNoise pins the cross-generation fix: the
+// same (tenant, dataset, epoch, ε, mode) at a new dataset generation
+// must draw independent noise — reusing the old draws against updated
+// truth would reveal v_new − v_old = T_new − T_old, the exact private
+// delta.
+func TestGenerationDrawsFreshNoise(t *testing.T) {
+	study, snap := studyFixture(t, 250, 23)
+	e := NewEstimator(snap, study.Profiles)
+	p := Params{Epsilon: 1, Mode: ModeVisibilityAware}
+	r0, err := e.Report(p, SeedFor("t", "d", 1, 0, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.Report(p, SeedFor("t", "d", 1, 1, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.EdgeCount.Value == r1.EdgeCount.Value {
+		t.Fatal("generation bump reused the previous noise draws")
 	}
 }
 
@@ -217,7 +298,8 @@ func TestUnbiasedness(t *testing.T) {
 		sums := make(map[string]float64)
 		var se map[string]float64
 		for k := 0; k < K; k++ {
-			r, err := e.Report(Params{Epsilon: 1, Mode: mode}, SeedFor("t", "d", uint64(k)))
+			p := Params{Epsilon: 1, Mode: mode}
+			r, err := e.Report(p, SeedFor("t", "d", uint64(k), 0, p))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -270,7 +352,13 @@ func TestVisibilityAwareBeatsAllEdge(t *testing.T) {
 	rms := map[Mode]map[string]float64{ModeVisibilityAware: {}, ModeAllEdge: {}}
 	for mode, acc := range rms {
 		for k := 0; k < K; k++ {
-			r, err := e.Report(Params{Epsilon: 1, Mode: mode}, SeedFor("t", "d", uint64(k)))
+			// Deliberately one raw seed shared across both modes: the
+			// common-random-numbers pairing that makes the strict
+			// ordering deterministic (see noise.go). Served releases
+			// never share seeds across modes — SeedFor folds the mode
+			// in — but the library comparison may, since the test
+			// already holds the ground truth.
+			r, err := e.Report(Params{Epsilon: 1, Mode: mode}, Seed(1000+k))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -320,7 +408,7 @@ func TestSnapfileEquivalence(t *testing.T) {
 		{Epsilon: 0.5, Mode: ModeVisibilityAware},
 		{Epsilon: 2, Mode: ModeAllEdge},
 	} {
-		seed := SeedFor("tenant", "study", 9)
+		seed := SeedFor("tenant", "study", 9, 0, p)
 		a, err := mem.Report(p, seed)
 		if err != nil {
 			t.Fatal(err)

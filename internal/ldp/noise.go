@@ -5,12 +5,16 @@ import "math"
 // Noise streams. Every random draw in a Report comes from a
 // splitmix64 counter stream keyed by (seed, statistic, user dense
 // index). Keying by user — not by draw order — gives the common
-// random numbers property the benchmark leans on: a user draws the
-// *same* noise under ModeVisibilityAware and ModeAllEdge, so the
-// all-edge baseline differs from the visibility-aware release only by
-// the extra noise of the users VA left exact. It also makes the
-// release independent of iteration order and of which users happen to
-// be in the noising set.
+// random numbers property the benchmark leans on: given the same raw
+// Seed, a user draws the *same* noise under ModeVisibilityAware and
+// ModeAllEdge, so the all-edge baseline differs from the
+// visibility-aware release only by the extra noise of the users VA
+// left exact. It also makes the release independent of iteration
+// order and of which users happen to be in the noising set. Sharing a
+// raw seed across parameter combinations is strictly a benchmarking
+// device: served releases derive their seed with SeedFor, which folds
+// (ε, mode, generation) in, so no two distinct charged releases ever
+// share a stream (see the Seed and SeedFor docs).
 
 // Per-statistic stream identifiers. These are part of the release
 // semantics (changing one changes every seeded report), so they are

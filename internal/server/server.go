@@ -143,9 +143,13 @@ type Server struct {
 
 	// LDP analytics state (stats.go): per-dataset estimator cache keyed
 	// by update generation and the per-(tenant, dataset) ε ledgers.
-	// statsBudget is immutable after New.
+	// ldpMu guards only the cheap map and ledger operations; estimator
+	// construction runs under the dataset's entry in ldpBuilds so a
+	// slow build never blocks other datasets' stats traffic, budget
+	// charging or /varz. statsBudget is immutable after New.
 	ldpMu       sync.Mutex
 	ldpEst      map[string]*ldpEntry
+	ldpBuilds   map[string]*sync.Mutex
 	ldpLedgers  map[string]*ldpLedger
 	statsBudget float64
 }
@@ -190,6 +194,7 @@ func New(cfg Config) (*Server, error) {
 		updQ:         map[string]*updQueue{},
 		dsGen:        map[string]uint64{},
 		ldpEst:       map[string]*ldpEntry{},
+		ldpBuilds:    map[string]*sync.Mutex{},
 		ldpLedgers:   map[string]*ldpLedger{},
 		statsBudget:  cfg.StatsBudget,
 	}

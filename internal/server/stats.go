@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"sightrisk/client"
@@ -23,11 +24,13 @@ import (
 // snapshot: aggregate graph and visibility statistics under edge-level
 // local differential privacy with visibility-aware noise (public edges
 // exact, private edges noised — docs/ANALYTICS.md). The noise is
-// seeded by (tenant, dataset, epoch), so repeating a query re-serves
-// byte-identical bytes; the ε ledger below charges only the first
-// occurrence of each distinct release. In cluster mode every release
-// for one dataset routes to the dataset's ring owner so the ledger has
-// a single home.
+// seeded by the full release identity (tenant, dataset, epoch,
+// dataset generation, ε, mode), so repeating a query re-serves
+// byte-identical bytes while releases differing in any coordinate —
+// including ε, mode and the generation — draw independent noise; the
+// ε ledger below charges only the first occurrence of each distinct
+// release. In cluster mode every release for one dataset routes to
+// the dataset's ring owner so the ledger has a single home.
 
 // DefaultStatsBudget is the per-(tenant, dataset) ε capacity when
 // Config.StatsBudget is unset: at the default ε = 1 it admits eight
@@ -166,7 +169,7 @@ func (s *Server) serveStats(w http.ResponseWriter, r *http.Request, req *client.
 				req.Tenant, req.Dataset, gen, s.statsBudget), statsBudgetRetry)
 		return
 	}
-	rep, err := est.Report(params, ldp.SeedFor(req.Tenant, req.Dataset, req.Epoch))
+	rep, err := est.Report(params, ldp.SeedFor(req.Tenant, req.Dataset, req.Epoch, gen, params))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
@@ -186,8 +189,11 @@ func datasetRouteKey(name string) int64 {
 
 // ldpEstimator returns the dataset's cached estimator, rebuilding it
 // when the update generation moved. The build (one triangle
-// enumeration) runs outside the server's job lock but inside ldpMu, so
-// concurrent first queries build once and queue behind it.
+// enumeration, potentially seconds on a large graph) runs under a
+// per-dataset build lock, so concurrent first queries for one dataset
+// build once and queue behind it while every other dataset's stats
+// traffic, budget charging and /varz — all of which share only the
+// cheap ldpMu — proceed unblocked.
 func (s *Server) ldpEstimator(ds string) (*ldp.Estimator, uint64, *client.APIError) {
 	s.mu.Lock()
 	rt, ok := s.runtimes[ds]
@@ -198,20 +204,45 @@ func (s *Server) ldpEstimator(ds string) (*ldp.Estimator, uint64, *client.APIErr
 	snap, profiles, gen := rt.Snapshot, rt.Profiles, s.dsGen[ds]
 	s.mu.Unlock()
 	s.ldpMu.Lock()
-	defer s.ldpMu.Unlock()
 	if e, ok := s.ldpEst[ds]; ok && e.gen == gen {
+		s.ldpMu.Unlock()
 		return e.est, gen, nil
 	}
+	build := s.ldpBuilds[ds]
+	if build == nil {
+		build = &sync.Mutex{}
+		s.ldpBuilds[ds] = build
+	}
+	s.ldpMu.Unlock()
+
+	build.Lock()
+	defer build.Unlock()
+	// A queued builder may find the estimator already built (for this
+	// generation) by the query it waited on.
+	s.ldpMu.Lock()
+	if e, ok := s.ldpEst[ds]; ok && e.gen == gen {
+		s.ldpMu.Unlock()
+		return e.est, gen, nil
+	}
+	s.ldpMu.Unlock()
 	est := ldp.NewEstimator(snap, profiles)
-	s.ldpEst[ds] = &ldpEntry{gen: gen, est: est}
+	s.ldpMu.Lock()
+	// Keep the newest generation if a concurrent delta already moved
+	// the cache past the snapshot this build started from.
+	if e, ok := s.ldpEst[ds]; !ok || e.gen <= gen {
+		s.ldpEst[ds] = &ldpEntry{gen: gen, est: est}
+	}
+	s.ldpMu.Unlock()
 	return est, gen, nil
 }
 
 // chargeStats debits one release from the (tenant, dataset) ledger.
 // Replays of a release already served at this generation are free;
 // a generation bump resets the ledger (new data is a fresh release
-// universe). Returns the ε charged and whether the release is
-// admitted.
+// universe — sound because the generation is folded into the noise
+// seed, so the new generation's releases draw independent noise
+// rather than re-exposing the old draws against moved truth).
+// Returns the ε charged and whether the release is admitted.
 func (s *Server) chargeStats(tenant, ds string, gen, epoch uint64, eps float64, mode ldp.Mode) (float64, bool) {
 	s.ldpMu.Lock()
 	defer s.ldpMu.Unlock()

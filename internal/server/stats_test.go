@@ -7,12 +7,15 @@ import (
 	"errors"
 	"hash/fnv"
 	"io"
+	"math"
 	"net/http"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"sightrisk/client"
 	"sightrisk/internal/dataset"
+	"sightrisk/internal/graph"
 	"sightrisk/internal/server"
 )
 
@@ -200,6 +203,90 @@ func TestStatsSnapRuntimeMatchesInMemory(t *testing.T) {
 			t.Errorf("epoch %d: snap-backed release differs from in-memory (%d, %d):\n%s\n%s",
 				req.Epoch, stA, stB, a, b)
 		}
+	}
+}
+
+// TestStatsEpsilonCorrelationResisted: two charged releases at the
+// same epoch with different ε must draw independent noise. Were the
+// standardized draws shared, the Laplace noise would be one draw G
+// scaled by 1/ε — v₁ = T + G/ε₁, v₂ = T + G/ε₂ — and
+// T = (ε₁v₁ − ε₂v₂)/(ε₁ − ε₂) would hand the tenant the exact total
+// edge count for a spend the ledger happily admits (6·(ε₁+ε₂) of the
+// default 48 budget).
+func TestStatsEpsilonCorrelationResisted(t *testing.T) {
+	ds := testDataset(t, 1, 200, 9)
+	truth := float64(ds.Graph.NumEdges())
+	_, _, c := newTestServer(t, server.Config{
+		Datasets: map[string]*dataset.Dataset{"study": ds},
+		Workers:  1,
+	})
+	ctx := context.Background()
+	r1, err := c.Stats(ctx, &client.StatsRequest{Dataset: "study", Tenant: "acme", Epoch: 1, Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Stats(ctx, &client.StatsRequest{Dataset: "study", Tenant: "acme", Epoch: 1, Epsilon: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := (r1.Epsilon*r1.EdgeCount.Value - r2.Epsilon*r2.EdgeCount.Value) / (r1.Epsilon - r2.Epsilon)
+	if math.Abs(recon-truth) < 1e-6 {
+		t.Fatalf("two-ε linear reconstruction recovered the exact edge count %g — ε is not in the noise seed", truth)
+	}
+}
+
+// TestStatsGenerationRedrawsNoise: delta batches that bump the dataset
+// generation but restore the identical graph must still re-draw the
+// release noise. Re-serving the old draws after real deltas would
+// reveal v_new − v_old = T_new − T_old — the exact private change —
+// even though the ledger charged the new generation as a fresh
+// release.
+func TestStatsGenerationRedrawsNoise(t *testing.T) {
+	ds := testDataset(t, 1, 200, 10)
+	// Two existing, non-adjacent users: adding then removing their edge
+	// restores the exact original graph while bumping the update
+	// generation twice.
+	nodes := ds.Graph.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	a := nodes[0]
+	var b graph.UserID
+	found := false
+	for _, cand := range nodes[1:] {
+		if !ds.Graph.HasEdge(a, cand) {
+			b, found = cand, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("fixture's first node is adjacent to every other node")
+	}
+	_, _, c := newTestServer(t, server.Config{
+		Datasets: map[string]*dataset.Dataset{"study": ds},
+		Workers:  1,
+	})
+	ctx := context.Background()
+	req := &client.StatsRequest{Dataset: "study", Tenant: "acme", Epoch: 1}
+	before, err := c.Stats(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"edge_add", "edge_remove"} {
+		if _, err := c.Updates(ctx, &client.UpdatesRequest{
+			Dataset: "study",
+			Updates: []client.Update{{Kind: kind, A: int64(a), B: int64(b)}},
+		}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	after, err := c.Stats(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Generation != before.Generation+2 {
+		t.Fatalf("generation = %d, want %d", after.Generation, before.Generation+2)
+	}
+	if after.EdgeCount.Value == before.EdgeCount.Value {
+		t.Fatal("generation bump re-served the old noise: identical release against an identical graph")
 	}
 }
 
